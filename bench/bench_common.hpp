@@ -1,0 +1,29 @@
+// Shared output conventions for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "experiment/bench_util.hpp"
+
+namespace manet::bench {
+
+/// Prints the standard bench banner: which figure, what the paper shows,
+/// and the scale this invocation runs at.
+inline void banner(const std::string& figure, const std::string& claim,
+                   const experiment::BenchScale& scale) {
+  std::cout << "=== " << figure << " ===\n"
+            << "Paper: " << claim << "\n"
+            << "Scale: " << scale.broadcasts << " broadcasts/point x "
+            << scale.repetitions << " rep(s), " << scale.numHosts
+            << " hosts, seed " << scale.seed
+            << "  (env: REPRO_BROADCASTS REPRO_REPS REPRO_SEED REPRO_HOSTS; "
+               "paper used 10,000 broadcasts)\n\n";
+}
+
+inline std::string mapLabel(int units) {
+  return std::to_string(units) + "x" + std::to_string(units);
+}
+
+}  // namespace manet::bench

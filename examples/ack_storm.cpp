@@ -1,0 +1,152 @@
+// The "many-to-one" ACK storm (paper §2.1).
+//
+// The paper justifies unreliable broadcast with: "if all receiving hosts
+// send acknowledgments to the sending host, these acknowledgments are very
+// likely to collide with each other at the sender's side, making another
+// 'many-to-one' broadcast storm." This example makes that argument
+// measurable: one host broadcasts to n in-range receivers which all confirm
+// reception with a unicast ACK-packet back to the source. We count the MAC
+// retries and the time until the last confirmation lands, as n grows.
+//
+//   ./build/examples/ack_storm [maxReceivers]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "geom/circle.hpp"
+#include "mac/dcf.hpp"
+#include "net/packet.hpp"
+#include "phy/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "util/table.hpp"
+
+using namespace manet;
+
+namespace {
+
+/// A receiver that answers any broadcast with a unicast confirmation.
+class ConfirmingHost : public mac::DcfMac::Upper {
+ public:
+  ConfirmingHost(sim::Scheduler& scheduler, phy::Channel& channel,
+                 net::NodeId id, geom::Vec2 pos, std::uint64_t seed)
+      : mac_(scheduler, channel, id, [pos] { return pos; }, sim::Rng(seed),
+             mac::MacParams{}, this) {}
+
+  void onTxStarted(mac::DcfMac::TxId, const net::Packet&) override {}
+  void onTxFinished(mac::DcfMac::TxId, const net::Packet&) override {}
+  void onReceive(const phy::Frame& frame) override {
+    const net::Packet& p = *frame.packet;
+    if (p.type == net::PacketType::kData && p.dest == net::kInvalidNode) {
+      // Application-level confirmation: a tiny unicast packet to the source.
+      auto confirm = net::makeDataPacket(p.bid, mac_.self());
+      mac_.enqueueUnicast(p.sender, std::move(confirm), 32);
+    }
+  }
+
+  mac::DcfMac& mac() { return mac_; }
+
+ private:
+  mac::DcfMac mac_;
+};
+
+/// The source counts the confirmations that make it back.
+class SourceHost : public mac::DcfMac::Upper {
+ public:
+  SourceHost(sim::Scheduler& scheduler, phy::Channel& channel,
+             geom::Vec2 pos)
+      : scheduler_(scheduler),
+        mac_(scheduler, channel, 0, [pos] { return pos; }, sim::Rng(99),
+             mac::MacParams{}, this) {}
+
+  void onTxStarted(mac::DcfMac::TxId, const net::Packet&) override {}
+  void onTxFinished(mac::DcfMac::TxId, const net::Packet&) override {}
+  void onReceive(const phy::Frame& frame) override {
+    if (frame.packet->dest == mac_.self()) {
+      ++confirmations_;
+      lastConfirmation_ = scheduler_.now();
+    }
+  }
+
+  mac::DcfMac& mac() { return mac_; }
+  int confirmations() const { return confirmations_; }
+  sim::Time lastConfirmation() const { return lastConfirmation_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  mac::DcfMac mac_;
+  int confirmations_ = 0;
+  sim::Time lastConfirmation_ = 0;
+};
+
+struct StormResult {
+  int receivers;
+  int confirmed;
+  std::uint64_t retries;
+  std::uint64_t drops;
+  double completionMs;
+};
+
+StormResult runStorm(int receivers) {
+  sim::Scheduler scheduler;
+  phy::Channel channel(scheduler, phy::PhyParams{});
+  sim::Rng rng(receivers);
+
+  SourceHost source(scheduler, channel, {0, 0});
+  std::vector<std::unique_ptr<ConfirmingHost>> hosts;
+  for (int i = 0; i < receivers; ++i) {
+    // Uniform in the source's disk.
+    const double r = 450.0 * std::sqrt(rng.uniform());
+    const double angle = rng.uniform(0.0, 2.0 * geom::kPi);
+    hosts.push_back(std::make_unique<ConfirmingHost>(
+        scheduler, channel, static_cast<net::NodeId>(i + 1),
+        geom::Vec2{0, 0} + r * geom::unitVector(angle),
+        static_cast<std::uint64_t>(i + 1)));
+  }
+
+  scheduler.runUntil(10'000);
+  const sim::Time start = scheduler.now();
+  source.mac().enqueue(net::makeDataPacket({0, 0}, 0), 280);
+  scheduler.runUntil(start + 30 * sim::kSecond);
+
+  StormResult out;
+  out.receivers = receivers;
+  out.confirmed = source.confirmations();
+  out.retries = 0;
+  out.drops = 0;
+  for (auto& h : hosts) {
+    out.retries += h->mac().unicastRetries();
+    out.drops += h->mac().unicastDrops();
+  }
+  out.completionMs =
+      sim::toSeconds(source.lastConfirmation() - start) * 1000.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int maxReceivers = argc > 1 ? std::atoi(argv[1]) : 48;
+
+  std::cout
+      << "The many-to-one ACK storm (paper, section 2.1): n receivers all\n"
+         "confirm one broadcast with a unicast packet back to the source.\n"
+         "One 280-byte broadcast takes 2.4 ms of air time; watch what the\n"
+         "confirmations cost as n grows.\n\n";
+
+  util::Table table({"receivers", "confirmed", "MAC retries", "drops",
+                     "all-confirmed after (ms)"});
+  for (int n = 4; n <= maxReceivers; n *= 2) {
+    const StormResult r = runStorm(n);
+    table.addRow({std::to_string(r.receivers), std::to_string(r.confirmed),
+                  std::to_string(r.retries), std::to_string(r.drops),
+                  util::fmt(r.completionMs, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery confirmation contends with every other one at the "
+               "same receiver (the\nsource), so retries grow superlinearly — "
+               "the paper's argument for unreliable\nbroadcast with relay "
+               "suppression instead of per-receiver acknowledgment.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Route discovery: the motivating application from the paper's introduction.
+//
+// On-demand MANET routing protocols (DSR, AODV, ...) find routes by
+// broadcasting a route_request; each relay appends its ID (the paper's
+// footnote 1), and the target answers with a route_reply unicast back along
+// the collected path. The quality of the broadcast layer IS the quality of
+// route discovery: a suppressed relay can mean a missed route, and every
+// redundant rebroadcast is wasted bandwidth.
+//
+// This example runs real DSR-style discoveries (src/routing) over each
+// suppression scheme and reports success rate, route latency, hop counts,
+// and the bandwidth price.
+//
+//   ./build/examples/route_discovery [mapUnits] [requests]
+#include <cstdlib>
+#include <iostream>
+
+#include "experiment/world.hpp"
+#include "routing/route_discovery.hpp"
+#include "sim/random.hpp"
+#include "util/table.hpp"
+
+using namespace manet;
+
+namespace {
+
+struct DiscoveryStats {
+  double successRate = 0.0;
+  double meanLatencyMs = 0.0;
+  double meanHops = 0.0;
+  double framesPerRequest = 0.0;
+};
+
+DiscoveryStats discoverRoutes(experiment::SchemeSpec scheme, int mapUnits,
+                              int requests) {
+  experiment::ScenarioConfig config;
+  config.mapUnits = mapUnits;
+  config.scheme = std::move(scheme);
+  config.numBroadcasts = 0;  // the routing layer drives the traffic
+  config.seed = 99;
+  experiment::World world(config);
+  world.startAgents();
+  routing::RoutingHarness routing(world);
+
+  sim::Rng pick(1234);
+  sim::Time at = 100 * sim::kMillisecond;
+  for (int i = 0; i < requests; ++i) {
+    const auto source = static_cast<net::NodeId>(
+        pick.uniformInt(0, config.numHosts - 1));
+    auto target = static_cast<net::NodeId>(
+        pick.uniformInt(0, config.numHosts - 1));
+    if (target == source) {
+      target = (target + 1) % static_cast<net::NodeId>(config.numHosts);
+    }
+    world.scheduler().schedule(at, [&routing, source, target] {
+      routing.discover(source, target);
+    });
+    at += pick.uniformTime(200 * sim::kMillisecond, 1 * sim::kSecond);
+  }
+  world.scheduler().runUntil(at + 10 * sim::kSecond);
+
+  DiscoveryStats out;
+  out.successRate = routing.successRate();
+  out.meanLatencyMs = routing.meanLatencySeconds() * 1000.0;
+  out.meanHops = routing.meanHops();
+  out.framesPerRequest =
+      static_cast<double>(world.channel().framesTransmitted()) / requests;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int mapUnits = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  std::cout << "DSR-style route discovery on a " << mapUnits << "x"
+            << mapUnits << " map, " << requests << " route requests\n\n";
+
+  util::Table table({"scheme", "success", "latency(ms)", "hops",
+                     "frames/request"});
+  for (auto scheme : {experiment::SchemeSpec::flooding(),
+                      experiment::SchemeSpec::counter(2),
+                      experiment::SchemeSpec::adaptiveCounter(),
+                      experiment::SchemeSpec::adaptiveLocation()}) {
+    const DiscoveryStats s = discoverRoutes(scheme, mapUnits, requests);
+    table.addRow({scheme.name(), util::fmtPercent(s.successRate, 1),
+                  util::fmt(s.meanLatencyMs, 1), util::fmt(s.meanHops, 1),
+                  util::fmt(s.framesPerRequest, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n'frames/request' counts every transmission (request "
+               "relays, replies, ACKs):\nthe bandwidth each scheme pays per "
+               "discovered route.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Trace inspector: record every protocol event of a small run and print a
+// per-broadcast timeline — who relayed, who was suppressed and when, where
+// collisions hit. The event stream can also be dumped as CSV for plotting.
+//
+//   ./build/examples/trace_inspector [mapUnits] [broadcasts] [--csv]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "experiment/world.hpp"
+#include "trace/recorder.hpp"
+#include "trace/timeline.hpp"
+#include "trace/writer.hpp"
+
+using namespace manet;
+
+int main(int argc, char** argv) {
+  const int mapUnits = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int broadcasts = argc > 2 ? std::atoi(argv[2]) : 3;
+  const bool csv =
+      argc > 3 && std::strcmp(argv[3], "--csv") == 0;
+
+  experiment::ScenarioConfig config;
+  config.mapUnits = mapUnits;
+  config.numHosts = 30;
+  config.numBroadcasts = broadcasts;
+  config.scheme = experiment::SchemeSpec::adaptiveCounter();
+  config.seed = 3;
+
+  trace::Recorder recorder;
+  experiment::World world(config);
+  world.setTraceSink(&recorder);
+  world.run();
+
+  if (csv) {
+    trace::writeCsv(std::cout, recorder.events());
+    return 0;
+  }
+
+  std::cout << "Recorded " << recorder.totalSeen() << " events ("
+            << recorder.countOf(trace::EventKind::kCollision)
+            << " collisions, "
+            << recorder.countOf(trace::EventKind::kInhibited)
+            << " inhibitions)\n\n";
+  for (const net::BroadcastId bid : trace::broadcastsIn(recorder.events())) {
+    const auto tl = trace::buildTimeline(recorder.events(), bid);
+    if (tl) std::cout << tl->render() << "\n";
+  }
+  std::cout << "Tip: pass --csv to dump the raw event stream for plotting.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "cluster/assignment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace manet::cluster {
+
+const char* roleName(Role role) {
+  switch (role) {
+    case Role::kHead: return "head";
+    case Role::kGateway: return "gateway";
+    case Role::kMember: return "member";
+  }
+  return "?";
+}
+
+std::vector<RoleInfo> assignRoles(
+    const std::vector<std::vector<net::NodeId>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<RoleInfo> roles(n);
+  std::vector<bool> isHead(n, false);
+
+  // Greedy in ascending id: a node becomes head unless a smaller-id
+  // neighbor already did. Heads therefore form the lexicographically-first
+  // maximal independent set — exactly what converged lowest-ID clustering
+  // produces.
+  for (net::NodeId id = 0; id < n; ++id) {
+    net::NodeId lowestHeadNeighbor = net::kInvalidNode;
+    for (net::NodeId nb : adjacency[id]) {
+      MANET_EXPECTS(nb < n);
+      if (nb < id && isHead[nb]) {
+        lowestHeadNeighbor = std::min(lowestHeadNeighbor, nb);
+      }
+    }
+    if (lowestHeadNeighbor == net::kInvalidNode) {
+      isHead[id] = true;
+      roles[id] = RoleInfo{Role::kHead, id};
+    } else {
+      roles[id] = RoleInfo{Role::kMember, lowestHeadNeighbor};
+    }
+  }
+
+  // Gateways: non-heads adjacent to >= 2 heads, or to a node of a different
+  // cluster.
+  for (net::NodeId id = 0; id < n; ++id) {
+    if (roles[id].role == Role::kHead) continue;
+    int headNeighbors = 0;
+    bool bridges = false;
+    for (net::NodeId nb : adjacency[id]) {
+      if (isHead[nb]) ++headNeighbors;
+      if (roles[nb].head != roles[id].head) bridges = true;
+    }
+    if (headNeighbors >= 2 || bridges) roles[id].role = Role::kGateway;
+  }
+  return roles;
+}
+
+RoleInfo egoRole(const core::HostView& host) {
+  // Collect the ego network: self, N_x, and each neighbor's advertised set.
+  const net::NodeId self = host.id();
+  std::set<net::NodeId> nodes{self};
+  const std::vector<net::NodeId> oneHop = host.neighborIds();
+  std::map<net::NodeId, std::set<net::NodeId>> edges;
+
+  auto addEdge = [&edges](net::NodeId a, net::NodeId b) {
+    if (a == b) return;
+    edges[a].insert(b);
+    edges[b].insert(a);
+  };
+
+  for (net::NodeId nb : oneHop) {
+    nodes.insert(nb);
+    addEdge(self, nb);
+  }
+  // Two-hop knowledge: neighbors' own neighbor sets (piggybacked in HELLOs,
+  // or exact in oracle mode). For second-ring nodes also pull their sets if
+  // available so gateway/headness of the ring resolves correctly.
+  std::set<net::NodeId> ring2;
+  for (net::NodeId nb : oneHop) {
+    if (const auto theirs = host.neighborsOf(nb)) {
+      for (net::NodeId two : *theirs) {
+        nodes.insert(two);
+        addEdge(nb, two);
+        if (two != self) ring2.insert(two);
+      }
+    }
+  }
+  for (net::NodeId two : ring2) {
+    if (const auto theirs = host.neighborsOf(two)) {
+      for (net::NodeId three : *theirs) {
+        // Only keep edges among already-known nodes: we want the induced
+        // subgraph, not an ever-growing frontier.
+        if (nodes.contains(three)) addEdge(two, three);
+      }
+    }
+  }
+
+  // Remap sparse global ids to dense local ids, preserving order (the
+  // algorithm is id-order sensitive, so the remap must be monotone).
+  std::vector<net::NodeId> sorted(nodes.begin(), nodes.end());
+  std::map<net::NodeId, net::NodeId> local;
+  for (net::NodeId i = 0; i < sorted.size(); ++i) local[sorted[i]] = i;
+
+  std::vector<std::vector<net::NodeId>> adjacency(sorted.size());
+  for (const auto& [a, nbs] : edges) {
+    for (net::NodeId b : nbs) adjacency[local[a]].push_back(local[b]);
+  }
+  const std::vector<RoleInfo> roles = assignRoles(adjacency);
+  RoleInfo mine = roles[local[self]];
+  if (mine.head != net::kInvalidNode &&
+      mine.head < sorted.size()) {
+    mine.head = sorted[mine.head];  // back to the global id space
+  }
+  return mine;
+}
+
+}  // namespace manet::cluster

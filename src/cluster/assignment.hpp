@@ -1,0 +1,49 @@
+// Lowest-ID clustering (Baker/Ephremides; the structure behind the
+// cluster-based broadcast scheme of Ni et al. [15], which this paper's
+// intro reviews alongside the schemes it extends).
+//
+// Roles:
+//  * head    — lowest-id node of its neighborhood once all smaller-id nodes
+//              have resolved; heads form an independent set and every node
+//              is a head or has a head neighbor.
+//  * gateway — a non-head that can bridge clusters: it hears two or more
+//              heads, or has a neighbor assigned to a different head.
+//  * member  — everyone else; in the cluster-based broadcast scheme a plain
+//              member never needs to rebroadcast (its head's transmission
+//              covers the whole cluster).
+//
+// `assignRoles` is the pure converged-state computation on an adjacency
+// list. `egoRole` evaluates the same algorithm on one host's 2-hop ego
+// network as seen through HostView — what a distributed implementation with
+// piggybacked neighbor lists can actually know. In oracle mode the ego
+// network is exact; with HELLO-learned tables it degrades gracefully
+// (missing knowledge biases toward rebroadcasting, never toward silence of
+// an articulation node).
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "net/ids.hpp"
+
+namespace manet::cluster {
+
+enum class Role { kHead, kGateway, kMember };
+
+struct RoleInfo {
+  Role role = Role::kMember;
+  net::NodeId head = net::kInvalidNode;  // own id when role == kHead
+};
+
+/// Converged lowest-ID clustering over a dense-id adjacency list
+/// (adjacency[i] = neighbor ids of node i; must be symmetric).
+std::vector<RoleInfo> assignRoles(
+    const std::vector<std::vector<net::NodeId>>& adjacency);
+
+/// Role of `host` computed on its 2-hop ego network (neighbors + their
+/// advertised neighbor sets), using sparse global ids.
+RoleInfo egoRole(const core::HostView& host);
+
+const char* roleName(Role role);
+
+}  // namespace manet::cluster

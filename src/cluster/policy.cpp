@@ -1,0 +1,46 @@
+#include "cluster/policy.hpp"
+
+#include "util/assert.hpp"
+
+namespace manet::cluster {
+namespace {
+
+class ClusterDecider final : public core::PacketDecider {
+ public:
+  explicit ClusterDecider(int innerCounter) : innerCounter_(innerCounter) {}
+
+  bool shouldProceed(core::HostView& host) override {
+    // The role is evaluated once per packet, at first reception — the
+    // distributed clustering is quasi-static on packet timescales.
+    role_ = egoRole(host).role;
+    if (role_ == Role::kMember) return false;  // covered by the head
+    return counter_ < innerCounter_;
+  }
+
+  bool onDuplicate(core::HostView&, const core::Reception&) override {
+    ++counter_;
+    return counter_ < innerCounter_;
+  }
+
+ private:
+  int innerCounter_;
+  int counter_ = 1;
+  Role role_ = Role::kMember;
+};
+
+}  // namespace
+
+ClusterPolicy::ClusterPolicy(int innerCounter) : innerCounter_(innerCounter) {
+  MANET_EXPECTS(innerCounter >= 2);
+}
+
+std::unique_ptr<core::PacketDecider> ClusterPolicy::makeDecider(
+    core::HostView&, const core::Reception&) const {
+  return std::make_unique<ClusterDecider>(innerCounter_);
+}
+
+std::string ClusterPolicy::name() const {
+  return "cluster(C=" + std::to_string(innerCounter_) + ")";
+}
+
+}  // namespace manet::cluster

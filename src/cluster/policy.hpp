@@ -1,0 +1,32 @@
+// The cluster-based broadcast scheme of Ni et al. [15]: plain members never
+// rebroadcast (their head's transmission covers the cluster); heads and
+// gateways forward, moderated by an inner counter threshold so that dense
+// backbones don't storm among themselves.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/assignment.hpp"
+#include "core/policy.hpp"
+
+namespace manet::cluster {
+
+class ClusterPolicy final : public core::RebroadcastPolicy {
+ public:
+  /// `innerCounter`: counter threshold applied to heads/gateways (the
+  /// "cluster-based scheme with counter-based" variant of [15]).
+  explicit ClusterPolicy(int innerCounter = 3);
+
+  std::unique_ptr<core::PacketDecider> makeDecider(
+      core::HostView& host, const core::Reception& first) const override;
+
+  std::string name() const override;
+
+  int innerCounter() const { return innerCounter_; }
+
+ private:
+  int innerCounter_;
+};
+
+}  // namespace manet::cluster

@@ -1,0 +1,134 @@
+// The broadcast-suppression schemes.
+//
+// Fixed-threshold baselines (Ni et al., MOBICOM'99 [15], reviewed in §2.3):
+//   * FloodingPolicy       — always rebroadcast.
+//   * ProbabilisticPolicy  — rebroadcast with probability p.
+//   * CounterPolicy        — inhibit once the packet was heard C times.
+//   * DistancePolicy       — inhibit once some sender was closer than D.
+//   * LocationPolicy       — inhibit once the remaining additional coverage
+//                            drops below the area fraction A.
+//
+// Adaptive schemes (this paper's contribution, §3):
+//   * AdaptiveCounterPolicy   — counter threshold C(n) of neighbor count n.
+//   * AdaptiveLocationPolicy  — area threshold A(n) of neighbor count n.
+//   * NeighborCoveragePolicy  — rebroadcast only while some one-hop neighbor
+//                               is not yet covered (2-hop HELLO knowledge).
+#pragma once
+
+#include <memory>
+
+#include "core/policy.hpp"
+#include "core/threshold.hpp"
+
+namespace manet::core {
+
+/// Monte-Carlo resolution the location-based schemes use when evaluating
+/// their residual additional coverage at runtime.
+struct CoverageSampling {
+  int samples = 512;
+};
+
+class FloodingPolicy final : public RebroadcastPolicy {
+ public:
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override { return "flooding"; }
+};
+
+class ProbabilisticPolicy final : public RebroadcastPolicy {
+ public:
+  explicit ProbabilisticPolicy(double p);
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override;
+  double probability() const { return p_; }
+
+ private:
+  double p_;
+};
+
+class CounterPolicy final : public RebroadcastPolicy {
+ public:
+  explicit CounterPolicy(int threshold);
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override;
+  int threshold() const { return threshold_; }
+
+ private:
+  int threshold_;
+};
+
+class DistancePolicy final : public RebroadcastPolicy {
+ public:
+  /// `thresholdMeters`: inhibit when the closest heard sender is nearer
+  /// than this.
+  explicit DistancePolicy(double thresholdMeters);
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override;
+  double threshold() const { return thresholdMeters_; }
+
+ private:
+  double thresholdMeters_;
+};
+
+class LocationPolicy final : public RebroadcastPolicy {
+ public:
+  /// `threshold`: area fraction of pi r^2 below which the rebroadcast is
+  /// considered redundant. The paper evaluates 0.1871, 0.0469, 0.0134.
+  explicit LocationPolicy(double threshold, CoverageSampling sampling = {});
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override;
+
+ private:
+  double threshold_;
+  CoverageSampling sampling_;
+};
+
+class AdaptiveCounterPolicy final : public RebroadcastPolicy {
+ public:
+  explicit AdaptiveCounterPolicy(CounterThreshold fn,
+                                 std::string label = "AC");
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override { return label_; }
+  const CounterThreshold& thresholdFunction() const { return fn_; }
+
+ private:
+  CounterThreshold fn_;
+  std::string label_;
+};
+
+class AdaptiveLocationPolicy final : public RebroadcastPolicy {
+ public:
+  explicit AdaptiveLocationPolicy(AreaThreshold fn, std::string label = "AL",
+                                  CoverageSampling sampling = {});
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override { return label_; }
+  const AreaThreshold& thresholdFunction() const { return fn_; }
+
+ private:
+  AreaThreshold fn_;
+  std::string label_;
+  CoverageSampling sampling_;
+};
+
+class NeighborCoveragePolicy final : public RebroadcastPolicy {
+ public:
+  std::unique_ptr<PacketDecider> makeDecider(HostView& host,
+                                             const Reception& first)
+      const override;
+  std::string name() const override { return "NC"; }
+};
+
+}  // namespace manet::core

@@ -1,0 +1,263 @@
+#include "experiment/host.hpp"
+
+#include <utility>
+
+#include "experiment/world.hpp"
+#include "util/assert.hpp"
+
+namespace manet::experiment {
+
+Host::Host(World& world, net::NodeId id,
+           std::unique_ptr<mobility::MobilityModel> mobility, sim::Rng rng)
+    : world_(world),
+      id_(id),
+      mobility_(std::move(mobility)),
+      schemeRng_(rng.fork(1)),
+      jitterRng_(rng.fork(2)) {
+  MANET_EXPECTS(mobility_ != nullptr);
+  auto& scheduler = world_.scheduler();
+  mac_ = std::make_unique<mac::DcfMac>(
+      scheduler, world_.channel(), id_,
+      [this, &scheduler] { return mobility_->positionAt(scheduler.now()); },
+      rng.fork(3), world_.config().mac, this);
+  hello_ = std::make_unique<net::HelloAgent>(scheduler, *mac_, table_,
+                                             world_.config().hello,
+                                             rng.fork(4));
+}
+
+void Host::start() { hello_->start(); }
+
+net::BroadcastId Host::originateBroadcast() {
+  return originateBroadcast([](net::Packet&) {});
+}
+
+net::BroadcastId Host::originateBroadcast(
+    const std::function<void(net::Packet&)>& mutate) {
+  const net::BroadcastId bid{id_, nextSeq_++};
+  MANET_ASSERT(!states_.contains(bid));
+  BroadcastState& state = states_[bid];
+  state.phase = PacketPhase::kSource;
+  auto packet = std::make_shared<net::Packet>();
+  packet->type = net::PacketType::kData;
+  packet->sender = id_;
+  packet->bid = bid;
+  mutate(*packet);
+  state.packet = std::move(packet);
+  world_.metrics().onBroadcastStart(bid, id_, now(), world_.reachableFrom(id_));
+  emitTrace(trace::EventKind::kBroadcastOriginated, bid);
+  if (app_ != nullptr) app_->onBroadcastOriginated(*this, *state.packet);
+  state.txId = mac_->enqueue(state.packet, net::kDataPacketBytes);
+  return bid;
+}
+
+mac::DcfMac::TxId Host::sendUnicast(net::NodeId dest, net::PacketPtr packet,
+                                    std::size_t bytes) {
+  return mac_->enqueueUnicast(dest, std::move(packet), bytes);
+}
+
+Host::PacketPhase Host::phaseOf(net::BroadcastId bid) const {
+  auto it = states_.find(bid);
+  return it == states_.end() ? PacketPhase::kUnseen : it->second.phase;
+}
+
+void Host::onReceive(const phy::Frame& frame) {
+  const net::Packet& packet = *frame.packet;
+  switch (packet.type) {
+    case net::PacketType::kHello:
+      table_.onHello(packet.sender, packet, now());
+      return;
+    case net::PacketType::kData:
+      handleData(frame);
+      return;
+    case net::PacketType::kRts:
+    case net::PacketType::kCts:
+    case net::PacketType::kAck:
+      return;  // control frames are consumed by the MAC, never surfaced
+  }
+}
+
+void Host::handleData(const phy::Frame& frame) {
+  const net::Packet& packet = *frame.packet;
+  if (packet.dest != net::kInvalidNode) {
+    // Unicast data is application traffic, not a propagating broadcast: it
+    // bypasses the suppression state machine entirely.
+    if (app_ != nullptr) app_->onUnicastDelivered(*this, packet);
+    return;
+  }
+  const core::Reception rx{packet.sender, frame.srcPos, now()};
+  auto it = states_.find(packet.bid);
+  if (it == states_.end()) {
+    handleFirstReception(packet.bid, rx, frame.packet);
+  } else {
+    handleDuplicate(it->second, packet.bid, rx);
+  }
+}
+
+void Host::handleFirstReception(net::BroadcastId bid,
+                                const core::Reception& rx,
+                                const net::PacketPtr& packet) {
+  world_.metrics().onDelivered(bid, id_, now(), packet->hopCount + 1);
+  emitTrace(trace::EventKind::kDelivered, bid, rx.from);
+  if (app_ != nullptr) app_->onBroadcastDelivered(*this, *packet);
+  BroadcastState& state = states_[bid];
+  // Rebroadcast the same payload under the same (origin, seq) identity,
+  // with ourselves as the relaying sender; route requests additionally
+  // accumulate the relay path (DSR-style, the paper's footnote 1).
+  auto copy = std::make_shared<net::Packet>(*packet);
+  copy->sender = id_;
+  copy->hopCount = static_cast<std::uint16_t>(packet->hopCount + 1);
+  if (copy->appKind == net::Packet::AppKind::kRouteRequest) {
+    copy->appPath.push_back(id_);
+  }
+  state.packet = std::move(copy);
+  state.decider = world_.policy().makeDecider(*this, rx);
+
+  if (!state.decider->shouldProceed(*this)) {
+    // S1 -> S5: inhibited before even entering the jitter wait.
+    inhibit(state, bid);
+    return;
+  }
+  // S2: wait a random number (0..jitterSlots) of slots, then hand to the MAC.
+  state.phase = PacketPhase::kJitter;
+  const sim::Time jitter =
+      jitterRng_.uniformTime(0, world_.config().jitterSlots) *
+      world_.config().mac.slot;
+  state.jitterTimer =
+      world_.scheduler().scheduleAfter(jitter, [this, bid] {
+        submitToMac(bid);
+      });
+}
+
+void Host::submitToMac(net::BroadcastId bid) {
+  auto it = states_.find(bid);
+  MANET_ASSERT(it != states_.end());
+  BroadcastState& state = it->second;
+  MANET_ASSERT(state.phase == PacketPhase::kJitter);
+  state.phase = PacketPhase::kQueued;
+  state.txId = mac_->enqueue(state.packet, net::kDataPacketBytes);
+}
+
+void Host::handleDuplicate(BroadcastState& state, net::BroadcastId bid,
+                           const core::Reception& rx) {
+  switch (state.phase) {
+    case PacketPhase::kJitter:
+    case PacketPhase::kQueued:
+      emitTrace(trace::EventKind::kDuplicateHeard, bid, rx.from);
+      // S4: let the scheme re-assess redundancy.
+      if (!state.decider->onDuplicate(*this, rx)) {
+        inhibit(state, bid);
+      }
+      return;
+    case PacketPhase::kSent:
+    case PacketPhase::kInhibited:
+    case PacketPhase::kSource:
+      emitTrace(trace::EventKind::kDuplicateHeard, bid, rx.from);
+      return;  // terminal; a host rebroadcasts at most once (§2.1)
+    case PacketPhase::kUnseen:
+      MANET_ASSERT(false);
+      return;
+  }
+}
+
+void Host::inhibit(BroadcastState& state, net::BroadcastId bid) {
+  // S5: cancel whatever stage of waiting we were in.
+  state.jitterTimer.cancel();
+  if (state.txId != mac::DcfMac::kInvalidTx) {
+    const bool cancelled = mac_->cancel(state.txId);
+    // A queued frame is always still cancellable here: the MAC notifies us
+    // synchronously at transmission start, flipping the phase to kSent first.
+    MANET_ASSERT(cancelled);
+    state.txId = mac::DcfMac::kInvalidTx;
+  }
+  state.phase = PacketPhase::kInhibited;
+  state.decider.reset();
+  world_.metrics().onFinalized(bid, id_, now());
+  emitTrace(trace::EventKind::kInhibited, bid);
+}
+
+void Host::onTxStarted(mac::DcfMac::TxId, const net::Packet& packet) {
+  if (packet.type != net::PacketType::kData) return;
+  if (packet.dest != net::kInvalidNode) return;  // app unicast, not a flood
+  emitTrace(trace::EventKind::kTxStarted, packet.bid);
+  auto it = states_.find(packet.bid);
+  MANET_ASSERT(it != states_.end());
+  BroadcastState& state = it->second;
+  if (state.phase == PacketPhase::kQueued) {
+    // S3: the rebroadcast is on the air; the decision is final.
+    state.phase = PacketPhase::kSent;
+    state.decider.reset();
+    world_.metrics().onRebroadcast(packet.bid, id_, now());
+  }
+  // kSource: the initial transmission is not a REbroadcast; nothing to count.
+}
+
+void Host::onTxFinished(mac::DcfMac::TxId, const net::Packet& packet) {
+  if (packet.type == net::PacketType::kHello) {
+    world_.metrics().onHelloSent(id_);
+    emitTrace(trace::EventKind::kHelloSent, net::BroadcastId{});
+    return;
+  }
+  if (packet.dest != net::kInvalidNode) return;  // app unicast
+  world_.metrics().onFinalized(packet.bid, id_, now());
+  emitTrace(trace::EventKind::kTxFinished, packet.bid);
+}
+
+void Host::onUnicastOutcome(mac::DcfMac::TxId, const net::Packet& packet,
+                            bool delivered) {
+  if (app_ != nullptr) app_->onUnicastOutcome(*this, packet, delivered);
+}
+
+void Host::onCorruptedFrame(const phy::Frame& frame) {
+  if (world_.traceSink() == nullptr) return;
+  const net::Packet& packet = *frame.packet;
+  emitTrace(trace::EventKind::kCollision,
+            packet.type == net::PacketType::kData ? packet.bid
+                                                  : net::BroadcastId{},
+            packet.sender);
+}
+
+void Host::emitTrace(trace::EventKind kind, net::BroadcastId bid,
+                     net::NodeId from) {
+  trace::TraceSink* sink = world_.traceSink();
+  if (sink == nullptr) return;
+  trace::Event event;
+  event.kind = kind;
+  event.at = now();
+  event.node = id_;
+  event.bid = bid;
+  event.from = from;
+  event.position = position();
+  sink->onEvent(event);
+}
+
+int Host::neighborCount() const {
+  if (world_.config().neighborSource == NeighborSource::kOracle) {
+    return world_.oracleNeighborCount(id_);
+  }
+  return table_.neighborCount(now());
+}
+
+std::vector<net::NodeId> Host::neighborIds() const {
+  if (world_.config().neighborSource == NeighborSource::kOracle) {
+    return world_.oracleNeighbors(id_);
+  }
+  return table_.neighborIds(now());
+}
+
+std::optional<std::vector<net::NodeId>> Host::neighborsOf(
+    net::NodeId h) const {
+  if (world_.config().neighborSource == NeighborSource::kOracle) {
+    return world_.oracleNeighbors(h);
+  }
+  return table_.neighborsOf(h, now());
+}
+
+geom::Vec2 Host::position() const { return mobility_->positionAt(now()); }
+
+double Host::radius() const { return world_.config().phy.radiusMeters; }
+
+sim::Time Host::now() const { return world_.scheduler().now(); }
+
+sim::Scheduler& Host::scheduler() { return world_.scheduler(); }
+
+}  // namespace manet::experiment

@@ -1,0 +1,145 @@
+// One mobile host: mobility + MAC + HELLO agent + per-broadcast protocol
+// state machine. Owns the S1-S5 skeleton every scheme shares (see
+// core/policy.hpp); the scheme itself is a PacketDecider.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/policy.hpp"
+#include "mac/dcf.hpp"
+#include "mobility/model.hpp"
+#include "net/hello.hpp"
+#include "net/neighbor_table.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "trace/event.hpp"
+
+namespace manet::experiment {
+
+class World;
+class Host;
+
+/// Application layered on top of a host: sees delivered packets and may send
+/// its own traffic through the host. All hooks default to no-ops.
+class HostApp {
+ public:
+  virtual ~HostApp() = default;
+  /// An application broadcast arrived (first intact copy at this host).
+  virtual void onBroadcastDelivered(Host& host, const net::Packet& packet) {
+    (void)host;
+    (void)packet;
+  }
+  /// This host originated a broadcast of its own.
+  virtual void onBroadcastOriginated(Host& host, const net::Packet& packet) {
+    (void)host;
+    (void)packet;
+  }
+  /// A unicast data packet addressed to this host arrived.
+  virtual void onUnicastDelivered(Host& host, const net::Packet& packet) {
+    (void)host;
+    (void)packet;
+  }
+  /// Verdict of a unicast this host sent (acknowledged or dropped).
+  virtual void onUnicastOutcome(Host& host, const net::Packet& packet,
+                                bool delivered) {
+    (void)host;
+    (void)packet;
+    (void)delivered;
+  }
+};
+
+class Host final : public mac::DcfMac::Upper, public core::HostView {
+ public:
+  Host(World& world, net::NodeId id,
+       std::unique_ptr<mobility::MobilityModel> mobility, sim::Rng rng);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// Starts periodic agents (HELLO). Call once before the run.
+  void start();
+
+  /// Originates a brand-new broadcast from this host (a "broadcast request"
+  /// of the workload). Returns its identity.
+  net::BroadcastId originateBroadcast();
+
+  /// Originates a broadcast carrying an application payload; `mutate` may
+  /// fill the app fields of the fresh packet (bid/sender are pre-set).
+  net::BroadcastId originateBroadcast(
+      const std::function<void(net::Packet&)>& mutate);
+
+  /// Sends a unicast data packet (acknowledged/retried by the MAC).
+  mac::DcfMac::TxId sendUnicast(net::NodeId dest, net::PacketPtr packet,
+                                std::size_t bytes);
+
+  /// Attaches an application (not owned; may be null to detach).
+  void setApp(HostApp* app) { app_ = app; }
+
+  /// The world's scheduler (for application timers).
+  sim::Scheduler& scheduler();
+
+  mobility::MobilityModel& mobility() { return *mobility_; }
+  net::NeighborTable& table() { return table_; }
+  mac::DcfMac& mac() { return *mac_; }
+  const net::HelloAgent& helloAgent() const { return *hello_; }
+
+  /// Terminal protocol state of this host for `bid` (for tests/inspection).
+  enum class PacketPhase { kUnseen, kJitter, kQueued, kSent, kInhibited, kSource };
+  PacketPhase phaseOf(net::BroadcastId bid) const;
+
+  // --- mac::DcfMac::Upper ---
+  void onTxStarted(mac::DcfMac::TxId id, const net::Packet& packet) override;
+  void onTxFinished(mac::DcfMac::TxId id, const net::Packet& packet) override;
+  void onReceive(const phy::Frame& frame) override;
+  void onCorruptedFrame(const phy::Frame& frame) override;
+  void onUnicastOutcome(mac::DcfMac::TxId id, const net::Packet& packet,
+                        bool delivered) override;
+
+  // --- core::HostView ---
+  net::NodeId id() const override { return id_; }
+  int neighborCount() const override;
+  std::vector<net::NodeId> neighborIds() const override;
+  std::optional<std::vector<net::NodeId>> neighborsOf(
+      net::NodeId h) const override;
+  geom::Vec2 position() const override;
+  double radius() const override;
+  sim::Rng& rng() override { return schemeRng_; }
+  sim::Time now() const override;
+
+ private:
+  struct BroadcastState {
+    PacketPhase phase = PacketPhase::kUnseen;
+    std::unique_ptr<core::PacketDecider> decider;
+    sim::Scheduler::Handle jitterTimer;
+    mac::DcfMac::TxId txId = mac::DcfMac::kInvalidTx;
+    net::PacketPtr packet;  // what we would rebroadcast
+  };
+
+  void handleData(const phy::Frame& frame);
+  void handleFirstReception(net::BroadcastId bid, const core::Reception& rx,
+                            const net::PacketPtr& packet);
+  void handleDuplicate(BroadcastState& state, net::BroadcastId bid,
+                       const core::Reception& rx);
+  void submitToMac(net::BroadcastId bid);
+  void inhibit(BroadcastState& state, net::BroadcastId bid);
+  void emitTrace(trace::EventKind kind, net::BroadcastId bid,
+                 net::NodeId from = net::kInvalidNode);
+
+  World& world_;
+  net::NodeId id_;
+  std::unique_ptr<mobility::MobilityModel> mobility_;
+  sim::Rng schemeRng_;
+  sim::Rng jitterRng_;
+  // mutable: table queries purge expired entries lazily, which is not
+  // observable state from the HostView's point of view.
+  mutable net::NeighborTable table_;
+  std::unique_ptr<mac::DcfMac> mac_;
+  std::unique_ptr<net::HelloAgent> hello_;
+  std::uint32_t nextSeq_ = 0;
+  HostApp* app_ = nullptr;
+  std::unordered_map<net::BroadcastId, BroadcastState, net::BroadcastIdHash>
+      states_;
+};
+
+}  // namespace manet::experiment

@@ -1,0 +1,58 @@
+#include "experiment/runner.hpp"
+
+#include "experiment/world.hpp"
+#include "util/assert.hpp"
+
+namespace manet::experiment {
+
+RunResult runScenario(const ScenarioConfig& config) {
+  World world(config);
+  world.run();
+
+  RunResult out;
+  out.summary = world.metrics().summarize();
+  out.schemeName = config.scheme.name();
+  out.simulatedSeconds = sim::toSeconds(world.scheduler().now());
+  out.framesTransmitted = world.channel().framesTransmitted();
+  out.framesDelivered = world.channel().framesDelivered();
+  out.framesCorrupted = world.channel().framesCorrupted();
+  if (out.simulatedSeconds > 0.0 && world.hostCount() > 0) {
+    out.hellosPerHostPerSecond =
+        static_cast<double>(out.summary.hellosSent) /
+        (out.simulatedSeconds * static_cast<double>(world.hostCount()));
+  }
+  return out;
+}
+
+RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions) {
+  MANET_EXPECTS(repetitions >= 1);
+  RunResult pooled;
+  double re = 0.0;
+  double srb = 0.0;
+  double latency = 0.0;
+  double helloRate = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    ScenarioConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(i);
+    RunResult r = runScenario(c);
+    re += r.re();
+    srb += r.srb();
+    latency += r.latency();
+    helloRate += r.hellosPerHostPerSecond;
+    pooled.summary.broadcasts += r.summary.broadcasts;
+    pooled.summary.hellosSent += r.summary.hellosSent;
+    pooled.summary.dataFramesSent += r.summary.dataFramesSent;
+    pooled.framesTransmitted += r.framesTransmitted;
+    pooled.framesDelivered += r.framesDelivered;
+    pooled.framesCorrupted += r.framesCorrupted;
+    pooled.simulatedSeconds += r.simulatedSeconds;
+    pooled.schemeName = r.schemeName;
+  }
+  pooled.summary.meanRe = re / repetitions;
+  pooled.summary.meanSrb = srb / repetitions;
+  pooled.summary.meanLatencySeconds = latency / repetitions;
+  pooled.hellosPerHostPerSecond = helloRate / repetitions;
+  return pooled;
+}
+
+}  // namespace manet::experiment

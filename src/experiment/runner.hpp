@@ -1,0 +1,38 @@
+// One-call scenario execution with the derived quantities the figures need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "stats/metrics.hpp"
+
+namespace manet::experiment {
+
+struct RunResult {
+  stats::RunSummary summary;
+  /// HELLO traffic rate, packets per host per simulated second (Fig. 12b's
+  /// y-axis up to a normalization).
+  double hellosPerHostPerSecond = 0.0;
+  /// Channel-level accounting over the whole run.
+  std::uint64_t framesTransmitted = 0;
+  std::uint64_t framesDelivered = 0;
+  std::uint64_t framesCorrupted = 0;
+  double simulatedSeconds = 0.0;
+  std::string schemeName;
+
+  double re() const { return summary.meanRe; }
+  double srb() const { return summary.meanSrb; }
+  double latency() const { return summary.meanLatencySeconds; }
+};
+
+/// Builds a World from `config`, runs it to completion, and extracts results.
+RunResult runScenario(const ScenarioConfig& config);
+
+/// Averages `repetitions` runs of the same scenario over distinct seeds
+/// (seed, seed+1, ...). Returns the per-run results plus a pooled result in
+/// which RE/SRB/latency are arithmetic means across runs.
+RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions);
+
+}  // namespace manet::experiment

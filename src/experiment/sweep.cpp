@@ -1,0 +1,107 @@
+#include "experiment/sweep.hpp"
+
+#include "util/assert.hpp"
+
+namespace manet::experiment {
+
+SweepAxis schemeAxis(std::vector<SchemeSpec> schemes) {
+  SweepAxis axis;
+  axis.name = "scheme";
+  for (auto& scheme : schemes) {
+    const std::string label = scheme.name();
+    axis.values.push_back({label, [scheme](ScenarioConfig& c) {
+                             c.scheme = scheme;
+                           }});
+  }
+  return axis;
+}
+
+SweepAxis mapAxis(std::vector<int> mapUnits) {
+  SweepAxis axis;
+  axis.name = "map";
+  for (int units : mapUnits) {
+    axis.values.push_back(
+        {std::to_string(units) + "x" + std::to_string(units),
+         [units](ScenarioConfig& c) { c.mapUnits = units; }});
+  }
+  return axis;
+}
+
+SweepAxis speedAxis(std::vector<double> kmh) {
+  SweepAxis axis;
+  axis.name = "speed(km/h)";
+  for (double v : kmh) {
+    axis.values.push_back({util::fmt(v, 0), [v](ScenarioConfig& c) {
+                             c.maxSpeedKmh = v;
+                           }});
+  }
+  return axis;
+}
+
+SweepAxis seedAxis(std::vector<std::uint64_t> seeds) {
+  SweepAxis axis;
+  axis.name = "seed";
+  for (std::uint64_t s : seeds) {
+    axis.values.push_back({std::to_string(s), [s](ScenarioConfig& c) {
+                             c.seed = s;
+                           }});
+  }
+  return axis;
+}
+
+namespace {
+
+void recurse(const ScenarioConfig& base, const std::vector<SweepAxis>& axes,
+             std::size_t depth, std::vector<std::string>& coordinates,
+             ScenarioConfig& current, int repetitions,
+             std::vector<SweepCell>& out) {
+  if (depth == axes.size()) {
+    SweepCell cell;
+    cell.coordinates = coordinates;
+    cell.result = repetitions > 1 ? runScenarioAveraged(current, repetitions)
+                                  : runScenario(current);
+    out.push_back(std::move(cell));
+    return;
+  }
+  for (const auto& value : axes[depth].values) {
+    ScenarioConfig next = current;
+    value.apply(next);
+    coordinates.push_back(value.label);
+    recurse(base, axes, depth + 1, coordinates, next, repetitions, out);
+    coordinates.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SweepCell> runSweep(const ScenarioConfig& base,
+                                const std::vector<SweepAxis>& axes,
+                                int repetitions) {
+  MANET_EXPECTS(repetitions >= 1);
+  for (const auto& axis : axes) MANET_EXPECTS(!axis.values.empty());
+  std::vector<SweepCell> out;
+  std::vector<std::string> coordinates;
+  ScenarioConfig current = base;
+  recurse(base, axes, 0, coordinates, current, repetitions, out);
+  return out;
+}
+
+util::Table sweepTable(const std::vector<SweepAxis>& axes,
+                       const std::vector<SweepCell>& cells) {
+  std::vector<std::string> header;
+  for (const auto& axis : axes) header.push_back(axis.name);
+  header.insert(header.end(),
+                {"RE", "SRB", "latency(s)", "hello/host/s"});
+  util::Table table(header);
+  for (const auto& cell : cells) {
+    std::vector<std::string> row = cell.coordinates;
+    row.push_back(util::fmt(cell.result.re(), 3));
+    row.push_back(util::fmt(cell.result.srb(), 3));
+    row.push_back(util::fmt(cell.result.latency(), 4));
+    row.push_back(util::fmt(cell.result.hellosPerHostPerSecond, 2));
+    table.addRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace manet::experiment

@@ -1,0 +1,126 @@
+#include "experiment/world.hpp"
+
+#include <algorithm>
+
+#include "mobility/group.hpp"
+#include "mobility/random_roam.hpp"
+#include "mobility/waypoint.hpp"
+#include "stats/connectivity.hpp"
+#include "util/assert.hpp"
+
+namespace manet::experiment {
+
+World::World(const ScenarioConfig& config)
+    : config_(config.resolved()),
+      channel_(scheduler_, config_.phy),
+      metrics_(static_cast<std::size_t>(config_.numHosts)),
+      policy_(config_.scheme.build()),
+      workloadRng_(sim::Rng(config_.seed).fork(0xF00D)) {
+  channel_.setCollisionsEnabled(config_.collisions);
+
+  const mobility::MapSpec map =
+      mobility::MapSpec::square(config_.mapUnits, config_.unitMeters);
+  sim::Rng master(config_.seed);
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models =
+      buildMobility(map, master);
+  MANET_ASSERT(models.size() == static_cast<std::size_t>(config_.numHosts));
+  hosts_.reserve(static_cast<std::size_t>(config_.numHosts));
+  for (int i = 0; i < config_.numHosts; ++i) {
+    sim::Rng hostRng = master.fork(static_cast<std::uint64_t>(i) + 1);
+    hosts_.push_back(std::make_unique<Host>(
+        *this, static_cast<net::NodeId>(i),
+        std::move(models[static_cast<std::size_t>(i)]), hostRng.fork(0xB0)));
+  }
+}
+
+std::vector<std::unique_ptr<mobility::MobilityModel>> World::buildMobility(
+    const mobility::MapSpec& map, sim::Rng& master) {
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models;
+  models.reserve(static_cast<std::size_t>(config_.numHosts));
+
+  if (!config_.fixedPositions.empty()) {
+    for (const geom::Vec2& pos : config_.fixedPositions) {
+      models.push_back(std::make_unique<mobility::Stationary>(pos));
+    }
+    return models;
+  }
+
+  const double maxSpeedMps = mobility::kmhToMps(config_.maxSpeedKmh);
+  switch (config_.mobility) {
+    case ScenarioConfig::Mobility::kRandomRoam:
+      for (int i = 0; i < config_.numHosts; ++i) {
+        sim::Rng rng = master.fork(0xA000 + static_cast<std::uint64_t>(i));
+        mobility::RoamParams roam;
+        roam.maxSpeedMps = maxSpeedMps;
+        models.push_back(std::make_unique<mobility::RandomRoam>(
+            map, map.uniformPoint(rng), roam, rng.fork(0xA0)));
+      }
+      break;
+    case ScenarioConfig::Mobility::kWaypoint:
+      for (int i = 0; i < config_.numHosts; ++i) {
+        sim::Rng rng = master.fork(0xA000 + static_cast<std::uint64_t>(i));
+        mobility::WaypointParams params;
+        params.maxSpeedMps = std::max(params.minSpeedMps, maxSpeedMps);
+        models.push_back(std::make_unique<mobility::RandomWaypoint>(
+            map, map.uniformPoint(rng), params, rng.fork(0xA0)));
+      }
+      break;
+    case ScenarioConfig::Mobility::kGroup: {
+      MANET_EXPECTS(config_.groupSize >= 1);
+      sim::Rng rng = master.fork(0xA000);
+      int remaining = config_.numHosts;
+      while (remaining > 0) {
+        const int members = std::min(config_.groupSize, remaining);
+        mobility::GroupParams params;
+        params.center.maxSpeedMps = maxSpeedMps;
+        params.spanMeters = config_.groupSpanMeters;
+        auto group = mobility::makeGroup(map, map.uniformPoint(rng), members,
+                                         params, rng);
+        for (auto& model : group) models.push_back(std::move(model));
+        remaining -= members;
+      }
+      break;
+    }
+  }
+  return models;
+}
+
+void World::startAgents() {
+  for (auto& host : hosts_) host->start();
+}
+
+int World::reachableFrom(net::NodeId source) const {
+  return stats::reachableCount(channel_.snapshotPositions(),
+                               config_.phy.radiusMeters, source);
+}
+
+int World::oracleNeighborCount(net::NodeId id) const {
+  return static_cast<int>(channel_.nodesInRange(id).size());
+}
+
+std::vector<net::NodeId> World::oracleNeighbors(net::NodeId id) const {
+  return channel_.nodesInRange(id);
+}
+
+void World::scheduleWorkload() {
+  sim::Time at = config_.warmup;
+  for (int i = 0; i < config_.numBroadcasts; ++i) {
+    at += workloadRng_.uniformTime(0, config_.interarrivalMax);
+    const auto source = static_cast<net::NodeId>(
+        workloadRng_.uniformInt(0, config_.numHosts - 1));
+    scheduler_.schedule(at, [this, source] {
+      hosts_[source]->originateBroadcast();
+    });
+  }
+  horizon_ = at + config_.drain;
+}
+
+void World::run() {
+  MANET_EXPECTS(!ran_);
+  ran_ = true;
+  startAgents();
+  scheduleWorkload();
+  scheduler_.runUntil(horizon_);
+}
+
+}  // namespace manet::experiment

@@ -1,0 +1,73 @@
+// The assembled simulation: scheduler, channel, hosts, workload, metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "experiment/host.hpp"
+#include "experiment/scenario.hpp"
+#include "mobility/map.hpp"
+#include "phy/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/metrics.hpp"
+#include "trace/event.hpp"
+
+namespace manet::experiment {
+
+class World {
+ public:
+  /// Builds hosts, mobility, MACs, and the policy from `config`
+  /// (automatically resolved).
+  explicit World(const ScenarioConfig& config);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs the full workload: warmup, `numBroadcasts` requests with U(0,
+  /// interarrivalMax) spacing from uniformly chosen sources, then the drain
+  /// period. May be called once.
+  void run();
+
+  /// Starts the periodic agents (HELLO) without scheduling any workload;
+  /// lets tests drive broadcasts manually through host(id).
+  void startAgents();
+
+  // --- component access (used by tests, examples, and Host) ---
+  sim::Scheduler& scheduler() { return scheduler_; }
+  phy::Channel& channel() { return channel_; }
+  stats::MetricsCollector& metrics() { return metrics_; }
+  const ScenarioConfig& config() const { return config_; }
+  const core::RebroadcastPolicy& policy() const { return *policy_; }
+  Host& host(net::NodeId id) { return *hosts_[id]; }
+  std::size_t hostCount() const { return hosts_.size(); }
+
+  /// e for a broadcast starting now at `source` (unit-disk BFS snapshot).
+  int reachableFrom(net::NodeId source) const;
+
+  /// Oracle neighborhood queries (true geometry at the current instant).
+  int oracleNeighborCount(net::NodeId id) const;
+  std::vector<net::NodeId> oracleNeighbors(net::NodeId id) const;
+
+  /// Installs an event trace sink (observational only: enabling tracing
+  /// never changes the run). Must outlive the world. Pass nullptr to stop.
+  void setTraceSink(trace::TraceSink* sink) { traceSink_ = sink; }
+  trace::TraceSink* traceSink() const { return traceSink_; }
+
+ private:
+  void scheduleWorkload();
+  std::vector<std::unique_ptr<mobility::MobilityModel>> buildMobility(
+      const mobility::MapSpec& map, sim::Rng& master);
+
+  ScenarioConfig config_;  // resolved
+  sim::Scheduler scheduler_;
+  phy::Channel channel_;
+  stats::MetricsCollector metrics_;
+  std::unique_ptr<core::RebroadcastPolicy> policy_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  sim::Rng workloadRng_;
+  sim::Time horizon_ = 0;
+  bool ran_ = false;
+  trace::TraceSink* traceSink_ = nullptr;
+};
+
+}  // namespace manet::experiment

@@ -1,0 +1,56 @@
+#include "geom/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace manet::geom {
+
+double intersectionArea(double r, double d) {
+  MANET_EXPECTS(r > 0.0);
+  MANET_EXPECTS(d >= 0.0);
+  if (d >= 2.0 * r) return 0.0;
+  if (d == 0.0) return kPi * r * r;
+  // Lens area for two equal circles: 2 r^2 cos^-1(d / 2r) - (d/2) sqrt(4r^2 - d^2).
+  const double half = d / (2.0 * r);
+  return 2.0 * r * r * std::acos(half) -
+         (d / 2.0) * std::sqrt(4.0 * r * r - d * d);
+}
+
+double additionalCoverageArea(double r, double d) {
+  return kPi * r * r - intersectionArea(r, d);
+}
+
+double additionalCoverageFraction(double r, double d) {
+  return additionalCoverageArea(r, d) / (kPi * r * r);
+}
+
+double averageAdditionalCoverageFraction(double r, int steps) {
+  MANET_EXPECTS(steps > 0);
+  // Integrate 2 pi x * (pi r^2 - INTC(x)) / (pi r^2)^2 dx over x in [0, r]
+  // with the midpoint rule (the integrand is smooth).
+  const double area = kPi * r * r;
+  const double dx = r / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) * dx;
+    sum += 2.0 * kPi * x * (area - intersectionArea(r, x));
+  }
+  return sum * dx / (area * area);
+}
+
+double expectedPairContentionProbability(double r, int steps) {
+  MANET_EXPECTS(steps > 0);
+  // E over B's distance x of |S_{A intersect B}| / (pi r^2), B uniform in A's disk.
+  const double area = kPi * r * r;
+  const double dx = r / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) * dx;
+    sum += 2.0 * kPi * x * intersectionArea(r, x);
+  }
+  return sum * dx / (area * area);
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,34 @@
+// Closed-form circle geometry used in the paper's redundancy analysis
+// (§2.2.1): INTC(d), additional coverage of a single rebroadcast, and the
+// analytic averages the paper quotes (0.61 pi r^2 max, ~0.41 pi r^2 mean).
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace manet::geom {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// INTC(d): intersection area of two circles of equal radius `r` whose
+/// centers are `d` apart. Returns pi*r^2 when d == 0 and 0 when d >= 2r.
+double intersectionArea(double r, double d);
+
+/// Additional coverage pi*r^2 - INTC(d) provided by a rebroadcast from a host
+/// at distance `d` from the original sender (both radius `r`).
+double additionalCoverageArea(double r, double d);
+
+/// The same, as a fraction of pi*r^2 (0.0 .. 1.0).
+double additionalCoverageFraction(double r, double d);
+
+/// Analytic average additional-coverage fraction over a receiver uniformly
+/// distributed in the sender's disk; the paper derives ~0.41.
+/// Computed by numeric integration of (pi r^2 - INTC(x)) * 2 pi x / (pi r^2)^2.
+double averageAdditionalCoverageFraction(double r, int steps = 1 << 16);
+
+/// Analytic expected contention probability between two receivers of the same
+/// broadcast (the ~59% figure in §2.2.2): probability that a second receiver
+/// falls inside the sender/first-receiver intersection, averaged over the
+/// first receiver's position.
+double expectedPairContentionProbability(double r, int steps = 1 << 16);
+
+}  // namespace manet::geom

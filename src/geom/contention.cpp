@@ -1,0 +1,46 @@
+#include "geom/contention.hpp"
+
+#include <cmath>
+
+#include "geom/circle.hpp"
+#include "geom/vec2.hpp"
+#include "util/assert.hpp"
+
+namespace manet::geom {
+
+int contentionFreeCount(int n, double r, sim::Rng& rng) {
+  MANET_EXPECTS(n >= 1);
+  MANET_EXPECTS(r > 0.0);
+  std::vector<Vec2> hosts;
+  hosts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double radius = r * std::sqrt(rng.uniform());
+    const double angle = rng.uniform(0.0, 2.0 * kPi);
+    hosts.push_back(radius * unitVector(angle));
+  }
+  const double r2 = r * r;
+  int free = 0;
+  for (int i = 0; i < n; ++i) {
+    bool contended = false;
+    for (int j = 0; j < n && !contended; ++j) {
+      if (j != i && distanceSquared(hosts[i], hosts[j]) <= r2) {
+        contended = true;
+      }
+    }
+    if (!contended) ++free;
+  }
+  return free;
+}
+
+std::vector<double> contentionFreeDistribution(int n, double r, sim::Rng& rng,
+                                               int trials) {
+  MANET_EXPECTS(trials > 0);
+  std::vector<double> histogram(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    ++histogram[static_cast<std::size_t>(contentionFreeCount(n, r, rng))];
+  }
+  for (double& bin : histogram) bin /= trials;
+  return histogram;
+}
+
+}  // namespace manet::geom

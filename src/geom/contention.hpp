@@ -1,0 +1,25 @@
+// Contention analysis behind Fig. 2: given n hosts placed uniformly in a
+// sender's transmission disk, estimate cf(n, k) — the probability that
+// exactly k of the n potential rebroadcasters experience no contention.
+//
+// Two rebroadcasters contend when they are within each other's range (both
+// are within the sender's disk, so they contend iff their mutual distance is
+// <= r). A host is contention-free when it contends with nobody.
+#pragma once
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace manet::geom {
+
+/// One trial: returns the number of contention-free hosts among n random
+/// hosts in a disk of radius r.
+int contentionFreeCount(int n, double r, sim::Rng& rng);
+
+/// Estimates cf(n, k) for k = 0..n (index k of the returned vector) over
+/// `trials` placements. The entries sum to 1.
+std::vector<double> contentionFreeDistribution(int n, double r, sim::Rng& rng,
+                                               int trials = 20000);
+
+}  // namespace manet::geom

@@ -1,0 +1,71 @@
+#include "geom/coverage.hpp"
+
+#include <cmath>
+
+#include "geom/circle.hpp"
+#include "util/assert.hpp"
+
+namespace manet::geom {
+namespace {
+
+/// Uniform point in the disk of radius r around center (inverse-CDF radius).
+Vec2 uniformInDisk(Vec2 center, double r, sim::Rng& rng) {
+  const double radius = r * std::sqrt(rng.uniform());
+  const double angle = rng.uniform(0.0, 2.0 * kPi);
+  return center + radius * unitVector(angle);
+}
+
+}  // namespace
+
+double uncoveredFraction(Vec2 self, std::span<const Vec2> covered, double r,
+                         sim::Rng& rng, int samples) {
+  MANET_EXPECTS(r > 0.0);
+  MANET_EXPECTS(samples > 0);
+  const double r2 = r * r;
+  int uncovered = 0;
+  for (int i = 0; i < samples; ++i) {
+    const Vec2 p = uniformInDisk(self, r, rng);
+    bool hit = false;
+    for (const Vec2& c : covered) {
+      if (distanceSquared(p, c) <= r2) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++uncovered;
+  }
+  return static_cast<double>(uncovered) / samples;
+}
+
+double eacTrial(int k, double r, sim::Rng& rng, int samples) {
+  MANET_EXPECTS(k >= 1);
+  // Receiver at the origin; each of the k prior transmitters heard by the
+  // receiver lies uniformly within the receiver's range.
+  std::vector<Vec2> senders;
+  senders.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    senders.push_back(uniformInDisk(Vec2{0.0, 0.0}, r, rng));
+  }
+  return uncoveredFraction(Vec2{0.0, 0.0}, senders, r, rng, samples);
+}
+
+double expectedAdditionalCoverage(int k, double r, sim::Rng& rng, int trials,
+                                  int samples) {
+  MANET_EXPECTS(trials > 0);
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) sum += eacTrial(k, r, rng, samples);
+  return sum / trials;
+}
+
+std::vector<double> eacSeries(int kMax, double r, sim::Rng& rng, int trials,
+                              int samples) {
+  MANET_EXPECTS(kMax >= 1);
+  std::vector<double> series;
+  series.reserve(static_cast<std::size_t>(kMax));
+  for (int k = 1; k <= kMax; ++k) {
+    series.push_back(expectedAdditionalCoverage(k, r, rng, trials, samples));
+  }
+  return series;
+}
+
+}  // namespace manet::geom

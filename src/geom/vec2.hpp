@@ -1,0 +1,41 @@
+// 2D points/vectors in meters. Plain value type, no invariant.
+#pragma once
+
+#include <cmath>
+
+namespace manet::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double normSquared() const { return x * x + y * y; }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+inline constexpr double distanceSquared(Vec2 a, Vec2 b) {
+  return (a - b).normSquared();
+}
+
+/// Unit vector at angle `radians` from the +x axis.
+inline Vec2 unitVector(double radians) {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+}  // namespace manet::geom

@@ -1,0 +1,382 @@
+#include "mac/dcf.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace manet::mac {
+namespace {
+
+std::uint64_t dupKey(net::NodeId sender, std::uint16_t macSeq) {
+  return (static_cast<std::uint64_t>(sender) << 16) | macSeq;
+}
+
+}  // namespace
+
+DcfMac::DcfMac(sim::Scheduler& scheduler, phy::Channel& channel,
+               net::NodeId self, phy::Channel::PositionFn position,
+               sim::Rng rng, MacParams params, Upper* upper)
+    : scheduler_(scheduler),
+      channel_(channel),
+      self_(self),
+      rng_(rng),
+      params_(params),
+      upper_(upper) {
+  MANET_EXPECTS(upper != nullptr);
+  MANET_EXPECTS(params_.slot > 0);
+  MANET_EXPECTS(params_.difs >= 0);
+  MANET_EXPECTS(params_.sifs >= 0);
+  MANET_EXPECTS(params_.cwBroadcast >= 0);
+  MANET_EXPECTS(params_.cwMin >= 1);
+  MANET_EXPECTS(params_.cwMax >= params_.cwMin);
+  MANET_EXPECTS(params_.retryLimit >= 0);
+  channel_.attach(self_, this, std::move(position));
+}
+
+sim::Time DcfMac::controlAirtime(std::size_t bytes) const {
+  return channel_.params().frameAirtime(bytes);
+}
+
+DcfMac::TxId DcfMac::enqueue(net::PacketPtr packet, std::size_t bytes) {
+  MANET_EXPECTS(packet != nullptr);
+  MANET_EXPECTS(bytes > 0);
+  const TxId id = nextTxId_++;
+  queue_.push_back(Pending{id, std::move(packet), bytes});
+  ensureBackoffIfBusy();
+  if (!transmitting_) reschedule();
+  return id;
+}
+
+DcfMac::TxId DcfMac::enqueueUnicast(net::NodeId dest, net::PacketPtr packet,
+                                    std::size_t bytes) {
+  MANET_EXPECTS(packet != nullptr);
+  MANET_EXPECTS(bytes > 0);
+  MANET_EXPECTS(dest != net::kInvalidNode);
+  MANET_EXPECTS(dest != self_);
+  // The MAC owns the addressing fields: copy the payload and stamp them.
+  auto stamped = std::make_shared<net::Packet>(*packet);
+  stamped->sender = self_;
+  stamped->dest = dest;
+  stamped->macSeq = nextMacSeq_++;
+  // NAV carried by the DATA frame: the ACK that will follow.
+  stamped->durationUs = params_.sifs + controlAirtime(net::kAckBytes);
+
+  const TxId id = nextTxId_++;
+  Pending p{id, std::move(stamped), bytes};
+  p.dest = dest;
+  p.cw = params_.cwMin;
+  queue_.push_back(std::move(p));
+  ensureBackoffIfBusy();
+  if (!transmitting_) reschedule();
+  return id;
+}
+
+void DcfMac::ensureBackoffIfBusy() {
+  // 802.11 DCF: a station that wants to transmit while the medium is busy
+  // (and owes no backoff yet) must invoke the backoff procedure — otherwise
+  // every deferred station would fire in the same instant when the medium
+  // frees up (§2.2.3 describes exactly that failure mode).
+  if ((mediumBusy_ || scheduler_.now() < navUntil_) && !queue_.empty() &&
+      backoffRemaining_ < 0) {
+    backoffRemaining_ =
+        static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast));
+  }
+}
+
+bool DcfMac::cancel(TxId id) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [id](const Pending& p) { return p.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  if (queue_.empty() && backoffRemaining_ < 0) timer_.cancel();
+  return true;
+}
+
+bool DcfMac::virtualOrPhysicalBusy() const {
+  return mediumBusy_ || scheduler_.now() < navUntil_;
+}
+
+void DcfMac::onMediumBusy() {
+  mediumBusy_ = true;
+  timer_.cancel();  // freeze backoff / abandon pending DIFS expiry
+  ensureBackoffIfBusy();
+}
+
+void DcfMac::onMediumIdle() {
+  mediumBusy_ = false;
+  idleSince_ = scheduler_.now();
+  reschedule();
+}
+
+void DcfMac::applyNav(const net::Packet& packet, sim::Time frameEnd) {
+  if (packet.durationUs <= 0) return;
+  if (packet.dest == self_) return;  // the reservation is for us
+  const sim::Time until = frameEnd + packet.durationUs;
+  if (until <= navUntil_) return;
+  navUntil_ = until;
+  ensureBackoffIfBusy();
+  navTimer_.cancel();
+  navTimer_ = scheduler_.schedule(navUntil_, [this] { reschedule(); });
+}
+
+void DcfMac::onFrameReceived(const phy::Frame& frame, bool corrupted) {
+  if (corrupted) {
+    ++framesDroppedCorrupt_;
+    upper_->onCorruptedFrame(frame);
+    return;
+  }
+  const net::Packet& packet = *frame.packet;
+  applyNav(packet, frame.txEnd);
+
+  switch (packet.type) {
+    case net::PacketType::kRts:
+      if (packet.dest != self_) return;
+      // Answer with CTS one SIFS later, unless we are busy with our own
+      // response or exchange.
+      if (responsePending_ || transmitting_ ||
+          exchange_ != Exchange::kNone) {
+        return;
+      }
+      {
+        auto cts = std::make_shared<net::Packet>();
+        cts->type = net::PacketType::kCts;
+        cts->sender = self_;
+        cts->dest = packet.sender;
+        cts->durationUs = std::max<sim::Time>(
+            0, packet.durationUs - params_.sifs -
+                   controlAirtime(net::kCtsBytes));
+        scheduleResponse(std::move(cts), net::kCtsBytes);
+      }
+      return;
+
+    case net::PacketType::kCts:
+      if (packet.dest != self_ || exchange_ != Exchange::kAwaitCts) return;
+      exchangeTimer_.cancel();
+      exchange_ = Exchange::kNone;
+      // DATA follows one SIFS after the CTS.
+      exchangeTimer_ = scheduler_.scheduleAfter(params_.sifs, [this] {
+        beginDataTransmission();
+      });
+      return;
+
+    case net::PacketType::kAck:
+      if (packet.dest != self_ || exchange_ != Exchange::kAwaitAck) return;
+      exchangeTimer_.cancel();
+      exchange_ = Exchange::kNone;
+      finishCurrent(true);
+      return;
+
+    case net::PacketType::kData:
+    case net::PacketType::kHello:
+      if (packet.dest == net::kInvalidNode) {
+        upper_->onReceive(frame);  // broadcast path: deliver as-is
+        return;
+      }
+      if (packet.dest != self_) return;  // overheard unicast: NAV only
+      // Unicast data: acknowledge (even duplicates — the sender's ACK may
+      // have been lost) and deliver once.
+      if (!responsePending_ && !transmitting_) {
+        auto ack = std::make_shared<net::Packet>();
+        ack->type = net::PacketType::kAck;
+        ack->sender = self_;
+        ack->dest = packet.sender;
+        scheduleResponse(std::move(ack), net::kAckBytes);
+        ++acksSent_;
+      }
+      if (seenUnicast_.insert(dupKey(packet.sender, packet.macSeq)).second) {
+        upper_->onReceive(frame);
+      }
+      return;
+  }
+}
+
+void DcfMac::scheduleResponse(net::PacketPtr response, std::size_t bytes) {
+  responsePending_ = true;
+  timer_.cancel();  // a SIFS response preempts any contention activity
+  responseTimer_ =
+      scheduler_.scheduleAfter(params_.sifs, [this, response, bytes] {
+        MANET_ASSERT(!transmitting_);
+        transmitting_ = true;
+        onAir_ = response->type == net::PacketType::kCts ? OnAir::kCts
+                                                         : OnAir::kAck;
+        onAirPacket_ = response;
+        ++framesSent_;
+        channel_.transmit(self_, response, bytes);
+      });
+}
+
+void DcfMac::onTxComplete() {
+  MANET_ASSERT(transmitting_);
+  transmitting_ = false;
+  const OnAir kind = onAir_;
+  onAir_ = OnAir::kNone;
+  const TxId finished = onAirId_;
+  net::PacketPtr packet = std::move(onAirPacket_);
+  onAirId_ = kInvalidTx;
+
+  switch (kind) {
+    case OnAir::kBroadcast:
+      // Post-backoff: owed after every transmission, and it counts down
+      // while the queue is empty too, so a long-idle station may again
+      // transmit immediately after DIFS.
+      backoffRemaining_ =
+          static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast));
+      upper_->onTxFinished(finished, *packet);
+      break;
+    case OnAir::kRts:
+      armExchangeTimer(Exchange::kAwaitCts);
+      break;
+    case OnAir::kData:
+      armExchangeTimer(Exchange::kAwaitAck);
+      break;
+    case OnAir::kCts:
+    case OnAir::kAck:
+      responsePending_ = false;
+      break;
+    case OnAir::kNone:
+      MANET_ASSERT(false);
+      break;
+  }
+  if (!transmitting_) reschedule();
+}
+
+void DcfMac::armExchangeTimer(Exchange phase) {
+  exchange_ = phase;
+  const sim::Time response = phase == Exchange::kAwaitCts
+                                 ? controlAirtime(net::kCtsBytes)
+                                 : controlAirtime(net::kAckBytes);
+  // SIFS + response airtime + detection slack (CCA/propagation).
+  const sim::Time timeout = params_.sifs + response + 2 * params_.slot;
+  exchangeTimer_ =
+      scheduler_.scheduleAfter(timeout, [this] { onExchangeTimeout(); });
+}
+
+void DcfMac::onExchangeTimeout() {
+  MANET_ASSERT(hasCurrent_);
+  exchange_ = Exchange::kNone;
+  retryCurrent();
+}
+
+void DcfMac::retryCurrent() {
+  MANET_ASSERT(hasCurrent_);
+  ++current_.retries;
+  if (current_.retries > params_.retryLimit) {
+    ++unicastDrops_;
+    finishCurrent(false);
+    return;
+  }
+  ++unicastRetries_;
+  // Binary exponential contention-window escalation: 31 -> 63 -> ... ->
+  // 1023 (the §4 "backoff window 31~1023").
+  current_.cw = std::min(params_.cwMax, current_.cw * 2 + 1);
+  backoffRemaining_ = static_cast<int>(rng_.uniformInt(0, current_.cw));
+  queue_.push_front(current_);
+  hasCurrent_ = false;
+  reschedule();
+}
+
+void DcfMac::finishCurrent(bool delivered) {
+  MANET_ASSERT(hasCurrent_);
+  hasCurrent_ = false;
+  // Post-backoff after the exchange, like any transmission.
+  backoffRemaining_ =
+      static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast));
+  upper_->onTxFinished(current_.id, *current_.packet);
+  upper_->onUnicastOutcome(current_.id, *current_.packet, delivered);
+  reschedule();
+}
+
+void DcfMac::reschedule() {
+  timer_.cancel();
+  if (transmitting_ || responsePending_ || hasCurrent_ ||
+      virtualOrPhysicalBusy()) {
+    // NAV expiry re-enters through navTimer_; physical idle through
+    // onMediumIdle; exchange completion through finishCurrent/retry.
+    if (!mediumBusy_ && !transmitting_ && !responsePending_ &&
+        !hasCurrent_ && scheduler_.now() < navUntil_) {
+      // Virtual-busy only: make sure something wakes us (navTimer_ does).
+      MANET_ASSERT(navTimer_.pending() || navUntil_ <= scheduler_.now());
+    }
+    return;
+  }
+  if (queue_.empty() && backoffRemaining_ < 0) return;
+
+  const sim::Time now = scheduler_.now();
+  const sim::Time idleStart = std::max(idleSince_, navUntil_);
+  const sim::Time difsEnd = idleStart + params_.difs;
+  if (now < difsEnd) {
+    timer_ = scheduler_.schedule(difsEnd, [this] { reschedule(); });
+    return;
+  }
+  if (backoffRemaining_ < 0) {
+    // Idle >= DIFS, no backoff owed: transmit at once.
+    MANET_ASSERT(!queue_.empty());
+    startTransmission();
+    return;
+  }
+  if (backoffRemaining_ == 0) {
+    backoffRemaining_ = -1;
+    if (!queue_.empty()) startTransmission();
+    return;
+  }
+  // Consume one idle slot, then re-evaluate. onMediumBusy() cancels this
+  // timer, freezing the counter mid-slot (partial slots do not count).
+  timer_ = scheduler_.scheduleAfter(params_.slot, [this] {
+    MANET_ASSERT(!mediumBusy_ && !transmitting_);
+    --backoffRemaining_;
+    reschedule();
+  });
+}
+
+void DcfMac::startTransmission() {
+  MANET_ASSERT(!queue_.empty());
+  MANET_ASSERT(!transmitting_);
+  Pending head = std::move(queue_.front());
+  queue_.pop_front();
+
+  if (!isUnicast(head)) {
+    transmitting_ = true;
+    onAir_ = OnAir::kBroadcast;
+    onAirId_ = head.id;
+    onAirPacket_ = head.packet;
+    ++framesSent_;
+    channel_.transmit(self_, head.packet, head.bytes);
+    upper_->onTxStarted(head.id, *head.packet);
+    return;
+  }
+
+  hasCurrent_ = true;
+  current_ = std::move(head);
+  if (usesRts(current_)) {
+    auto rts = std::make_shared<net::Packet>();
+    rts->type = net::PacketType::kRts;
+    rts->sender = self_;
+    rts->dest = current_.dest;
+    // Duration: CTS + DATA + ACK and the three SIFS gaps between them.
+    rts->durationUs = 3 * params_.sifs + controlAirtime(net::kCtsBytes) +
+                      channel_.params().frameAirtime(current_.bytes) +
+                      controlAirtime(net::kAckBytes);
+    transmitting_ = true;
+    onAir_ = OnAir::kRts;
+    onAirPacket_ = rts;
+    ++framesSent_;
+    channel_.transmit(self_, std::move(rts), net::kRtsBytes);
+    return;
+  }
+  beginDataTransmission();
+}
+
+void DcfMac::beginDataTransmission() {
+  MANET_ASSERT(hasCurrent_);
+  MANET_ASSERT(!transmitting_);
+  transmitting_ = true;
+  onAir_ = OnAir::kData;
+  onAirId_ = current_.id;
+  onAirPacket_ = current_.packet;
+  ++framesSent_;
+  channel_.transmit(self_, current_.packet, current_.bytes);
+  upper_->onTxStarted(current_.id, *current_.packet);
+}
+
+}  // namespace manet::mac

@@ -1,0 +1,45 @@
+// Rectangular simulation map. The paper uses square maps of N x N units with
+// a unit length of 500 m (one transmission radius); N in {1,3,5,7,9,11}.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "sim/random.hpp"
+#include "util/assert.hpp"
+
+namespace manet::mobility {
+
+struct MapSpec {
+  double width = 500.0;   // meters
+  double height = 500.0;  // meters
+
+  /// Builds the paper's N x N map (unit = `unitMeters`, default 500 m).
+  static MapSpec square(int units, double unitMeters = 500.0) {
+    MANET_EXPECTS(units >= 1);
+    MANET_EXPECTS(unitMeters > 0.0);
+    const double side = units * unitMeters;
+    return MapSpec{side, side};
+  }
+
+  bool contains(geom::Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+
+  /// Clamps a point onto the map (used after reflection rounding).
+  geom::Vec2 clamp(geom::Vec2 p) const {
+    if (p.x < 0.0) p.x = 0.0;
+    if (p.x > width) p.x = width;
+    if (p.y < 0.0) p.y = 0.0;
+    if (p.y > height) p.y = height;
+    return p;
+  }
+
+  /// Uniform random point on the map.
+  geom::Vec2 uniformPoint(sim::Rng& rng) const {
+    return {rng.uniform(0.0, width), rng.uniform(0.0, height)};
+  }
+};
+
+/// Converts km/h (the paper's speed unit) to m/s (the simulator's).
+constexpr double kmhToMps(double kmh) { return kmh * (1000.0 / 3600.0); }
+
+}  // namespace manet::mobility

@@ -1,0 +1,29 @@
+// Mobility model interface. Models are queried lazily: positionAt(t) must be
+// callable with non-decreasing t values (the simulator only moves forward).
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace manet::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position at simulation time `t`. Requires t >= every previous query
+  /// (models may advance internal state lazily).
+  virtual geom::Vec2 positionAt(sim::Time t) = 0;
+};
+
+/// A host that never moves (dense-map baseline and unit tests).
+class Stationary final : public MobilityModel {
+ public:
+  explicit Stationary(geom::Vec2 position) : position_(position) {}
+  geom::Vec2 positionAt(sim::Time) override { return position_; }
+
+ private:
+  geom::Vec2 position_;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,64 @@
+#include "mobility/random_roam.hpp"
+
+#include <cmath>
+
+#include "geom/circle.hpp"
+#include "util/assert.hpp"
+
+namespace manet::mobility {
+
+RandomRoam::RandomRoam(MapSpec map, geom::Vec2 start, RoamParams params,
+                       sim::Rng rng)
+    : map_(map), params_(params), rng_(rng), position_(map.clamp(start)) {
+  MANET_EXPECTS(params_.maxSpeedMps >= 0.0);
+  MANET_EXPECTS(params_.minTurnDuration >= 1);
+  MANET_EXPECTS(params_.maxTurnDuration >= params_.minTurnDuration);
+  beginTurn();
+}
+
+void RandomRoam::beginTurn() {
+  const double direction = rng_.uniform(0.0, 2.0 * geom::kPi);
+  const double speed = rng_.uniform(0.0, params_.maxSpeedMps);
+  velocity_ = speed * geom::unitVector(direction);
+  turnEnd_ = lastQuery_ +
+             rng_.uniformTime(params_.minTurnDuration, params_.maxTurnDuration);
+}
+
+void RandomRoam::advance(sim::Time dt) {
+  if (dt <= 0) return;
+  const double seconds = sim::toSeconds(dt);
+  geom::Vec2 p = position_ + velocity_ * seconds;
+  // Specular reflection: fold the coordinate back into [0, L] (possibly
+  // several times for long legs on small maps) and flip the velocity sign an
+  // odd number of folds.
+  auto reflect = [](double value, double limit, double& velocity) {
+    if (limit <= 0.0) return 0.0;
+    while (value < 0.0 || value > limit) {
+      if (value < 0.0) {
+        value = -value;
+        velocity = -velocity;
+      } else {
+        value = 2.0 * limit - value;
+        velocity = -velocity;
+      }
+    }
+    return value;
+  };
+  p.x = reflect(p.x, map_.width, velocity_.x);
+  p.y = reflect(p.y, map_.height, velocity_.y);
+  position_ = map_.clamp(p);
+}
+
+geom::Vec2 RandomRoam::positionAt(sim::Time t) {
+  MANET_EXPECTS(t >= lastQuery_);
+  while (t >= turnEnd_) {
+    advance(turnEnd_ - lastQuery_);
+    lastQuery_ = turnEnd_;
+    beginTurn();
+  }
+  advance(t - lastQuery_);
+  lastQuery_ = t;
+  return position_;
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,40 @@
+#include "mobility/waypoint.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace manet::mobility {
+
+RandomWaypoint::RandomWaypoint(MapSpec map, geom::Vec2 start,
+                               WaypointParams params, sim::Rng rng)
+    : map_(map), params_(params), rng_(rng), from_(map.clamp(start)) {
+  MANET_EXPECTS(params_.minSpeedMps > 0.0);
+  MANET_EXPECTS(params_.maxSpeedMps >= params_.minSpeedMps);
+  MANET_EXPECTS(params_.pause >= 0);
+  to_ = from_;
+  legStart_ = legEnd_ = pauseEnd_ = 0;
+  pickLeg();
+}
+
+void RandomWaypoint::pickLeg() {
+  from_ = to_;
+  to_ = map_.uniformPoint(rng_);
+  const double speed = rng_.uniform(params_.minSpeedMps, params_.maxSpeedMps);
+  const double dist = geom::distance(from_, to_);
+  legStart_ = pauseEnd_;
+  legEnd_ = legStart_ + std::max<sim::Time>(1, sim::fromSeconds(dist / speed));
+  pauseEnd_ = legEnd_ + params_.pause;
+}
+
+geom::Vec2 RandomWaypoint::positionAt(sim::Time t) {
+  MANET_EXPECTS(t >= lastQuery_);
+  lastQuery_ = t;
+  while (t >= pauseEnd_) pickLeg();
+  if (t >= legEnd_) return to_;  // pausing at destination
+  const double progress = static_cast<double>(t - legStart_) /
+                          static_cast<double>(legEnd_ - legStart_);
+  return from_ + (to_ - from_) * progress;
+}
+
+}  // namespace manet::mobility

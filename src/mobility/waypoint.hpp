@@ -1,0 +1,40 @@
+// Random-waypoint mobility (not used by the paper's experiments, but a
+// standard MANET model; provided for the examples and for sensitivity
+// studies). A host picks a uniform destination, travels there at a uniform
+// random speed in [minSpeed, maxSpeed], pauses, and repeats.
+#pragma once
+
+#include "mobility/map.hpp"
+#include "mobility/model.hpp"
+#include "sim/random.hpp"
+
+namespace manet::mobility {
+
+struct WaypointParams {
+  double minSpeedMps = kmhToMps(1.0);
+  double maxSpeedMps = kmhToMps(10.0);
+  sim::Time pause = 0;
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(MapSpec map, geom::Vec2 start, WaypointParams params,
+                 sim::Rng rng);
+
+  geom::Vec2 positionAt(sim::Time t) override;
+
+ private:
+  void pickLeg();
+
+  MapSpec map_;
+  WaypointParams params_;
+  sim::Rng rng_;
+  geom::Vec2 from_;
+  geom::Vec2 to_;
+  sim::Time legStart_ = 0;
+  sim::Time legEnd_ = 0;    // arrival time at `to_`
+  sim::Time pauseEnd_ = 0;  // end of post-arrival pause
+  sim::Time lastQuery_ = 0;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,72 @@
+#include "net/hello.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace manet::net {
+
+HelloAgent::HelloAgent(sim::Scheduler& scheduler, mac::DcfMac& mac,
+                       NeighborTable& table, HelloConfig config, sim::Rng rng)
+    : scheduler_(scheduler),
+      mac_(mac),
+      table_(table),
+      config_(config),
+      rng_(rng),
+      currentInterval_(config.dynamic ? config.intervalMax : config.interval) {
+  MANET_EXPECTS(config_.interval > 0);
+  MANET_EXPECTS(config_.intervalMin > 0);
+  MANET_EXPECTS(config_.intervalMax >= config_.intervalMin);
+  MANET_EXPECTS(config_.nvMax > 0.0);
+  MANET_EXPECTS(config_.periodJitterFraction >= 0.0 &&
+                config_.periodJitterFraction < 1.0);
+}
+
+sim::Time HelloAgent::dynamicInterval(const HelloConfig& config, double nv) {
+  if (nv >= config.nvMax) return config.intervalMin;
+  const double scaled = (config.nvMax - nv) / config.nvMax *
+                        static_cast<double>(config.intervalMax);
+  const auto raw = static_cast<sim::Time>(scaled + 0.5);
+  return std::clamp(raw, config.intervalMin, config.intervalMax);
+}
+
+void HelloAgent::start() {
+  if (!config_.enabled) return;
+  const sim::Time jitter =
+      config_.startJitter > 0 ? rng_.uniformTime(0, config_.startJitter) : 0;
+  timer_ = scheduler_.scheduleAfter(jitter, [this] { sendHello(); });
+}
+
+void HelloAgent::stop() { timer_.cancel(); }
+
+void HelloAgent::sendHello() {
+  const sim::Time now = scheduler_.now();
+  if (config_.dynamic) {
+    currentInterval_ =
+        dynamicInterval(config_, table_.neighborhoodVariation(now));
+  } else {
+    currentInterval_ = config_.interval;
+  }
+
+  auto packet = std::make_shared<Packet>();
+  packet->type = PacketType::kHello;
+  packet->sender = mac_.self();
+  packet->helloInterval = currentInterval_;
+  std::size_t bytes = config_.baseBytes;
+  if (config_.piggybackNeighbors) {
+    packet->helloNeighbors = table_.neighborIds(now);
+    bytes += config_.perNeighborBytes * packet->helloNeighbors.size();
+  }
+  mac_.enqueue(std::move(packet), bytes);
+  ++hellosSent_;
+
+  sim::Time next = currentInterval_;
+  if (config_.periodJitterFraction > 0.0) {
+    const double shrink = rng_.uniform(0.0, config_.periodJitterFraction);
+    next -= static_cast<sim::Time>(shrink * static_cast<double>(next));
+    if (next < 1) next = 1;
+  }
+  timer_ = scheduler_.scheduleAfter(next, [this] { sendHello(); });
+}
+
+}  // namespace manet::net

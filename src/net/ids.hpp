@@ -1,0 +1,30 @@
+// Node and broadcast identifiers shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace manet::net {
+
+/// Dense host index (hosts are numbered 0..numHosts-1 by the world builder).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Identity of one broadcast operation: (source ID, sequence number), the
+/// duplicate-detection tuple the paper adopts from DSR/AODV (§2.1).
+struct BroadcastId {
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+
+  friend bool operator==(const BroadcastId&, const BroadcastId&) = default;
+};
+
+struct BroadcastIdHash {
+  std::size_t operator()(const BroadcastId& id) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.origin) << 32) | id.seq);
+  }
+};
+
+}  // namespace manet::net

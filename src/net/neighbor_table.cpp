@@ -1,0 +1,87 @@
+#include "net/neighbor_table.hpp"
+
+#include "util/assert.hpp"
+
+namespace manet::net {
+
+NeighborTable::NeighborTable(sim::Time nvWindow, sim::Time fallbackInterval)
+    : nvWindow_(nvWindow), fallbackInterval_(fallbackInterval) {
+  MANET_EXPECTS(nvWindow_ > 0);
+  MANET_EXPECTS(fallbackInterval_ > 0);
+}
+
+sim::Time NeighborTable::expiryOf(const Entry& e) const {
+  const sim::Time interval = e.interval > 0 ? e.interval : fallbackInterval_;
+  return e.lastHeard + 2 * interval;
+}
+
+void NeighborTable::recordChange(sim::Time now) { changes_.push_back(now); }
+
+void NeighborTable::dropOldChanges(sim::Time now) {
+  while (!changes_.empty() && changes_.front() + nvWindow_ < now) {
+    changes_.pop_front();
+  }
+}
+
+void NeighborTable::onHello(NodeId from, const Packet& hello, sim::Time now) {
+  MANET_EXPECTS(hello.type == PacketType::kHello);
+  purge(now);
+  auto [it, inserted] = entries_.try_emplace(from);
+  it->second.lastHeard = now;
+  it->second.interval = hello.helloInterval;
+  it->second.neighbors = hello.helloNeighbors;
+  if (inserted) recordChange(now);  // a join
+}
+
+void NeighborTable::purge(sim::Time now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (expiryOf(it->second) < now) {
+      it = entries_.erase(it);
+      recordChange(now);  // a leave
+    } else {
+      ++it;
+    }
+  }
+  dropOldChanges(now);
+}
+
+int NeighborTable::neighborCount(sim::Time now) {
+  purge(now);
+  return static_cast<int>(entries_.size());
+}
+
+std::vector<NodeId> NeighborTable::neighborIds(sim::Time now) {
+  purge(now);
+  std::vector<NodeId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+bool NeighborTable::contains(NodeId h, sim::Time now) {
+  purge(now);
+  return entries_.contains(h);
+}
+
+std::optional<std::vector<NodeId>> NeighborTable::neighborsOf(NodeId h,
+                                                              sim::Time now) {
+  purge(now);
+  auto it = entries_.find(h);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.neighbors;
+}
+
+int NeighborTable::changeEventsInWindow(sim::Time now) {
+  purge(now);
+  return static_cast<int>(changes_.size());
+}
+
+double NeighborTable::neighborhoodVariation(sim::Time now) {
+  purge(now);
+  const double windowSeconds = sim::toSeconds(nvWindow_);
+  const double denomHosts =
+      entries_.empty() ? 1.0 : static_cast<double>(entries_.size());
+  return static_cast<double>(changes_.size()) / (denomHosts * windowSeconds);
+}
+
+}  // namespace manet::net

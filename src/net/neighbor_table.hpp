@@ -1,0 +1,77 @@
+// One- and two-hop neighborhood state learned from HELLO packets (§3.3),
+// plus the neighborhood-variation estimator nv_x that drives the dynamic
+// hello interval (§4.3).
+//
+// Entry lifetime follows the paper: "A host x enlists another host h as its
+// one-hop neighbor when a HELLO is received from h. If no HELLO has been
+// received from h for the past two hello intervals, host x deletes h" —
+// with the dynamic scheme, "two hello intervals" means two of the *sender's*
+// announced intervals.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace manet::net {
+
+class NeighborTable {
+ public:
+  struct Entry {
+    sim::Time lastHeard = 0;
+    sim::Time interval = 0;          // sender-announced hello interval
+    std::vector<NodeId> neighbors;   // N_{x,h}: h's advertised one-hop set
+  };
+
+  /// `nvWindow` is the sliding window for neighborhood variation (10 s in
+  /// the paper); `fallbackInterval` ages entries whose HELLO did not
+  /// announce an interval.
+  explicit NeighborTable(sim::Time nvWindow = 10 * sim::kSecond,
+                         sim::Time fallbackInterval = 1 * sim::kSecond);
+
+  /// Records a received HELLO. `now` is the reception time.
+  void onHello(NodeId from, const Packet& hello, sim::Time now);
+
+  /// Removes expired entries, recording leave events for nv. Call this (or
+  /// any query, which calls it implicitly) with non-decreasing `now`.
+  void purge(sim::Time now);
+
+  /// |N_x| after purging.
+  int neighborCount(sim::Time now);
+
+  /// Current one-hop neighbor ids (unsorted) after purging.
+  std::vector<NodeId> neighborIds(sim::Time now);
+
+  /// True if `h` is currently a one-hop neighbor.
+  bool contains(NodeId h, sim::Time now);
+
+  /// N_{x,h}: the advertised neighbor set of one-hop neighbor `h`, or
+  /// nullopt when `h` is unknown/expired.
+  std::optional<std::vector<NodeId>> neighborsOf(NodeId h, sim::Time now);
+
+  /// nv_x = (# joins + # leaves within the past window) / (|N_x| * window_s).
+  /// With an empty neighborhood the denominator is treated as 1 host, so a
+  /// freshly-emptied neighborhood reports high variation (and thus a short
+  /// hello interval) rather than dividing by zero.
+  double neighborhoodVariation(sim::Time now);
+
+  /// Raw change-event count within the window (for tests/diagnostics).
+  int changeEventsInWindow(sim::Time now);
+
+ private:
+  sim::Time expiryOf(const Entry& e) const;
+  void recordChange(sim::Time now);
+  void dropOldChanges(sim::Time now);
+
+  sim::Time nvWindow_;
+  sim::Time fallbackInterval_;
+  std::unordered_map<NodeId, Entry> entries_;
+  std::deque<sim::Time> changes_;  // join/leave timestamps, ascending
+};
+
+}  // namespace manet::net

@@ -1,0 +1,91 @@
+// Packets carried by the simulated network. One tagged struct rather than a
+// class hierarchy: packets are plain immutable data shared by shared_ptr
+// between the transmitting MAC and every receiver.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace manet::net {
+
+enum class PacketType {
+  kData,   // an application broadcast being propagated
+  kHello,  // periodic neighbor-discovery beacon
+  kRts,    // 802.11 control: request to send (unicast path only)
+  kCts,    // 802.11 control: clear to send
+  kAck,    // 802.11 control: data acknowledgment
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  NodeId sender = kInvalidNode;  // the (re)transmitting host
+
+  /// Unicast destination; kInvalidNode means broadcast. Broadcast frames
+  /// are never acknowledged (§2.1); unicast frames get the full DCF
+  /// treatment (ACK, retries, optional RTS/CTS).
+  NodeId dest = kInvalidNode;
+
+  /// MAC-level sequence number for unicast duplicate filtering across
+  /// retransmissions.
+  std::uint16_t macSeq = 0;
+
+  /// 802.11 Duration field in microseconds: how long the medium will stay
+  /// reserved after this frame (NAV). 0 on broadcast frames.
+  sim::Time durationUs = 0;
+
+  /// Hops travelled from the broadcast origin (0 on the source's own
+  /// transmission; each relay increments it).
+  std::uint16_t hopCount = 0;
+
+  // --- data broadcast fields ---
+  BroadcastId bid{};
+
+  // --- application payload (route discovery and friends) ---
+  enum class AppKind : std::uint8_t {
+    kNone,
+    kRouteRequest,
+    kRouteReply,
+    kRepairRequest,  // reliable-broadcast NACK: "resend me bid"
+    kRepairData,     // reliable-broadcast repair carrying bid's payload
+  };
+  AppKind appKind = AppKind::kNone;
+  /// Route-request target / route-reply consumer.
+  NodeId appTarget = kInvalidNode;
+  /// Source route accumulated hop by hop (route requests append each
+  /// relaying host, the way DSR's route_request does — the paper's
+  /// footnote 1 describes exactly this "same or modified packet" pattern).
+  std::vector<NodeId> appPath;
+
+  // --- HELLO fields ---
+  /// The sender's one-hop neighbor set N_h, piggybacked so receivers can
+  /// build the two-hop sets N_{x,h} the neighbor-coverage scheme needs.
+  std::vector<NodeId> helloNeighbors;
+  /// The sender's current hello interval; with the dynamic-hello-interval
+  /// scheme each host announces its own interval so receivers can age the
+  /// entry correctly (§4.3).
+  sim::Time helloInterval = 0;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// The paper's broadcast payload size (§4): 280 bytes.
+inline constexpr std::size_t kDataPacketBytes = 280;
+
+/// 802.11 control-frame sizes (bytes on the air, before PLCP).
+inline constexpr std::size_t kAckBytes = 14;
+inline constexpr std::size_t kRtsBytes = 20;
+inline constexpr std::size_t kCtsBytes = 14;
+
+/// Makes an immutable data-broadcast packet.
+inline PacketPtr makeDataPacket(BroadcastId bid, NodeId sender) {
+  auto p = std::make_shared<Packet>();
+  p->type = PacketType::kData;
+  p->sender = sender;
+  p->bid = bid;
+  return p;
+}
+
+}  // namespace manet::net

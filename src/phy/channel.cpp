@@ -1,0 +1,159 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace manet::phy {
+
+Channel::Channel(sim::Scheduler& scheduler, PhyParams params)
+    : scheduler_(scheduler), params_(params) {
+  MANET_EXPECTS(params_.radiusMeters > 0.0);
+}
+
+void Channel::attach(net::NodeId id, Listener* listener, PositionFn position) {
+  MANET_EXPECTS(listener != nullptr);
+  MANET_EXPECTS(position != nullptr);
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  Node& n = nodes_[id];
+  MANET_EXPECTS(!n.attached);
+  n.listener = listener;
+  n.position = std::move(position);
+  n.attached = true;
+}
+
+Channel::Node& Channel::node(net::NodeId id) {
+  MANET_EXPECTS(id < nodes_.size() && nodes_[id].attached);
+  return nodes_[id];
+}
+
+const Channel::Node& Channel::node(net::NodeId id) const {
+  MANET_EXPECTS(id < nodes_.size() && nodes_[id].attached);
+  return nodes_[id];
+}
+
+void Channel::raiseBusy(Node& n) {
+  if (++n.busyCount == 1) n.listener->onMediumBusy();
+}
+
+void Channel::lowerBusy(Node& n) {
+  MANET_ASSERT(n.busyCount > 0);
+  if (--n.busyCount == 0) n.listener->onMediumIdle();
+}
+
+geom::Vec2 Channel::positionOf(net::NodeId id) const {
+  return node(id).position();
+}
+
+bool Channel::carrierBusy(net::NodeId id) const {
+  return node(id).busyCount > 0;
+}
+
+bool Channel::isTransmitting(net::NodeId id) const {
+  return node(id).transmitting;
+}
+
+std::vector<net::NodeId> Channel::nodesInRange(net::NodeId id) const {
+  const geom::Vec2 center = positionOf(id);
+  const double r2 = params_.radiusMeters * params_.radiusMeters;
+  std::vector<net::NodeId> out;
+  for (net::NodeId other = 0; other < nodes_.size(); ++other) {
+    if (other == id || !nodes_[other].attached) continue;
+    if (geom::distanceSquared(center, nodes_[other].position()) <= r2) {
+      out.push_back(other);
+    }
+  }
+  return out;
+}
+
+std::vector<geom::Vec2> Channel::snapshotPositions() const {
+  std::vector<geom::Vec2> out(nodes_.size());
+  for (net::NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].attached) out[id] = nodes_[id].position();
+  }
+  return out;
+}
+
+sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
+                            std::size_t bytes) {
+  MANET_EXPECTS(packet != nullptr);
+  Node& tx = node(src);
+  MANET_EXPECTS(!tx.transmitting);
+
+  const sim::Time start = scheduler_.now();
+  const sim::Time end = start + params_.frameAirtime(bytes);
+  Frame frame;
+  frame.src = src;
+  frame.srcPos = tx.position();
+  frame.bytes = bytes;
+  frame.packet = std::move(packet);
+  frame.txStart = start;
+  frame.txEnd = end;
+  ++framesTransmitted_;
+
+  // The transmitter occupies its own medium and — being half-duplex —
+  // garbles anything it was in the middle of receiving.
+  tx.transmitting = true;
+  raiseBusy(tx);
+  if (collisionsEnabled_) {
+    for (const auto& rec : tx.activeRx) rec->corrupted = true;
+  }
+
+  const double r2 = params_.radiusMeters * params_.radiusMeters;
+  for (net::NodeId id = 0; id < nodes_.size(); ++id) {
+    if (id == src || !nodes_[id].attached) continue;
+    Node& rx = nodes_[id];
+    if (geom::distanceSquared(frame.srcPos, rx.position()) > r2) continue;
+
+    auto rec = std::make_shared<ActiveRx>();
+    rec->frame = frame;
+    if (collisionsEnabled_) {
+      // Overlap with anything already arriving, or with the receiver's own
+      // ongoing transmission, corrupts everything involved.
+      if (!rx.activeRx.empty() || rx.transmitting) {
+        rec->corrupted = true;
+        for (const auto& other : rx.activeRx) other->corrupted = true;
+      }
+    }
+    rx.activeRx.push_back(rec);
+    // The energy becomes detectable at the receiver only after the carrier-
+    // sense delay; a station that starts its own transmission inside that
+    // window never saw the medium busy (and collides, per §2.2.3).
+    if (params_.carrierSenseDelay <= 0) {
+      raiseBusy(rx);
+    } else {
+      scheduler_.scheduleAfter(params_.carrierSenseDelay,
+                               [this, id] { raiseBusy(node(id)); });
+    }
+    scheduler_.schedule(end, [this, id, rec] { finishReception(id, rec); });
+  }
+
+  scheduler_.schedule(end, [this, src] { finishTransmission(src); });
+  return end;
+}
+
+void Channel::finishReception(net::NodeId rxId,
+                              const std::shared_ptr<ActiveRx>& rec) {
+  Node& rx = node(rxId);
+  auto it = std::find(rx.activeRx.begin(), rx.activeRx.end(), rec);
+  MANET_ASSERT(it != rx.activeRx.end());
+  rx.activeRx.erase(it);
+  lowerBusy(rx);
+  if (rec->corrupted) {
+    ++framesCorrupted_;
+  } else {
+    ++framesDelivered_;
+  }
+  rx.listener->onFrameReceived(rec->frame, rec->corrupted);
+}
+
+void Channel::finishTransmission(net::NodeId src) {
+  Node& tx = node(src);
+  MANET_ASSERT(tx.transmitting);
+  tx.transmitting = false;
+  lowerBusy(tx);
+  tx.listener->onTxComplete();
+}
+
+}  // namespace manet::phy

@@ -1,0 +1,130 @@
+// Unit-disk broadcast radio channel with receiver-side collision semantics.
+//
+// Model (documented in DESIGN.md §5):
+//  * A transmission is heard by every attached node within `radiusMeters`
+//    of the transmitter at transmission start (mobility during one ~2.4 ms
+//    frame is negligible at vehicular speeds).
+//  * Any overlap of two frames at a receiver corrupts both there (no
+//    capture); a node transmitting during any part of an incoming frame
+//    loses that frame (half-duplex). Corrupted frames still assert energy:
+//    carrier-sense stays busy for their whole duration.
+//  * Hidden terminals arise naturally: a node out of range of an ongoing
+//    transmission senses an idle medium and may transmit into a common
+//    receiver.
+//
+// The channel is also the position oracle: it owns the position callbacks
+// and exposes range queries used by the world's connectivity snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/packet.hpp"
+#include "phy/params.hpp"
+#include "sim/scheduler.hpp"
+
+namespace manet::phy {
+
+/// A frame on the air.
+struct Frame {
+  net::NodeId src = net::kInvalidNode;
+  /// Transmitter position at tx start. Stands in for the GPS coordinate the
+  /// location-based schemes assume is carried in the packet header.
+  geom::Vec2 srcPos{};
+  std::size_t bytes = 0;
+  net::PacketPtr packet;
+  sim::Time txStart = 0;
+  sim::Time txEnd = 0;
+};
+
+class Channel {
+ public:
+  /// Callbacks into the MAC of one attached node. All calls are synchronous
+  /// with channel state already updated.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    /// Carrier went busy (0 -> >0 overlapping in-range transmissions).
+    virtual void onMediumBusy() {}
+    /// Carrier went idle (back to 0).
+    virtual void onMediumIdle() {}
+    /// A frame addressed to the broadcast medium finished arriving.
+    /// `corrupted` = FCS would fail (collision or half-duplex loss).
+    virtual void onFrameReceived(const Frame& frame, bool corrupted) = 0;
+    /// This node's own transmission just ended (channel state updated).
+    virtual void onTxComplete() {}
+  };
+
+  using PositionFn = std::function<geom::Vec2()>;
+
+  Channel(sim::Scheduler& scheduler, PhyParams params);
+
+  /// Registers a node. `id` values must be dense (0..N-1) and unique.
+  void attach(net::NodeId id, Listener* listener, PositionFn position);
+
+  /// Starts transmitting `packet` from `src` now. The caller (MAC) must not
+  /// already be transmitting. Returns the transmission end time.
+  sim::Time transmit(net::NodeId src, net::PacketPtr packet,
+                     std::size_t bytes);
+
+  /// True when node `id` senses energy (including its own transmission).
+  bool carrierBusy(net::NodeId id) const;
+
+  /// True while node `id` is transmitting.
+  bool isTransmitting(net::NodeId id) const;
+
+  /// Current position of node `id`.
+  geom::Vec2 positionOf(net::NodeId id) const;
+
+  /// All attached node ids within `radiusMeters` of node `id` (excl. itself).
+  std::vector<net::NodeId> nodesInRange(net::NodeId id) const;
+
+  /// Positions of all attached nodes, indexed by node id.
+  std::vector<geom::Vec2> snapshotPositions() const;
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  const PhyParams& params() const { return params_; }
+
+  // --- statistics (monotone counters over the whole run) ---
+  std::uint64_t framesTransmitted() const { return framesTransmitted_; }
+  std::uint64_t framesDelivered() const { return framesDelivered_; }
+  std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+
+  /// Test/ablation hook: when disabled, overlapping frames are all delivered
+  /// intact (perfect-PHY model used by bench/abl_collision_model).
+  void setCollisionsEnabled(bool enabled) { collisionsEnabled_ = enabled; }
+
+ private:
+  struct ActiveRx {
+    Frame frame;
+    bool corrupted = false;
+  };
+  struct Node {
+    Listener* listener = nullptr;
+    PositionFn position;
+    bool attached = false;
+    bool transmitting = false;
+    int busyCount = 0;  // overlapping in-range transmissions incl. own
+    std::vector<std::shared_ptr<ActiveRx>> activeRx;
+  };
+
+  Node& node(net::NodeId id);
+  const Node& node(net::NodeId id) const;
+  void raiseBusy(Node& n);
+  void lowerBusy(Node& n);
+  void finishReception(net::NodeId rx, const std::shared_ptr<ActiveRx>& rec);
+  void finishTransmission(net::NodeId src);
+
+  sim::Scheduler& scheduler_;
+  PhyParams params_;
+  std::vector<Node> nodes_;
+  bool collisionsEnabled_ = true;
+  std::uint64_t framesTransmitted_ = 0;
+  std::uint64_t framesDelivered_ = 0;
+  std::uint64_t framesCorrupted_ = 0;
+};
+
+}  // namespace manet::phy

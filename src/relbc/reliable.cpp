@@ -1,0 +1,155 @@
+#include "relbc/reliable.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace manet::relbc {
+
+RelbcAgent::RelbcAgent(RelbcHarness& harness, experiment::Host& host,
+                       RelbcConfig config)
+    : harness_(harness), host_(host), config_(config) {
+  host.setApp(this);
+}
+
+bool RelbcAgent::hasBroadcast(net::BroadcastId bid) const {
+  auto it = have_.find(bid.origin);
+  return it != have_.end() && it->second.contains(bid.seq);
+}
+
+void RelbcAgent::noteHave(net::BroadcastId bid) {
+  have_[bid.origin].insert(bid.seq);
+  // A pending repair for this bid is now moot.
+  auto it = pendingRepairs_.find(bid);
+  if (it != pendingRepairs_.end()) {
+    it->second.timer.cancel();
+    pendingRepairs_.erase(it);
+  }
+}
+
+void RelbcAgent::onBroadcastDelivered(experiment::Host&,
+                                      const net::Packet& packet) {
+  noteHave(packet.bid);
+  detectGaps(packet.bid.origin, packet.bid.seq, packet.sender);
+}
+
+void RelbcAgent::onBroadcastOriginated(experiment::Host&,
+                                       const net::Packet& packet) {
+  // The origin trivially holds its own broadcast and must serve repairs
+  // for it.
+  noteHave(packet.bid);
+}
+
+void RelbcAgent::detectGaps(net::NodeId origin, std::uint32_t seenSeq,
+                            net::NodeId heardFrom) {
+  const std::set<std::uint32_t>& seqs = have_[origin];
+  for (std::uint32_t seq = 0; seq < seenSeq; ++seq) {
+    if (seqs.contains(seq)) continue;
+    const net::BroadcastId missing{origin, seq};
+    if (pendingRepairs_.contains(missing)) continue;
+    pendingRepairs_[missing];  // attempts = 0
+    scheduleRepair(missing, heardFrom, config_.repairDelay);
+  }
+}
+
+void RelbcAgent::scheduleRepair(net::BroadcastId missing,
+                                net::NodeId candidate, sim::Time delay) {
+  auto it = pendingRepairs_.find(missing);
+  if (it == pendingRepairs_.end()) return;
+  it->second.timer = host_.scheduler().scheduleAfter(
+      delay, [this, missing, candidate] { attemptRepair(missing, candidate); });
+}
+
+void RelbcAgent::attemptRepair(net::BroadcastId missing,
+                               net::NodeId candidate) {
+  auto it = pendingRepairs_.find(missing);
+  if (it == pendingRepairs_.end()) return;  // repaired meanwhile
+  if (it->second.attempts >= config_.maxAttempts) {
+    pendingRepairs_.erase(it);  // give up
+    return;
+  }
+  ++it->second.attempts;
+
+  // Resolve whom to ask: the suggested candidate, or a current neighbor for
+  // later attempts (the original relay may be gone or not hold the packet).
+  net::NodeId target = candidate;
+  if (it->second.attempts > 1 || target == host_.id() ||
+      target == net::kInvalidNode) {
+    const auto neighbors = host_.neighborIds();
+    if (neighbors.empty()) {
+      // Alone right now: retry later with whatever neighborhood appears.
+      scheduleRepair(missing, candidate, config_.repairTimeout);
+      return;
+    }
+    target = neighbors[static_cast<std::size_t>(host_.rng().uniformInt(
+        0, static_cast<std::int64_t>(neighbors.size()) - 1))];
+  }
+
+  auto request = std::make_shared<net::Packet>();
+  request->type = net::PacketType::kData;
+  request->appKind = net::Packet::AppKind::kRepairRequest;
+  request->bid = missing;
+  host_.sendUnicast(target, std::move(request), config_.requestBytes);
+  ++harness_.repairRequests_;
+
+  // Re-arm: if no repair_data lands before the timeout, try again.
+  scheduleRepair(missing, candidate, config_.repairTimeout);
+}
+
+void RelbcAgent::onUnicastDelivered(experiment::Host& host,
+                                    const net::Packet& packet) {
+  switch (packet.appKind) {
+    case net::Packet::AppKind::kRepairRequest: {
+      if (!hasBroadcast(packet.bid)) return;  // can't help
+      auto repair = std::make_shared<net::Packet>();
+      repair->type = net::PacketType::kData;
+      repair->appKind = net::Packet::AppKind::kRepairData;
+      repair->bid = packet.bid;
+      host.sendUnicast(packet.sender, std::move(repair),
+                       net::kDataPacketBytes);
+      ++harness_.repairsServed_;
+      return;
+    }
+    case net::Packet::AppKind::kRepairData: {
+      if (hasBroadcast(packet.bid)) return;  // duplicate repair
+      noteHave(packet.bid);
+      recovered_.insert({packet.bid.origin, packet.bid.seq});
+      ++harness_.recoveredPerBid_[packet.bid];
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+RelbcHarness::RelbcHarness(experiment::World& world, RelbcConfig config)
+    : world_(world), config_(config) {
+  agents_.reserve(world.hostCount());
+  for (net::NodeId id = 0; id < world.hostCount(); ++id) {
+    agents_.push_back(
+        std::make_unique<RelbcAgent>(*this, world.host(id), config));
+  }
+}
+
+std::size_t RelbcHarness::totalRecovered() const {
+  std::size_t total = 0;
+  for (const auto& agent : agents_) total += agent->recoveredCount();
+  return total;
+}
+
+double RelbcHarness::reachabilityAfterRepair() const {
+  double sum = 0.0;
+  int counted = 0;
+  for (const auto& pb : world_.metrics().broadcasts()) {
+    if (pb.reachable <= 0) continue;
+    int received = pb.received;
+    auto it = recoveredPerBid_.find(pb.bid);
+    if (it != recoveredPerBid_.end()) received += it->second;
+    sum += std::min(1.0, static_cast<double>(received) /
+                             static_cast<double>(pb.reachable));
+    ++counted;
+  }
+  return counted > 0 ? sum / counted : 1.0;
+}
+
+}  // namespace manet::relbc

@@ -1,0 +1,120 @@
+// NACK-based reliable broadcast, layered on the suppression schemes.
+//
+// The paper keeps its broadcast deliberately unreliable (§2.1) but notes
+// that "the result in this paper may serve as an underlying facility to
+// implement reliable broadcast" [16][17]. This module is that facility put
+// to work:
+//
+//  * every source numbers its broadcasts (the (source ID, seq) tuple the
+//    duplicate-detection already uses);
+//  * a host that receives seq k from an origin and notices missing seqs
+//    below k sends a unicast repair_request for each gap — first to the
+//    relay it heard k from, then (if that fails or goes unanswered) to a
+//    random current neighbor;
+//  * any host holding the missing broadcast answers with a unicast
+//    repair_data carrying it.
+//
+// Being NACK-based, a loss is only detected when a LATER broadcast from the
+// same origin arrives — the classic trade-off (no per-packet ACK storm, but
+// the final broadcast of a source is unprotected).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "experiment/host.hpp"
+#include "experiment/world.hpp"
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+
+namespace manet::relbc {
+
+struct RelbcConfig {
+  /// Grace period between detecting a gap and requesting the repair (lets
+  /// the flood itself fill the gap first).
+  sim::Time repairDelay = 50 * sim::kMillisecond;
+  /// How long to wait for repair_data before the next attempt.
+  sim::Time repairTimeout = 200 * sim::kMillisecond;
+  /// Total request attempts per missing broadcast.
+  int maxAttempts = 2;
+  /// Wire size of a repair request.
+  std::size_t requestBytes = 32;
+};
+
+class RelbcHarness;
+
+/// Per-host agent. Tracks per-origin sequence coverage, issues and serves
+/// repairs.
+class RelbcAgent final : public experiment::HostApp {
+ public:
+  RelbcAgent(RelbcHarness& harness, experiment::Host& host,
+             RelbcConfig config);
+
+  /// Broadcasts this host has, whether flooded to it or repaired.
+  bool hasBroadcast(net::BroadcastId bid) const;
+  std::size_t recoveredCount() const { return recovered_.size(); }
+
+  // --- experiment::HostApp ---
+  void onBroadcastDelivered(experiment::Host& host,
+                            const net::Packet& packet) override;
+  void onBroadcastOriginated(experiment::Host& host,
+                             const net::Packet& packet) override;
+  void onUnicastDelivered(experiment::Host& host,
+                          const net::Packet& packet) override;
+
+ private:
+  struct RepairState {
+    int attempts = 0;
+    sim::Scheduler::Handle timer;
+  };
+
+  void noteHave(net::BroadcastId bid);
+  void detectGaps(net::NodeId origin, std::uint32_t seenSeq,
+                  net::NodeId heardFrom);
+  void scheduleRepair(net::BroadcastId missing, net::NodeId candidate,
+                      sim::Time delay);
+  void attemptRepair(net::BroadcastId missing, net::NodeId candidate);
+
+  RelbcHarness& harness_;
+  experiment::Host& host_;
+  RelbcConfig config_;
+  /// Per-origin set of seqs held (flooded or repaired).
+  std::unordered_map<net::NodeId, std::set<std::uint32_t>> have_;
+  std::unordered_map<net::BroadcastId, RepairState, net::BroadcastIdHash>
+      pendingRepairs_;
+  std::set<std::pair<net::NodeId, std::uint32_t>> recovered_;
+};
+
+/// Attaches an agent to every host; aggregates repair statistics.
+class RelbcHarness {
+ public:
+  explicit RelbcHarness(experiment::World& world, RelbcConfig config = {});
+
+  RelbcAgent& agent(net::NodeId id) { return *agents_[id]; }
+
+  /// Broadcasts recovered via repair, summed over all hosts.
+  std::size_t totalRecovered() const;
+  std::uint64_t repairRequestsSent() const { return repairRequests_; }
+  std::uint64_t repairsServed() const { return repairsServed_; }
+
+  /// Effective per-broadcast delivery after repair: for each broadcast of
+  /// the run, (flood deliveries + repairs) / e, averaged (clamped to 1).
+  /// `world` metrics provide the flood side.
+  double reachabilityAfterRepair() const;
+
+ private:
+  friend class RelbcAgent;
+  experiment::World& world_;
+  RelbcConfig config_;
+  std::vector<std::unique_ptr<RelbcAgent>> agents_;
+  std::uint64_t repairRequests_ = 0;
+  std::uint64_t repairsServed_ = 0;
+  std::unordered_map<net::BroadcastId, int, net::BroadcastIdHash>
+      recoveredPerBid_;
+};
+
+}  // namespace manet::relbc

@@ -1,0 +1,127 @@
+#include "routing/route_discovery.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace manet::routing {
+
+RouteDiscoveryAgent::RouteDiscoveryAgent(RoutingHarness& harness,
+                                         experiment::Host& host)
+    : harness_(harness) {
+  host.setApp(this);
+}
+
+void RouteDiscoveryAgent::onBroadcastDelivered(experiment::Host& host,
+                                               const net::Packet& packet) {
+  if (packet.appKind != net::Packet::AppKind::kRouteRequest) return;
+  if (packet.appTarget != host.id()) return;
+
+  // We are the target: the accumulated path (which ends at the relay we
+  // heard) plus ourselves is a complete source route. Reply along it.
+  std::vector<net::NodeId> path = packet.appPath;
+  path.push_back(host.id());
+  MANET_ASSERT(path.size() >= 2);
+
+  auto reply = std::make_shared<net::Packet>();
+  reply->type = net::PacketType::kData;
+  reply->appKind = net::Packet::AppKind::kRouteReply;
+  reply->appTarget = path.front();  // the requester consumes the reply
+  reply->appPath = path;
+  reply->bid = packet.bid;  // correlate reply with request
+  const net::NodeId prevHop = path[path.size() - 2];
+  host.sendUnicast(prevHop, std::move(reply),
+                   RoutingHarness::replyBytes(path.size()));
+}
+
+void RouteDiscoveryAgent::onUnicastDelivered(experiment::Host& host,
+                                             const net::Packet& packet) {
+  if (packet.appKind != net::Packet::AppKind::kRouteReply) return;
+
+  if (packet.appTarget == host.id()) {
+    // The reply made it back to the requester.
+    harness_.onReplyReachedSource(packet, host.now());
+    return;
+  }
+  // Intermediate hop: forward toward the front of the path.
+  const auto& path = packet.appPath;
+  const auto self = std::find(path.begin(), path.end(), host.id());
+  if (self == path.end() || self == path.begin()) return;  // not on route
+  const net::NodeId prevHop = *(self - 1);
+  auto copy = std::make_shared<net::Packet>(packet);
+  host.sendUnicast(prevHop, std::move(copy),
+                   RoutingHarness::replyBytes(path.size()));
+}
+
+RoutingHarness::RoutingHarness(experiment::World& world) : world_(world) {
+  agents_.reserve(world.hostCount());
+  for (net::NodeId id = 0; id < world.hostCount(); ++id) {
+    agents_.push_back(
+        std::make_unique<RouteDiscoveryAgent>(*this, world.host(id)));
+  }
+}
+
+std::size_t RoutingHarness::discover(net::NodeId source, net::NodeId target) {
+  MANET_EXPECTS(source < world_.hostCount());
+  MANET_EXPECTS(target < world_.hostCount());
+  MANET_EXPECTS(source != target);
+  const net::BroadcastId bid = world_.host(source).originateBroadcast(
+      [source, target](net::Packet& p) {
+        p.appKind = net::Packet::AppKind::kRouteRequest;
+        p.appTarget = target;
+        p.appPath = {source};
+      });
+  DiscoveryRecord record;
+  record.requestId = bid;
+  record.source = source;
+  record.target = target;
+  record.requestedAt = world_.scheduler().now();
+  records_.push_back(record);
+  byRequest_[bid] = records_.size() - 1;
+  return records_.size() - 1;
+}
+
+void RoutingHarness::onReplyReachedSource(const net::Packet& packet,
+                                          sim::Time now) {
+  auto it = byRequest_.find(packet.bid);
+  if (it == byRequest_.end()) return;  // reply for an unknown request
+  DiscoveryRecord& record = records_[it->second];
+  if (record.succeeded) return;  // keep the first route only
+  record.succeeded = true;
+  record.completedAt = now;
+  record.path = packet.appPath;
+}
+
+double RoutingHarness::successRate() const {
+  if (records_.empty()) return 0.0;
+  std::size_t succeeded = 0;
+  for (const auto& r : records_) succeeded += r.succeeded ? 1 : 0;
+  return static_cast<double>(succeeded) /
+         static_cast<double>(records_.size());
+}
+
+double RoutingHarness::meanLatencySeconds() const {
+  double total = 0.0;
+  int count = 0;
+  for (const auto& r : records_) {
+    if (r.succeeded) {
+      total += r.latencySeconds();
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double RoutingHarness::meanHops() const {
+  double total = 0.0;
+  int count = 0;
+  for (const auto& r : records_) {
+    if (r.succeeded) {
+      total += r.hops();
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace manet::routing

@@ -1,0 +1,100 @@
+// DSR-style on-demand route discovery — the application the paper's
+// introduction motivates ("several routing protocols have relied on
+// broadcasting to propagate routing-related information (e.g., the request
+// for a new route to a destination)", and footnote 1: "a host generally
+// appends its ID to the request so that appropriate routing information can
+// be collected").
+//
+// The route_request is a broadcast carried by whatever suppression scheme
+// the scenario uses: the quality of the broadcast layer IS the quality of
+// discovery. Each relay appends itself, so the copy reaching the target
+// holds a complete source route. The target answers with a route_reply
+// unicast hop-by-hop back along the reversed route, using the MAC's
+// acknowledged unicast path (ACK/retry/RTS-CTS).
+//
+// Wiring: construct one RoutingHarness per World; it attaches an agent to
+// every host and aggregates discovery outcomes.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "experiment/host.hpp"
+#include "experiment/world.hpp"
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+
+namespace manet::routing {
+
+struct DiscoveryRecord {
+  net::BroadcastId requestId{};
+  net::NodeId source = net::kInvalidNode;
+  net::NodeId target = net::kInvalidNode;
+  sim::Time requestedAt = -1;
+  bool succeeded = false;
+  sim::Time completedAt = -1;          // when the reply reached the source
+  std::vector<net::NodeId> path;       // source .. target when succeeded
+
+  double latencySeconds() const {
+    return succeeded ? sim::toSeconds(completedAt - requestedAt) : -1.0;
+  }
+  int hops() const {
+    return succeeded ? static_cast<int>(path.size()) - 1 : -1;
+  }
+};
+
+class RoutingHarness;
+
+/// Per-host routing agent. Handles the target side (reply generation) and
+/// relay side (reply forwarding) for every request; the source side records
+/// outcomes into the shared harness.
+class RouteDiscoveryAgent final : public experiment::HostApp {
+ public:
+  RouteDiscoveryAgent(RoutingHarness& harness, experiment::Host& host);
+
+  // --- experiment::HostApp ---
+  void onBroadcastDelivered(experiment::Host& host,
+                            const net::Packet& packet) override;
+  void onUnicastDelivered(experiment::Host& host,
+                          const net::Packet& packet) override;
+
+ private:
+  RoutingHarness& harness_;
+};
+
+/// Owns one agent per host of a world and the discovery ledger.
+class RoutingHarness {
+ public:
+  /// Attaches agents to every host of `world` (replacing any existing app).
+  explicit RoutingHarness(experiment::World& world);
+
+  /// Issues a route request from `source` to `target` now. Returns the
+  /// ledger index; inspect it after the simulation settles.
+  std::size_t discover(net::NodeId source, net::NodeId target);
+
+  const std::vector<DiscoveryRecord>& records() const { return records_; }
+
+  /// Aggregates: fraction of requests answered, mean latency and hops of
+  /// the successful ones.
+  double successRate() const;
+  double meanLatencySeconds() const;
+  double meanHops() const;
+
+  /// Wire size of a route reply carrying `pathLength` hops.
+  static std::size_t replyBytes(std::size_t pathLength) {
+    return 32 + 4 * pathLength;
+  }
+
+ private:
+  friend class RouteDiscoveryAgent;
+  void onReplyReachedSource(const net::Packet& packet, sim::Time now);
+
+  experiment::World& world_;
+  std::vector<std::unique_ptr<RouteDiscoveryAgent>> agents_;
+  std::vector<DiscoveryRecord> records_;
+  std::unordered_map<net::BroadcastId, std::size_t, net::BroadcastIdHash>
+      byRequest_;
+};
+
+}  // namespace manet::routing

@@ -1,0 +1,84 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace manet::sim {
+
+struct Scheduler::Handle::Node {
+  Callback fn;
+  bool cancelled = false;
+  bool fired = false;
+  Scheduler* owner = nullptr;
+};
+
+void Scheduler::Handle::cancel() {
+  if (!node_ || node_->fired || node_->cancelled) return;
+  node_->cancelled = true;
+  node_->fn = nullptr;  // release captured state promptly
+  if (node_->owner != nullptr) {
+    MANET_ASSERT(node_->owner->live_ > 0);
+    --node_->owner->live_;
+  }
+}
+
+bool Scheduler::Handle::pending() const {
+  return node_ && !node_->fired && !node_->cancelled;
+}
+
+Scheduler::Handle Scheduler::schedule(Time at, Callback fn) {
+  MANET_EXPECTS(at >= now_);
+  MANET_EXPECTS(fn != nullptr);
+  auto node = std::make_shared<Handle::Node>();
+  node->fn = std::move(fn);
+  node->owner = this;
+  heap_.push(HeapItem{at, nextSeq_++, node});
+  ++live_;
+  return Handle(std::move(node));
+}
+
+Scheduler::Handle Scheduler::scheduleAfter(Time delay, Callback fn) {
+  MANET_EXPECTS(delay >= 0);
+  return schedule(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::skipDead() {
+  while (!heap_.empty() && heap_.top().node->cancelled) {
+    heap_.pop();
+  }
+  return !heap_.empty();
+}
+
+bool Scheduler::runOne() {
+  if (!skipDead()) return false;
+  HeapItem item = heap_.top();
+  heap_.pop();
+  MANET_ASSERT(item.at >= now_);
+  now_ = item.at;
+  item.node->fired = true;
+  MANET_ASSERT(live_ > 0);
+  --live_;
+  Callback fn = std::move(item.node->fn);
+  item.node->fn = nullptr;
+  fn();
+  return true;
+}
+
+std::size_t Scheduler::runUntil(Time until) {
+  std::size_t executed = 0;
+  while (skipDead() && heap_.top().at <= until) {
+    runOne();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t Scheduler::runAll(std::size_t maxEvents) {
+  std::size_t executed = 0;
+  while (executed < maxEvents && runOne()) ++executed;
+  return executed;
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,88 @@
+// Discrete-event scheduler: the "event-driven engine" at the center of the
+// paper's simulator (§4). Single-threaded, deterministic: events at equal
+// timestamps run in scheduling (FIFO) order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace manet::sim {
+
+/// Priority-queue event scheduler with cancellable events.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Cancellable reference to a scheduled event. Default-constructed handles
+  /// are inert. Handles are cheap to copy (shared ownership of a small node).
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Cancels the event if it has not fired yet; idempotent.
+    void cancel();
+
+    /// True while the event is scheduled and neither fired nor cancelled.
+    bool pending() const;
+
+   private:
+    friend class Scheduler;
+    struct Node;
+    explicit Handle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+    std::shared_ptr<Node> node_;
+  };
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  Handle schedule(Time at, Callback fn);
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
+  Handle scheduleAfter(Time delay, Callback fn);
+
+  /// Current simulation time (time of the most recently fired event).
+  Time now() const { return now_; }
+
+  /// Number of live (non-cancelled) events still queued.
+  std::size_t pendingCount() const { return live_; }
+
+  /// Runs the next live event; returns false when the queue is empty.
+  bool runOne();
+
+  /// Runs events until simulation time exceeds `until` (events exactly at
+  /// `until` are executed) or the queue drains. Afterwards now() >= `until`
+  /// if any events remain. Returns events executed.
+  std::size_t runUntil(Time until);
+
+  /// Drains the queue completely (bounded by maxEvents as a runaway guard).
+  /// Returns events executed.
+  std::size_t runAll(std::size_t maxEvents = SIZE_MAX);
+
+ private:
+  struct HeapItem {
+    Time at;
+    std::uint64_t seq;
+    std::shared_ptr<Handle::Node> node;
+    friend bool operator>(const HeapItem& a, const HeapItem& b) {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  /// Pops until the heap top is a live event; returns false if drained.
+  bool skipDead();
+
+  Time now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::size_t live_ = 0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap_;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,30 @@
+// Simulation time. All MAC/PHY constants in IEEE 802.11 DSSS are integral
+// microseconds (slot 20 us, SIFS 10 us, DIFS 50 us, PLCP preamble 144 us), so
+// we represent time as signed 64-bit microsecond ticks: exact arithmetic, no
+// floating-point drift over a multi-hour simulated run.
+#pragma once
+
+#include <cstdint>
+
+namespace manet::sim {
+
+/// Simulation time in microseconds since the start of the run.
+using Time = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000;
+inline constexpr Time kSecond = 1'000'000;
+
+/// Converts a floating-point second count to integral simulation time,
+/// rounding to the nearest microsecond.
+constexpr Time fromSeconds(double seconds) {
+  return static_cast<Time>(seconds * static_cast<double>(kSecond) +
+                           (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts simulation time to floating-point seconds (for reporting only).
+constexpr double toSeconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,47 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace manet::stats {
+
+QuantileEstimator::QuantileEstimator(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  MANET_EXPECTS(capacity >= 1);
+  samples_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void QuantileEstimator::add(double sample) {
+  ++count_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+    sorted_ = false;
+    return;
+  }
+  // Vitter's algorithm R: keep each of the `count_` samples with equal
+  // probability capacity/count.
+  const auto slot = static_cast<std::uint64_t>(
+      rng_.uniformInt(0, static_cast<std::int64_t>(count_) - 1));
+  if (slot < capacity_) {
+    samples_[static_cast<std::size_t>(slot)] = sample;
+    sorted_ = false;
+  }
+}
+
+double QuantileEstimator::quantile(double q) const {
+  MANET_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double position = q * static_cast<double>(samples_.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= samples_.size()) return samples_.back();
+  return samples_[lower] * (1.0 - fraction) + samples_[lower + 1] * fraction;
+}
+
+}  // namespace manet::stats

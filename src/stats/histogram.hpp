@@ -1,0 +1,40 @@
+// Quantile estimation over bounded-ish samples: exact storage up to a cap,
+// then reservoir sampling. Used for latency percentiles (the paper reports
+// means; tails are where contention shows first).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace manet::stats {
+
+class QuantileEstimator {
+ public:
+  /// Stores up to `capacity` samples exactly; beyond that, keeps a uniform
+  /// reservoir of that size (deterministic given `seed`).
+  explicit QuantileEstimator(std::size_t capacity = 65536,
+                             std::uint64_t seed = 1);
+
+  void add(double sample);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Quantile in [0, 1]; linear interpolation between order statistics.
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t capacity_;
+  sim::Rng rng_;
+  std::uint64_t count_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace manet::stats

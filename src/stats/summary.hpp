@@ -1,0 +1,31 @@
+// Streaming summary statistics (Welford) used to aggregate per-broadcast
+// samples into the per-configuration numbers each figure plots.
+#pragma once
+
+#include <cstdint>
+
+namespace manet::stats {
+
+class RunningStat {
+ public:
+  void add(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace manet::stats

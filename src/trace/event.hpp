@@ -1,0 +1,46 @@
+// Structured simulation events. The world and its hosts emit these through a
+// TraceSink when tracing is enabled; recorders turn the stream into
+// per-broadcast timelines, CSV files, or protocol statistics.
+//
+// Tracing is strictly observational: enabling it must not change a run
+// (no RNG draws, no scheduling).
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace manet::trace {
+
+enum class EventKind {
+  kBroadcastOriginated,  // source issued a new broadcast request
+  kTxStarted,            // a data frame hit the air (source or relay)
+  kTxFinished,           // the data frame left the air
+  kDelivered,            // a host received the packet intact, first time
+  kDuplicateHeard,       // a host received an intact duplicate
+  kCollision,            // a frame arrived corrupted at a host
+  kInhibited,            // the scheme cancelled a pending rebroadcast
+  kHelloSent,            // a HELLO beacon was transmitted
+};
+
+/// One event. `bid` is meaningful for the broadcast-related kinds; position
+/// is the observing host's position at event time.
+struct Event {
+  EventKind kind = EventKind::kDelivered;
+  sim::Time at = 0;
+  net::NodeId node = net::kInvalidNode;
+  net::BroadcastId bid{};
+  net::NodeId from = net::kInvalidNode;  // sender, for rx-side events
+  geom::Vec2 position{};
+};
+
+/// Receives every emitted event, in nondecreasing time order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(const Event& event) = 0;
+};
+
+const char* eventKindName(EventKind kind);
+
+}  // namespace manet::trace

@@ -1,0 +1,52 @@
+// Per-broadcast timeline reconstruction: turns a flat event stream into the
+// story of one broadcast — who relayed, who was suppressed, how the packet
+// spread hop by hop. Used by examples/trace_inspector and by tests that
+// verify protocol behaviour at the event level.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace manet::trace {
+
+/// What one host did with one broadcast.
+struct HostOutcome {
+  net::NodeId node = net::kInvalidNode;
+  sim::Time deliveredAt = -1;   // -1: never received
+  int duplicatesHeard = 0;
+  bool rebroadcast = false;
+  sim::Time txStartedAt = -1;
+  bool inhibited = false;
+  sim::Time inhibitedAt = -1;
+};
+
+struct Timeline {
+  net::BroadcastId bid{};
+  net::NodeId source = net::kInvalidNode;
+  sim::Time originatedAt = -1;
+  std::vector<HostOutcome> outcomes;  // hosts that saw the packet, by time
+
+  int receivedCount() const;
+  int rebroadcastCount() const;
+  int inhibitedCount() const;
+
+  /// Time of the last terminal event (tx end or inhibition) minus origin —
+  /// the paper's latency for this broadcast.
+  sim::Time completionTime = -1;
+
+  /// Multi-line human-readable rendering.
+  std::string render() const;
+};
+
+/// Builds the timeline of broadcast `bid` from recorded events. Returns
+/// nullopt if the broadcast never originated within the events.
+std::optional<Timeline> buildTimeline(const std::vector<Event>& events,
+                                      net::BroadcastId bid);
+
+/// Lists every broadcast id that originated within the events, in order.
+std::vector<net::BroadcastId> broadcastsIn(const std::vector<Event>& events);
+
+}  // namespace manet::trace

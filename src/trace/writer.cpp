@@ -1,0 +1,37 @@
+#include "trace/writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace manet::trace {
+
+void writeCsv(std::ostream& os, std::span<const Event> events) {
+  os << "time_us,kind,node,origin,seq,from,x,y\n";
+  for (const Event& e : events) {
+    os << e.at << ',' << eventKindName(e.kind) << ',' << e.node << ',';
+    if (e.bid.origin == net::kInvalidNode) {
+      os << ",,";
+    } else {
+      os << e.bid.origin << ',' << e.bid.seq << ',';
+    }
+    if (e.from == net::kInvalidNode) {
+      os << ',';
+    } else {
+      os << e.from << ',';
+    }
+    os << e.position.x << ',' << e.position.y << '\n';
+  }
+}
+
+std::string formatEvent(const Event& event) {
+  std::ostringstream os;
+  os << "[t=" << event.at << "us] " << eventKindName(event.kind) << " node="
+     << event.node;
+  if (event.bid.origin != net::kInvalidNode) {
+    os << " bid=(" << event.bid.origin << "," << event.bid.seq << ")";
+  }
+  if (event.from != net::kInvalidNode) os << " from=" << event.from;
+  return os.str();
+}
+
+}  // namespace manet::trace

@@ -1,0 +1,19 @@
+// Trace export: CSV (one row per event) for offline analysis/plotting.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace manet::trace {
+
+/// Writes `events` as CSV with a header row:
+///   time_us,kind,node,origin,seq,from,x,y
+void writeCsv(std::ostream& os, std::span<const Event> events);
+
+/// Formats one event as a single human-readable line.
+std::string formatEvent(const Event& event);
+
+}  // namespace manet::trace

@@ -1,0 +1,28 @@
+// Lightweight contract checking, always on (simulation correctness beats the
+// tiny cost of a predictable branch).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace manet::util {
+
+[[noreturn]] inline void contractFailure(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace manet::util
+
+// Precondition on a public API argument.
+#define MANET_EXPECTS(cond)                                                  \
+  ((cond) ? void(0)                                                         \
+          : ::manet::util::contractFailure("Precondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// Internal invariant.
+#define MANET_ASSERT(cond)                                                 \
+  ((cond) ? void(0)                                                       \
+          : ::manet::util::contractFailure("Invariant", #cond, __FILE__, \
+                                           __LINE__))

@@ -1,0 +1,31 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace manet::util {
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+double envDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+std::optional<std::string> envString(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  return std::string(raw);
+}
+
+}  // namespace manet::util

@@ -1,0 +1,21 @@
+// Helpers for reading scaling knobs from the environment so benchmarks can be
+// run quickly by default and at paper scale on demand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace manet::util {
+
+/// Returns the integer value of environment variable `name`, or `fallback`
+/// when unset or unparsable.
+std::int64_t envInt(const char* name, std::int64_t fallback);
+
+/// Returns the double value of environment variable `name`, or `fallback`.
+double envDouble(const char* name, double fallback);
+
+/// Returns the string value of environment variable `name` if set.
+std::optional<std::string> envString(const char* name);
+
+}  // namespace manet::util

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace manet::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+void logLine(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace manet::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Simulation code logs through this so tests can
+// silence output and examples can turn on tracing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace manet::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void logLine(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < logLevel()) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  logLine(level, os.str());
+}
+
+template <typename... Args>
+void logInfo(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void logDebug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void logWarn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+
+}  // namespace manet::util

@@ -1,0 +1,41 @@
+// Aligned ASCII table printer used by the figure-reproduction benches so each
+// binary prints the same rows/series the paper's figure plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manet::util {
+
+/// Collects rows of string cells and prints them column-aligned.
+/// Typical use:
+///   Table t({"map", "RE", "SRB"});
+///   t.addRow({"1x1", fmt(re), fmt(srb)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Prints header, separator, and rows with two-space column padding.
+  void print(std::ostream& os) const;
+
+  /// Prints as comma-separated values (machine-readable twin of print()).
+  void printCsv(std::ostream& os) const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string fmt(double value, int digits = 3);
+
+/// Formats `value` as a percentage with `digits` fractional digits.
+std::string fmtPercent(double value, int digits = 1);
+
+}  // namespace manet::util

@@ -1,0 +1,161 @@
+#include "core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manet::core {
+namespace {
+
+TEST(CounterThreshold, FixedIsConstant) {
+  const auto c = CounterThreshold::fixed(3);
+  for (int n = 0; n <= 50; ++n) EXPECT_EQ(c(n), 3);
+}
+
+TEST(CounterThreshold, FromDigitsIndexing) {
+  // "2345" means C(1)=2, C(2)=3, C(3)=4, C(4)=5, C(n>4)=5.
+  const auto c = CounterThreshold::fromDigits("2345");
+  EXPECT_EQ(c(1), 2);
+  EXPECT_EQ(c(2), 3);
+  EXPECT_EQ(c(3), 4);
+  EXPECT_EQ(c(4), 5);
+  EXPECT_EQ(c(10), 5);
+  EXPECT_EQ(c(100), 5);
+}
+
+TEST(CounterThreshold, ZeroNeighborsBehavesLikeOne) {
+  const auto c = CounterThreshold::fromDigits("29");
+  EXPECT_EQ(c(0), 2);
+}
+
+TEST(CounterThreshold, PaperSlopeCandidates) {
+  // Fig. 5a's three sequences.
+  const auto slow = CounterThreshold::fromDigits("22233344455555");
+  const auto mid = CounterThreshold::fromDigits("22334455555");
+  const auto fast = CounterThreshold::fromDigits("23455555");
+  EXPECT_EQ(slow(1), 2);
+  EXPECT_EQ(slow(4), 3);
+  EXPECT_EQ(slow(10), 5);
+  EXPECT_EQ(mid(3), 3);
+  EXPECT_EQ(fast(3), 4);
+  EXPECT_EQ(fast(4), 5);
+  EXPECT_EQ(fast(8), 5);
+}
+
+TEST(CounterThreshold, RampAndDecayRampsAsNPlusOne) {
+  const auto c = CounterThreshold::rampAndDecay(4, 12);
+  EXPECT_EQ(c(1), 2);
+  EXPECT_EQ(c(2), 3);
+  EXPECT_EQ(c(3), 4);
+  EXPECT_EQ(c(4), 5);
+}
+
+TEST(CounterThreshold, RampAndDecayReachesFloorAtN2) {
+  const auto c = CounterThreshold::rampAndDecay(4, 12);
+  EXPECT_EQ(c(12), 2);
+  EXPECT_EQ(c(20), 2);
+  EXPECT_EQ(c(100), 2);
+}
+
+TEST(CounterThreshold, LinearDecayIsMonotoneNonIncreasing) {
+  const auto c = CounterThreshold::rampAndDecay(4, 12, DecayShape::kLinear);
+  for (int n = 4; n < 30; ++n) EXPECT_GE(c(n), c(n + 1)) << "n=" << n;
+}
+
+TEST(CounterThreshold, ShapesOrderedBetweenN1AndN2) {
+  // Convex stays at or above linear, concave at or below, in the interior.
+  const auto lin = CounterThreshold::rampAndDecay(4, 12, DecayShape::kLinear);
+  const auto convex = CounterThreshold::rampAndDecay(4, 12, DecayShape::kConvex);
+  const auto concave =
+      CounterThreshold::rampAndDecay(4, 12, DecayShape::kConcave);
+  for (int n = 5; n < 12; ++n) {
+    EXPECT_GE(convex(n), lin(n)) << "n=" << n;
+    EXPECT_LE(concave(n), lin(n)) << "n=" << n;
+  }
+}
+
+TEST(CounterThreshold, StepHoldsPeakUntilN2) {
+  const auto c = CounterThreshold::rampAndDecay(4, 12, DecayShape::kStep);
+  for (int n = 4; n < 12; ++n) EXPECT_EQ(c(n), 5);
+  EXPECT_EQ(c(12), 2);
+}
+
+TEST(CounterThreshold, SuggestedMatchesPaperTuning) {
+  // n1 = 4, n2 = 12, linear: the paper's recommended C(n).
+  const auto c = CounterThreshold::suggested();
+  EXPECT_EQ(c(1), 2);
+  EXPECT_EQ(c(4), 5);
+  EXPECT_EQ(c(8), 4);  // halfway down the decay
+  EXPECT_EQ(c(12), 2);
+  EXPECT_EQ(c(50), 2);
+}
+
+TEST(CounterThreshold, ToDigitsRoundTrip) {
+  const auto c = CounterThreshold::fromDigits("2345553222");
+  EXPECT_EQ(CounterThreshold::fromDigits(c.toDigits()), c);
+}
+
+TEST(CounterThreshold, EqualityIgnoresRedundantTail) {
+  EXPECT_EQ(CounterThreshold::fromDigits("235"),
+            CounterThreshold::fromDigits("23555"));
+  EXPECT_NE(CounterThreshold::fromDigits("235"),
+            CounterThreshold::fromDigits("234"));
+}
+
+TEST(CounterThresholdDeath, RejectsInvalidDigits) {
+  EXPECT_DEATH((void)CounterThreshold::fromDigits("20"), "Precondition");
+  EXPECT_DEATH((void)CounterThreshold::fromDigits(""), "Precondition");
+  EXPECT_DEATH((void)CounterThreshold::fixed(0), "Precondition");
+}
+
+TEST(AreaThreshold, FixedIsConstant) {
+  const auto a = AreaThreshold::fixed(0.0469);
+  for (int n = 0; n <= 40; ++n) EXPECT_DOUBLE_EQ(a(n), 0.0469);
+}
+
+TEST(AreaThreshold, PiecewiseZeroBeforeN1) {
+  const auto a = AreaThreshold::piecewise(6, 12);
+  for (int n = 0; n <= 6; ++n) EXPECT_DOUBLE_EQ(a(n), 0.0);
+}
+
+TEST(AreaThreshold, PiecewiseSaturatesAtPaperConstant) {
+  // After n2 the threshold is EAC(2)/pi r^2 = 0.187 (§3.2).
+  const auto a = AreaThreshold::piecewise(6, 12);
+  EXPECT_DOUBLE_EQ(a(12), 0.187);
+  EXPECT_DOUBLE_EQ(a(40), 0.187);
+}
+
+TEST(AreaThreshold, PiecewiseLinearInBetween) {
+  const auto a = AreaThreshold::piecewise(6, 12);
+  EXPECT_DOUBLE_EQ(a(9), 0.187 * 0.5);
+  EXPECT_GT(a(8), a(7));
+  EXPECT_GT(a(11), a(10));
+}
+
+TEST(AreaThreshold, SuggestedIsSixTwelve) {
+  const auto a = AreaThreshold::suggested();
+  EXPECT_EQ(a.n1(), 6);
+  EXPECT_EQ(a.n2(), 12);
+  EXPECT_DOUBLE_EQ(a(6), 0.0);
+  EXPECT_DOUBLE_EQ(a(12), 0.187);
+}
+
+TEST(AreaThreshold, PaperCandidateGrid) {
+  // The (n1, n2) grid of Fig. 8 must all be constructible and ordered.
+  for (int n1 : {2, 4, 6, 8}) {
+    for (int n2 : {10, 12, 16}) {
+      if (n2 <= n1) continue;
+      const auto a = AreaThreshold::piecewise(n1, n2);
+      EXPECT_DOUBLE_EQ(a(n1), 0.0);
+      EXPECT_DOUBLE_EQ(a(n2), 0.187);
+      for (int n = n1; n < n2; ++n) EXPECT_LE(a(n), a(n + 1));
+    }
+  }
+}
+
+TEST(AreaThresholdDeath, RejectsBadArguments) {
+  EXPECT_DEATH((void)AreaThreshold::fixed(-0.1), "Precondition");
+  EXPECT_DEATH((void)AreaThreshold::piecewise(6, 6), "Precondition");
+  EXPECT_DEATH((void)AreaThreshold::piecewise(6, 12, 0.0), "Precondition");
+}
+
+}  // namespace
+}  // namespace manet::core

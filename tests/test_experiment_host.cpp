@@ -1,0 +1,190 @@
+// Host-level tests of the S1-S5 skeleton on controlled (fixed-position,
+// stationary) topologies.
+#include "experiment/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/world.hpp"
+#include "sim/time.hpp"
+
+namespace manet::experiment {
+namespace {
+
+using sim::kSecond;
+
+ScenarioConfig staticConfig(std::vector<geom::Vec2> positions,
+                            SchemeSpec scheme) {
+  ScenarioConfig c;
+  c.fixedPositions = std::move(positions);
+  c.scheme = std::move(scheme);
+  c.mapUnits = 11;  // irrelevant with fixed positions, but keep them inside
+  c.numBroadcasts = 0;
+  c.seed = 5;
+  return c;
+}
+
+TEST(Host, SourcePhaseAfterOriginate) {
+  World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  EXPECT_EQ(w.host(0).phaseOf({0, 0}), Host::PacketPhase::kSource);
+  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kUnseen);
+}
+
+TEST(Host, FloodingReceiverRelaysExactlyOnce) {
+  World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
+  // 2 data frames total: source + one relay (host 0 ignores the echo).
+  EXPECT_EQ(w.channel().framesTransmitted(), 2u);
+}
+
+TEST(Host, ReceptionAndRebroadcastRecorded) {
+  World w(staticConfig({{0, 0}, {400, 0}, {800, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  const auto& pb = w.metrics().broadcasts().at(0);
+  EXPECT_EQ(pb.reachable, 2);
+  EXPECT_EQ(pb.received, 2);
+  EXPECT_EQ(pb.rebroadcast, 2);
+  EXPECT_GT(pb.latencySeconds(), 0.0);
+}
+
+TEST(Host, CounterSchemeInhibitsCrowdedRelay) {
+  // A clique: everyone hears everyone. With C=2 the first relay's frame is
+  // the second hearing for all others, inhibiting them.
+  std::vector<geom::Vec2> clique{{0, 0}, {100, 0}, {0, 100}, {100, 100},
+                                 {50, 50}};
+  World w(staticConfig(clique, SchemeSpec::counter(2)));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  const auto& pb = w.metrics().broadcasts().at(0);
+  EXPECT_EQ(pb.received, 4);
+  // Everyone heard the source; at least one relays, and the relays are few.
+  EXPECT_GE(pb.rebroadcast, 1);
+  EXPECT_LE(pb.rebroadcast, 2);
+  // Hosts that did not relay ended Inhibited.
+  int inhibited = 0;
+  for (net::NodeId h = 1; h <= 4; ++h) {
+    const auto phase = w.host(h).phaseOf({0, 0});
+    EXPECT_TRUE(phase == Host::PacketPhase::kSent ||
+                phase == Host::PacketPhase::kInhibited);
+    inhibited += phase == Host::PacketPhase::kInhibited ? 1 : 0;
+  }
+  EXPECT_EQ(inhibited, 4 - pb.rebroadcast);
+}
+
+TEST(Host, IsolatedSourceFinishesCleanly) {
+  World w(staticConfig({{0, 0}, {5000, 5000}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  const auto& pb = w.metrics().broadcasts().at(0);
+  EXPECT_EQ(pb.reachable, 0);
+  EXPECT_EQ(pb.received, 0);
+  EXPECT_DOUBLE_EQ(pb.reachability(), 1.0);
+}
+
+TEST(Host, SourceIgnoresEchoesOfItsOwnBroadcast) {
+  World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  EXPECT_EQ(w.host(0).phaseOf({0, 0}), Host::PacketPhase::kSource);
+  EXPECT_EQ(w.metrics().broadcasts().at(0).received, 1);  // only host 1
+}
+
+TEST(Host, LocationSchemeInhibitsImmediatelyOnZeroCoverage) {
+  // Receiver colocated with the source: additional coverage ~ 0 < A.
+  World w(staticConfig({{0, 0}, {0, 0}, {5000, 5000}},
+                       SchemeSpec::location(0.05)));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kInhibited);
+  EXPECT_EQ(w.metrics().broadcasts().at(0).rebroadcast, 0);
+}
+
+TEST(Host, TwoBroadcastsTrackedIndependently) {
+  World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  w.host(1).originateBroadcast();
+  w.scheduler().runUntil(2 * kSecond);
+  ASSERT_EQ(w.metrics().broadcasts().size(), 2u);
+  EXPECT_EQ(w.metrics().broadcasts()[0].received, 1);
+  EXPECT_EQ(w.metrics().broadcasts()[1].received, 1);
+  EXPECT_EQ(w.host(0).phaseOf({1, 0}), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
+}
+
+TEST(Host, SequenceNumbersDistinguishBroadcastsFromSameSource) {
+  World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(2 * kSecond);
+  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(1).phaseOf({0, 1}), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.metrics().broadcasts().size(), 2u);
+}
+
+TEST(Host, OracleNeighborQueries) {
+  World w(staticConfig({{0, 0}, {400, 0}, {5000, 5000}},
+                       SchemeSpec::adaptiveCounter()));
+  EXPECT_EQ(w.host(0).neighborCount(), 1);
+  EXPECT_EQ(w.host(0).neighborIds(), (std::vector<net::NodeId>{1}));
+  EXPECT_EQ(w.host(2).neighborCount(), 0);
+  // Oracle two-hop: neighbors of host 1 as seen from host 0.
+  const auto n1 = w.host(0).neighborsOf(1);
+  ASSERT_TRUE(n1.has_value());
+  EXPECT_EQ(*n1, (std::vector<net::NodeId>{0}));
+}
+
+TEST(Host, HelloTablesPopulateUnderHelloSource) {
+  ScenarioConfig c = staticConfig({{0, 0}, {400, 0}},
+                                  SchemeSpec::neighborCoverage());
+  c.neighborSource = NeighborSource::kHello;
+  c.hello.enabled = true;
+  World w(c);
+  w.startAgents();
+  w.scheduler().runUntil(5 * kSecond);
+  EXPECT_EQ(w.host(0).neighborCount(), 1);
+  EXPECT_EQ(w.host(1).neighborCount(), 1);
+  const auto twoHop = w.host(0).neighborsOf(1);
+  ASSERT_TRUE(twoHop.has_value());
+  EXPECT_EQ(*twoHop, (std::vector<net::NodeId>{0}));
+}
+
+TEST(Host, NeighborCoverageLeafDoesNotRelay) {
+  // Chain 0 - 1 - 2 with full hello knowledge: when 2 receives from 1, its
+  // only neighbor (1) is the sender: T empty, inhibited. Host 1 must relay
+  // (it knows 2 is uncovered by 0's transmission).
+  ScenarioConfig c = staticConfig({{0, 0}, {400, 0}, {800, 0}},
+                                  SchemeSpec::neighborCoverage());
+  c.neighborSource = NeighborSource::kHello;
+  c.hello.enabled = true;
+  World w(c);
+  w.startAgents();
+  w.scheduler().runUntil(5 * kSecond);  // let tables converge
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(6 * kSecond);
+  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(2).phaseOf({0, 0}), Host::PacketPhase::kInhibited);
+  const auto& pb = w.metrics().broadcasts().at(0);
+  EXPECT_EQ(pb.received, 2);
+  EXPECT_EQ(pb.rebroadcast, 1);
+}
+
+TEST(Host, JitterDelaysMacSubmission) {
+  // With flooding on a 2-host link the relay's tx start must lag the
+  // reception by 0..31 slots plus MAC access time.
+  World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * kSecond);
+  const auto& pb = w.metrics().broadcasts().at(0);
+  // Source tx: DIFS (50) + airtime (2432) = reception at 2482. Relay ends
+  // by 2482 + jitter(<=620) + DIFS + airtime.
+  EXPECT_GT(pb.latencySeconds(), 0.0049);  // at least two airtimes
+  EXPECT_LT(pb.latencySeconds(), 0.0061);
+}
+
+}  // namespace
+}  // namespace manet::experiment

@@ -1,0 +1,106 @@
+#include "geom/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/vec2.hpp"
+
+namespace manet::geom {
+namespace {
+
+constexpr double kR = 500.0;
+const double kArea = kPi * kR * kR;
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1.0, 2.0};
+  Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).normSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distanceSquared({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, UnitVector) {
+  const Vec2 u = unitVector(0.0);
+  EXPECT_NEAR(u.x, 1.0, 1e-12);
+  EXPECT_NEAR(u.y, 0.0, 1e-12);
+  const Vec2 v = unitVector(kPi / 2.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+}
+
+TEST(IntersectionArea, CoincidentCirclesOverlapFully) {
+  EXPECT_DOUBLE_EQ(intersectionArea(kR, 0.0), kArea);
+}
+
+TEST(IntersectionArea, DisjointCirclesOverlapNothing) {
+  EXPECT_DOUBLE_EQ(intersectionArea(kR, 2.0 * kR), 0.0);
+  EXPECT_DOUBLE_EQ(intersectionArea(kR, 3.0 * kR), 0.0);
+}
+
+TEST(IntersectionArea, MonotonicallyDecreasingInDistance) {
+  double prev = intersectionArea(kR, 0.0);
+  for (double d = 50.0; d <= 2.0 * kR; d += 50.0) {
+    const double cur = intersectionArea(kR, d);
+    EXPECT_LT(cur, prev) << "at d=" << d;
+    prev = cur;
+  }
+}
+
+TEST(IntersectionArea, HalfOverlapKnownValue) {
+  // d = r: INTC(r) = (2*pi/3 - sqrt(3)/2) r^2 ~= 1.2284 r^2.
+  const double expected = (2.0 * kPi / 3.0 - std::sqrt(3.0) / 2.0) * kR * kR;
+  EXPECT_NEAR(intersectionArea(kR, kR), expected, 1e-6 * kArea);
+}
+
+TEST(AdditionalCoverage, MaximumIsAboutSixtyOnePercentAtDEqualsR) {
+  // The paper: "a rebroadcast can provide at most ~61% additional coverage".
+  EXPECT_NEAR(additionalCoverageFraction(kR, kR), 0.609, 0.002);
+}
+
+TEST(AdditionalCoverage, ZeroWhenColocated) {
+  EXPECT_DOUBLE_EQ(additionalCoverageFraction(kR, 0.0), 0.0);
+}
+
+TEST(AdditionalCoverage, FullWhenOutOfRange) {
+  EXPECT_DOUBLE_EQ(additionalCoverageFraction(kR, 2.0 * kR), 1.0);
+}
+
+TEST(AdditionalCoverage, AreaAndFractionAgree) {
+  for (double d : {100.0, 250.0, 400.0}) {
+    EXPECT_NEAR(additionalCoverageArea(kR, d) / kArea,
+                additionalCoverageFraction(kR, d), 1e-12);
+  }
+}
+
+TEST(AverageAdditionalCoverage, PaperQuotesAboutFortyOnePercent) {
+  // §2.2.1: integrating over a random receiver position gives ~0.41 pi r^2.
+  EXPECT_NEAR(averageAdditionalCoverageFraction(kR), 0.41, 0.005);
+}
+
+TEST(AverageAdditionalCoverage, IndependentOfRadius) {
+  EXPECT_NEAR(averageAdditionalCoverageFraction(1.0),
+              averageAdditionalCoverageFraction(500.0), 1e-9);
+}
+
+TEST(PairContention, PaperQuotesAboutFiftyNinePercent) {
+  // §2.2.2: expected probability that two receivers contend ~= 59%.
+  EXPECT_NEAR(expectedPairContentionProbability(kR), 0.59, 0.005);
+}
+
+TEST(IntersectionAreaDeath, RejectsNonPositiveRadius) {
+  EXPECT_DEATH((void)intersectionArea(0.0, 1.0), "Precondition");
+}
+
+TEST(IntersectionAreaDeath, RejectsNegativeDistance) {
+  EXPECT_DEATH((void)intersectionArea(1.0, -1.0), "Precondition");
+}
+
+}  // namespace
+}  // namespace manet::geom

@@ -1,0 +1,111 @@
+#include "geom/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/random.hpp"
+
+namespace manet::geom {
+namespace {
+
+constexpr double kR = 500.0;
+
+TEST(ContentionFreeCount, SingleHostIsAlwaysFree) {
+  sim::Rng rng(1);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(contentionFreeCount(1, kR, rng), 1);
+  }
+}
+
+TEST(ContentionFreeCount, BoundedByN) {
+  sim::Rng rng(2);
+  for (int n = 1; n <= 8; ++n) {
+    for (int t = 0; t < 50; ++t) {
+      const int cf = contentionFreeCount(n, kR, rng);
+      EXPECT_GE(cf, 0);
+      EXPECT_LE(cf, n);
+    }
+  }
+}
+
+TEST(ContentionFreeCount, NeverExactlyNMinusOne) {
+  // If n-1 hosts are pairwise non-contending, the n-th must be too (the
+  // paper notes cf(n, n-1) = 0).
+  sim::Rng rng(3);
+  for (int n = 2; n <= 6; ++n) {
+    for (int t = 0; t < 400; ++t) {
+      EXPECT_NE(contentionFreeCount(n, kR, rng), n - 1) << "n=" << n;
+    }
+  }
+}
+
+TEST(ContentionFreeDistribution, IsAProbabilityDistribution) {
+  sim::Rng rng(4);
+  for (int n : {1, 3, 6}) {
+    const auto dist = contentionFreeDistribution(n, kR, rng, 4000);
+    ASSERT_EQ(dist.size(), static_cast<size_t>(n) + 1);
+    const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(ContentionFreeDistribution, TwoHostsContendAboutFiftyNinePercent) {
+  // §2.2.2's analytic result: P(contention between 2 receivers) ~= 59%,
+  // i.e. cf(2, 0) ~= 0.59.
+  sim::Rng rng(5);
+  const auto dist = contentionFreeDistribution(2, kR, rng, 60000);
+  EXPECT_NEAR(dist[0], 0.59, 0.015);
+  EXPECT_NEAR(dist[2], 0.41, 0.015);
+  EXPECT_NEAR(dist[1], 0.0, 1e-12);  // cf(2,1) is impossible
+}
+
+TEST(ContentionFreeDistribution, AllContendedGrowsWithDensity) {
+  // Fig. 2: cf(n, 0) increases with n (crowding worsens contention) ...
+  sim::Rng rng(6);
+  double prev = 0.0;
+  for (int n : {2, 4, 6, 8}) {
+    const auto dist = contentionFreeDistribution(n, kR, rng, 8000);
+    EXPECT_GT(dist[0], prev) << "n=" << n;
+    prev = dist[0];
+  }
+  // ... and exceeds 0.8 by n = 6.
+  const auto six = contentionFreeDistribution(6, kR, rng, 20000);
+  EXPECT_GT(six[0], 0.8);
+}
+
+TEST(ContentionFreeDistribution, OneFreeHostProbabilityDropsWithDensity) {
+  // Fig. 2: cf(n, 1) decreases sharply as n grows.
+  sim::Rng rng(7);
+  const auto two = contentionFreeDistribution(2, kR, rng, 20000);
+  const auto eight = contentionFreeDistribution(8, kR, rng, 20000);
+  // cf(2,1) = 0 structurally, so compare n=3 against n=8.
+  const auto three = contentionFreeDistribution(3, kR, rng, 20000);
+  EXPECT_GT(three[1], eight[1]);
+  (void)two;
+}
+
+TEST(ContentionFreeDistribution, TwoOrMoreFreeHostsIsRare) {
+  // The paper: "it is very unlikely to have more contention-free hosts
+  // (cf(n,k) with k >= 2)" for crowded n.
+  sim::Rng rng(8);
+  const auto dist = contentionFreeDistribution(8, kR, rng, 20000);
+  double tail = 0.0;
+  for (size_t k = 2; k < dist.size(); ++k) tail += dist[k];
+  EXPECT_LT(tail, 0.05);
+}
+
+TEST(ContentionDeath, RejectsBadArguments) {
+  sim::Rng rng(9);
+  EXPECT_DEATH((void)contentionFreeCount(0, kR, rng), "Precondition");
+  EXPECT_DEATH((void)contentionFreeCount(1, 0.0, rng), "Precondition");
+  EXPECT_DEATH((void)contentionFreeDistribution(1, kR, rng, 0),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace manet::geom

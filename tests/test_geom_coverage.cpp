@@ -1,0 +1,110 @@
+#include "geom/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/circle.hpp"
+#include "sim/random.hpp"
+
+namespace manet::geom {
+namespace {
+
+constexpr double kR = 500.0;
+
+TEST(UncoveredFraction, NoCoveringDisksMeansFullyUncovered) {
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(uncoveredFraction({0, 0}, {}, kR, rng), 1.0);
+}
+
+TEST(UncoveredFraction, CoincidentDiskCoversEverything) {
+  sim::Rng rng(2);
+  const std::vector<Vec2> covered{{0, 0}};
+  EXPECT_DOUBLE_EQ(uncoveredFraction({0, 0}, covered, kR, rng, 4096), 0.0);
+}
+
+TEST(UncoveredFraction, FarDiskCoversNothing) {
+  sim::Rng rng(3);
+  const std::vector<Vec2> covered{{10.0 * kR, 0}};
+  EXPECT_DOUBLE_EQ(uncoveredFraction({0, 0}, covered, kR, rng, 4096), 1.0);
+}
+
+TEST(UncoveredFraction, MatchesClosedFormForOneDisk) {
+  sim::Rng rng(4);
+  for (double d : {100.0, 250.0, 400.0, 500.0}) {
+    const std::vector<Vec2> covered{{d, 0}};
+    const double mc = uncoveredFraction({0, 0}, covered, kR, rng, 200000);
+    EXPECT_NEAR(mc, additionalCoverageFraction(kR, d), 0.01) << "d=" << d;
+  }
+}
+
+TEST(UncoveredFraction, MoreDisksNeverIncreaseCoverageGap) {
+  sim::Rng rng(5);
+  std::vector<Vec2> covered;
+  double prev = 1.0;
+  for (int i = 0; i < 6; ++i) {
+    covered.push_back({100.0 * (i + 1), 50.0 * i});
+    sim::Rng fresh(77);  // same sample points each round
+    const double cur = uncoveredFraction({0, 0}, covered, kR, fresh, 8192);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(EacTrial, WithinUnitInterval) {
+  sim::Rng rng(6);
+  for (int k = 1; k <= 6; ++k) {
+    const double v = eacTrial(k, kR, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ExpectedAdditionalCoverage, FirstHearingMatchesAnalyticAverage) {
+  // EAC(1)/pi r^2 must equal the analytic ~0.41 of §2.2.1.
+  sim::Rng rng(7);
+  EXPECT_NEAR(expectedAdditionalCoverage(1, kR, rng, 3000, 512), 0.41, 0.02);
+}
+
+TEST(ExpectedAdditionalCoverage, SecondHearingIsAboutPaperConstant) {
+  // EAC(2)/pi r^2 ~= 0.187, the constant A(n) saturates at (§3.2).
+  sim::Rng rng(8);
+  EXPECT_NEAR(expectedAdditionalCoverage(2, kR, rng, 4000, 512),
+              kEac2Fraction, 0.02);
+}
+
+TEST(EacSeries, StrictlyDecreasingInK) {
+  // Fig. 1: the expected additional coverage decays as k grows.
+  sim::Rng rng(9);
+  const auto series = eacSeries(8, kR, rng, 1500, 256);
+  ASSERT_EQ(series.size(), 8u);
+  for (size_t k = 1; k < series.size(); ++k) {
+    EXPECT_LT(series[k], series[k - 1]) << "k=" << k + 1;
+  }
+}
+
+TEST(EacSeries, BelowFivePercentAfterFourHearings) {
+  // The paper's headline observation from Fig. 1: k >= 4 => EAC < 5%.
+  sim::Rng rng(10);
+  const auto series = eacSeries(5, kR, rng, 3000, 512);
+  EXPECT_LT(series[3], 0.05);  // k = 4
+  EXPECT_LT(series[4], 0.05);  // k = 5
+}
+
+TEST(EacSeries, ScaleInvariantInRadius) {
+  sim::Rng rngA(11);
+  sim::Rng rngB(11);
+  const auto a = eacSeries(3, 1.0, rngA, 800, 256);
+  const auto b = eacSeries(3, 500.0, rngB, 800, 256);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(UncoveredFractionDeath, RejectsBadArguments) {
+  sim::Rng rng(12);
+  EXPECT_DEATH((void)uncoveredFraction({0, 0}, {}, -1.0, rng), "Precondition");
+  EXPECT_DEATH((void)uncoveredFraction({0, 0}, {}, kR, rng, 0),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace manet::geom

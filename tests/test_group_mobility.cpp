@@ -1,0 +1,162 @@
+#include "mobility/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+#include "stats/connectivity.hpp"
+
+namespace manet::mobility {
+namespace {
+
+using geom::Vec2;
+using sim::kSecond;
+using sim::Time;
+
+GroupParams fastParams() {
+  GroupParams p;
+  p.center.maxSpeedMps = kmhToMps(60.0);
+  p.spanMeters = 150.0;
+  p.localSpeedMps = kmhToMps(5.0);
+  return p;
+}
+
+TEST(GroupMobility, MembersStayWithinMap) {
+  const MapSpec map = MapSpec::square(5);
+  sim::Rng rng(1);
+  auto models = makeGroup(map, {1250, 1250}, 6, fastParams(), rng);
+  ASSERT_EQ(models.size(), 6u);
+  for (Time t = 0; t <= 300 * kSecond; t += 5 * kSecond) {
+    for (auto& m : models) {
+      EXPECT_TRUE(map.contains(m->positionAt(t)));
+    }
+  }
+}
+
+TEST(GroupMobility, MembersStayNearEachOther) {
+  // Offsets and deviations are bounded, so pairwise distances within a
+  // group can never exceed 2*(span + span) = 4*span (offset + deviation for
+  // both members), regardless of how far the center travels.
+  const MapSpec map = MapSpec::square(9);
+  sim::Rng rng(2);
+  const GroupParams params = fastParams();
+  auto models = makeGroup(map, {2250, 2250}, 5, params, rng);
+  for (Time t = 0; t <= 400 * kSecond; t += 10 * kSecond) {
+    std::vector<Vec2> positions;
+    for (auto& m : models) positions.push_back(m->positionAt(t));
+    for (size_t i = 0; i < positions.size(); ++i) {
+      for (size_t j = i + 1; j < positions.size(); ++j) {
+        EXPECT_LE(geom::distance(positions[i], positions[j]),
+                  4.0 * params.spanMeters + 1e-6)
+            << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST(GroupMobility, GroupActuallyTravels) {
+  const MapSpec map = MapSpec::square(9);
+  sim::Rng rng(3);
+  auto models = makeGroup(map, {2250, 2250}, 3, fastParams(), rng);
+  const Vec2 start = models[0]->positionAt(0);
+  double maxDisplacement = 0.0;
+  for (Time t = 0; t <= 600 * kSecond; t += 30 * kSecond) {
+    maxDisplacement = std::max(
+        maxDisplacement, geom::distance(start, models[0]->positionAt(t)));
+  }
+  EXPECT_GT(maxDisplacement, 500.0);  // fast team covers real ground
+}
+
+TEST(GroupMobility, ZeroSpanPinsMembersToCenter) {
+  const MapSpec map = MapSpec::square(3);
+  sim::Rng rng(4);
+  GroupParams params = fastParams();
+  params.spanMeters = 0.0;
+  auto models = makeGroup(map, {750, 750}, 3, params, rng);
+  for (Time t = 0; t <= 100 * kSecond; t += 10 * kSecond) {
+    const Vec2 a = models[0]->positionAt(t);
+    const Vec2 b = models[1]->positionAt(t);
+    const Vec2 c = models[2]->positionAt(t);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, c);
+  }
+}
+
+TEST(GroupMobility, DeterministicPerSeed) {
+  const MapSpec map = MapSpec::square(5);
+  sim::Rng rngA(7);
+  sim::Rng rngB(7);
+  auto a = makeGroup(map, {1000, 1000}, 4, fastParams(), rngA);
+  auto b = makeGroup(map, {1000, 1000}, 4, fastParams(), rngB);
+  for (Time t = 0; t <= 100 * kSecond; t += 7 * kSecond) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i]->positionAt(t), b[i]->positionAt(t));
+    }
+  }
+}
+
+TEST(GroupMobility, SharedCenterToleratesInterleavedQueries) {
+  // The scheduler queries members in arbitrary order at the same timestamp;
+  // the shared center must tolerate repeated equal-time queries.
+  const MapSpec map = MapSpec::square(3);
+  sim::Rng rng(8);
+  auto models = makeGroup(map, {750, 750}, 3, fastParams(), rng);
+  for (Time t = 0; t <= 50 * kSecond; t += kSecond) {
+    (void)models[2]->positionAt(t);
+    (void)models[0]->positionAt(t);
+    (void)models[1]->positionAt(t);
+    (void)models[0]->positionAt(t);  // repeat at same t
+  }
+  SUCCEED();
+}
+
+// --------------------------------------------- via the scenario config
+
+TEST(GroupMobilityScenario, WorldBuildsGroups) {
+  experiment::ScenarioConfig config;
+  config.mapUnits = 7;
+  config.numHosts = 30;
+  config.mobility = experiment::ScenarioConfig::Mobility::kGroup;
+  config.groupSize = 6;
+  config.groupSpanMeters = 150.0;
+  config.numBroadcasts = 0;
+  config.seed = 5;
+  experiment::World world(config);
+  // Hosts of the same team are mutually in radio range (span 150 << 500).
+  const auto positions = world.channel().snapshotPositions();
+  for (net::NodeId base = 0; base + 5 < 30; base += 6) {
+    for (net::NodeId i = base; i < base + 6; ++i) {
+      for (net::NodeId j = i + 1; j < base + 6; ++j) {
+        EXPECT_LE(geom::distance(positions[i], positions[j]), 500.0);
+      }
+    }
+  }
+}
+
+TEST(GroupMobilityScenario, FullRunWorks) {
+  experiment::ScenarioConfig config;
+  config.mapUnits = 7;
+  config.numHosts = 40;
+  config.mobility = experiment::ScenarioConfig::Mobility::kGroup;
+  config.numBroadcasts = 10;
+  config.scheme = experiment::SchemeSpec::adaptiveCounter();
+  config.seed = 6;
+  const auto r = experiment::runScenario(config);
+  EXPECT_GT(r.re(), 0.5);
+  EXPECT_EQ(r.summary.broadcasts, 10u);
+}
+
+TEST(WaypointScenario, FullRunWorks) {
+  experiment::ScenarioConfig config;
+  config.mapUnits = 5;
+  config.numHosts = 40;
+  config.mobility = experiment::ScenarioConfig::Mobility::kWaypoint;
+  config.numBroadcasts = 10;
+  config.scheme = experiment::SchemeSpec::flooding();
+  config.seed = 7;
+  const auto r = experiment::runScenario(config);
+  EXPECT_GT(r.re(), 0.5);
+}
+
+}  // namespace
+}  // namespace manet::mobility

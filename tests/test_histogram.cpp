@@ -1,0 +1,122 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+
+namespace manet::stats {
+namespace {
+
+TEST(QuantileEstimator, EmptyReturnsZero) {
+  QuantileEstimator q;
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(QuantileEstimator, SingleSample) {
+  QuantileEstimator q;
+  q.add(7.5);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(q.median(), 7.5);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 7.5);
+}
+
+TEST(QuantileEstimator, ExactQuantilesOnSmallSets) {
+  QuantileEstimator q;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.median(), 3.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.0);
+}
+
+TEST(QuantileEstimator, InterpolatesBetweenOrderStatistics) {
+  QuantileEstimator q;
+  q.add(0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.median(), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.9), 9.0);
+}
+
+TEST(QuantileEstimator, InsertionOrderIrrelevant) {
+  QuantileEstimator a;
+  QuantileEstimator b;
+  for (int i = 0; i < 100; ++i) a.add(i);
+  for (int i = 99; i >= 0; --i) b.add(i);
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+  EXPECT_DOUBLE_EQ(a.p95(), b.p95());
+}
+
+TEST(QuantileEstimator, ReservoirApproximatesLargeStream) {
+  QuantileEstimator q(512, 7);
+  // Uniform 0..9999: median ~5000, p95 ~9500.
+  sim::Rng rng(13);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0.0, 10000.0));
+  EXPECT_EQ(q.count(), 100000u);
+  EXPECT_NEAR(q.median(), 5000.0, 600.0);
+  EXPECT_NEAR(q.p95(), 9500.0, 400.0);
+}
+
+TEST(QuantileEstimator, QueryDoesNotDisturbStream) {
+  QuantileEstimator q;
+  q.add(3.0);
+  q.add(1.0);
+  (void)q.median();  // triggers the sort
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.median(), 2.0);
+}
+
+TEST(QuantileEstimatorDeath, RejectsBadArguments) {
+  EXPECT_DEATH(QuantileEstimator(0), "Precondition");
+  QuantileEstimator q;
+  q.add(1.0);
+  EXPECT_DEATH((void)q.quantile(1.5), "Precondition");
+  EXPECT_DEATH((void)q.quantile(-0.1), "Precondition");
+}
+
+// ------------------------------- hop counting through the full stack
+
+TEST(HopTracking, MetricsAccumulateHops) {
+  MetricsCollector m(8);
+  m.onBroadcastStart({0, 0}, 0, 0, 5);
+  m.onDelivered({0, 0}, 1, 10, 1);
+  m.onDelivered({0, 0}, 2, 20, 2);
+  m.onDelivered({0, 0}, 3, 30, 3);
+  const auto& pb = m.broadcasts().at(0);
+  EXPECT_DOUBLE_EQ(pb.meanHops(), 2.0);
+  EXPECT_EQ(pb.maxHops, 3);
+}
+
+TEST(HopTracking, ChainTopologyCountsHopsExactly) {
+  experiment::ScenarioConfig c;
+  c.fixedPositions = {{0, 0}, {400, 0}, {800, 0}, {1200, 0}};
+  c.scheme = experiment::SchemeSpec::flooding();
+  c.mapUnits = 11;
+  c.numBroadcasts = 0;
+  c.seed = 3;
+  experiment::World w(c);
+  w.host(0).originateBroadcast();
+  w.scheduler().runUntil(1 * sim::kSecond);
+  const auto& pb = w.metrics().broadcasts().at(0);
+  EXPECT_EQ(pb.received, 3);
+  // Hops: host1 = 1, host2 = 2, host3 = 3.
+  EXPECT_DOUBLE_EQ(pb.meanHops(), 2.0);
+  EXPECT_EQ(pb.maxHops, 3);
+}
+
+TEST(HopTracking, SummaryExposesLatencyPercentilesAndHops) {
+  experiment::ScenarioConfig c;
+  c.mapUnits = 5;
+  c.numHosts = 40;
+  c.numBroadcasts = 12;
+  c.scheme = experiment::SchemeSpec::flooding();
+  c.seed = 9;
+  const auto r = experiment::runScenario(c);
+  EXPECT_GT(r.summary.meanHops, 1.0);
+  EXPECT_GT(r.summary.latencyP50Seconds, 0.0);
+  EXPECT_GE(r.summary.latencyP95Seconds, r.summary.latencyP50Seconds);
+}
+
+}  // namespace
+}  // namespace manet::stats

@@ -1,0 +1,192 @@
+// MAC edge cases beyond the core conformance tests: cancellation timing,
+// mixed hello/data/unicast queues, zero carrier-sense delay, saturation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/dcf.hpp"
+#include "net/packet.hpp"
+#include "phy/channel.hpp"
+#include "sim/scheduler.hpp"
+
+namespace manet::mac {
+namespace {
+
+using net::NodeId;
+
+net::PacketPtr dataPacket(NodeId sender, std::uint32_t seq = 0) {
+  return net::makeDataPacket(net::BroadcastId{sender, seq}, sender);
+}
+
+class CountingUpper : public DcfMac::Upper {
+ public:
+  explicit CountingUpper(sim::Scheduler& s) : scheduler_(s) {}
+  void onTxStarted(DcfMac::TxId, const net::Packet&) override { ++starts; }
+  void onTxFinished(DcfMac::TxId, const net::Packet&) override {
+    ++finishes;
+    lastFinish = scheduler_.now();
+  }
+  void onReceive(const phy::Frame&) override { ++receptions; }
+  void onUnicastOutcome(DcfMac::TxId, const net::Packet&,
+                        bool delivered) override {
+    outcomes.push_back(delivered);
+  }
+  int starts = 0;
+  int finishes = 0;
+  int receptions = 0;
+  sim::Time lastFinish = 0;
+  std::vector<bool> outcomes;
+
+ private:
+  sim::Scheduler& scheduler_;
+};
+
+struct Rig {
+  explicit Rig(phy::PhyParams phyParams = {})
+      : channel(scheduler, phyParams) {}
+
+  DcfMac& add(geom::Vec2 pos, std::uint64_t seed = 1, MacParams params = {}) {
+    const NodeId id = static_cast<NodeId>(macs.size());
+    uppers.push_back(std::make_unique<CountingUpper>(scheduler));
+    macs.push_back(std::make_unique<DcfMac>(
+        scheduler, channel, id, [pos] { return pos; }, sim::Rng(seed),
+        params, uppers.back().get()));
+    return *macs.back();
+  }
+
+  sim::Scheduler scheduler;
+  phy::Channel channel;
+  std::vector<std::unique_ptr<CountingUpper>> uppers;
+  std::vector<std::unique_ptr<DcfMac>> macs;
+};
+
+TEST(MacEdge, CancelDuringFrozenBackoff) {
+  Rig rig;
+  DcfMac& a = rig.add({0, 0}, 1);
+  DcfMac& b = rig.add({100, 0}, 2);
+  rig.scheduler.runUntil(10'000);
+  a.enqueue(dataPacket(0), 280);  // occupies the medium
+  rig.scheduler.runUntil(10'100);
+  const auto id = b.enqueue(dataPacket(1), 280);  // deferred, backoff drawn
+  rig.scheduler.runUntil(11'000);                 // still mid-frame
+  EXPECT_TRUE(b.cancel(id));
+  rig.scheduler.runAll();
+  EXPECT_EQ(rig.uppers[1]->starts, 0);
+  EXPECT_TRUE(b.quiescent());
+}
+
+TEST(MacEdge, ZeroCarrierSenseDelaySerializesSameInstantDecisions) {
+  phy::PhyParams phyParams;
+  phyParams.carrierSenseDelay = 0;  // idealized instant CCA
+  Rig rig(phyParams);
+  DcfMac& a = rig.add({0, 0}, 1);
+  DcfMac& b = rig.add({100, 0}, 2);
+  rig.add({200, 0}, 3);
+  rig.scheduler.runUntil(10'000);
+  a.enqueue(dataPacket(0), 280);
+  b.enqueue(dataPacket(1), 280);  // same instant; with zero delay b defers
+  rig.scheduler.runAll();
+  // Both frames decoded intact at the third station: no collision.
+  EXPECT_EQ(rig.uppers[2]->receptions, 2);
+  EXPECT_EQ(rig.macs[2]->framesDroppedCorrupt(), 0u);
+}
+
+TEST(MacEdge, DefaultSenseDelayMakesSameInstantDecisionsCollide) {
+  Rig rig;  // 5 us sense delay
+  DcfMac& a = rig.add({0, 0}, 1);
+  DcfMac& b = rig.add({100, 0}, 2);
+  rig.add({200, 0}, 3);
+  rig.scheduler.runUntil(10'000);
+  a.enqueue(dataPacket(0), 280);
+  b.enqueue(dataPacket(1), 280);  // b cannot sense a's 0-us-old carrier
+  rig.scheduler.runAll();
+  EXPECT_EQ(rig.uppers[2]->receptions, 0);
+  EXPECT_EQ(rig.macs[2]->framesDroppedCorrupt(), 2u);
+}
+
+TEST(MacEdge, SaturatedQueueDrainsCompletely) {
+  Rig rig;
+  DcfMac& a = rig.add({0, 0}, 1);
+  rig.add({100, 0}, 2);
+  rig.scheduler.runUntil(10'000);
+  for (std::uint32_t i = 0; i < 20; ++i) a.enqueue(dataPacket(0, i), 280);
+  rig.scheduler.runAll();
+  EXPECT_EQ(rig.uppers[0]->starts, 20);
+  EXPECT_EQ(rig.uppers[0]->finishes, 20);
+  EXPECT_EQ(rig.uppers[1]->receptions, 20);
+  EXPECT_TRUE(a.quiescent());
+}
+
+TEST(MacEdge, MixedBroadcastUnicastHelloQueue) {
+  Rig rig;
+  DcfMac& a = rig.add({0, 0}, 1);
+  rig.add({100, 0}, 2);
+  rig.scheduler.runUntil(10'000);
+  auto hello = std::make_shared<net::Packet>();
+  hello->type = net::PacketType::kHello;
+  hello->sender = 0;
+  a.enqueue(hello, 24);
+  a.enqueueUnicast(1, dataPacket(0, 1), 280);
+  a.enqueue(dataPacket(0, 2), 280);
+  rig.scheduler.runAll();
+  // All three delivered: hello + unicast data + broadcast data.
+  EXPECT_EQ(rig.uppers[1]->receptions, 3);
+  ASSERT_EQ(rig.uppers[0]->outcomes.size(), 1u);
+  EXPECT_TRUE(rig.uppers[0]->outcomes[0]);
+  EXPECT_TRUE(a.quiescent());
+}
+
+TEST(MacEdge, UnicastRetryPreemptsLaterQueueEntries) {
+  // The retried frame goes back to the FRONT of the queue (802.11 retries
+  // the same MPDU before serving new traffic).
+  Rig rig;
+  MacParams params;
+  params.retryLimit = 1;
+  DcfMac& a = rig.add({0, 0}, 1, params);
+  rig.add({100, 0}, 2, params);
+  rig.scheduler.runUntil(10'000);
+  a.enqueueUnicast(42, dataPacket(0, 1), 280);  // dest 42 doesn't exist
+  a.enqueue(dataPacket(0, 2), 280);             // broadcast behind it
+  rig.scheduler.runAll();
+  // Unicast failed after its retry; the broadcast still went out after.
+  ASSERT_EQ(rig.uppers[0]->outcomes.size(), 1u);
+  EXPECT_FALSE(rig.uppers[0]->outcomes[0]);
+  EXPECT_EQ(rig.uppers[1]->receptions, 1);  // only the broadcast
+  EXPECT_TRUE(a.quiescent());
+}
+
+TEST(MacEdge, QuiescentReflectsExchangeState) {
+  Rig rig;
+  DcfMac& a = rig.add({0, 0}, 1);
+  rig.add({100, 0}, 2);
+  rig.scheduler.runUntil(10'000);
+  a.enqueueUnicast(1, dataPacket(0), 280);
+  EXPECT_FALSE(a.quiescent());          // queued
+  rig.scheduler.runUntil(11'000);       // DATA on the air / awaiting ACK
+  rig.scheduler.runAll();
+  EXPECT_TRUE(a.quiescent());
+}
+
+TEST(MacEdge, BackToBackBroadcastsFromManyStationsAllDrain) {
+  // 6 stations in one collision domain, 5 frames each: the medium is
+  // saturated but every frame is eventually transmitted exactly once.
+  Rig rig;
+  for (int i = 0; i < 6; ++i) {
+    rig.add({static_cast<double>(i) * 50.0, 0}, static_cast<std::uint64_t>(i) + 1);
+  }
+  rig.scheduler.runUntil(10'000);
+  for (auto& mac : rig.macs) {
+    for (std::uint32_t s = 0; s < 5; ++s) {
+      mac->enqueue(dataPacket(mac->self(), s), 280);
+    }
+  }
+  rig.scheduler.runAll();
+  for (const auto& mac : rig.macs) {
+    EXPECT_EQ(mac->framesSent(), 5u);
+    EXPECT_TRUE(mac->quiescent());
+  }
+}
+
+}  // namespace
+}  // namespace manet::mac

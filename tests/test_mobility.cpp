@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "mobility/map.hpp"
+#include "mobility/model.hpp"
+#include "mobility/random_roam.hpp"
+#include "mobility/waypoint.hpp"
+#include "sim/random.hpp"
+
+namespace manet::mobility {
+namespace {
+
+using geom::Vec2;
+using sim::kSecond;
+using sim::Time;
+
+TEST(MapSpec, SquareBuilder) {
+  const MapSpec m = MapSpec::square(5);
+  EXPECT_DOUBLE_EQ(m.width, 2500.0);
+  EXPECT_DOUBLE_EQ(m.height, 2500.0);
+}
+
+TEST(MapSpec, ContainsAndClamp) {
+  const MapSpec m = MapSpec::square(1);
+  EXPECT_TRUE(m.contains({0, 0}));
+  EXPECT_TRUE(m.contains({500, 500}));
+  EXPECT_FALSE(m.contains({501, 0}));
+  EXPECT_FALSE(m.contains({0, -1}));
+  EXPECT_EQ(m.clamp({600, -50}), (Vec2{500, 0}));
+}
+
+TEST(MapSpec, UniformPointsStayInside) {
+  const MapSpec m = MapSpec::square(3);
+  sim::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(m.contains(m.uniformPoint(rng)));
+  }
+}
+
+TEST(SpeedConversion, KmhToMps) {
+  EXPECT_DOUBLE_EQ(kmhToMps(36.0), 10.0);
+  EXPECT_DOUBLE_EQ(kmhToMps(0.0), 0.0);
+}
+
+TEST(Stationary, NeverMoves) {
+  Stationary s({100, 200});
+  EXPECT_EQ(s.positionAt(0), (Vec2{100, 200}));
+  EXPECT_EQ(s.positionAt(1000 * kSecond), (Vec2{100, 200}));
+}
+
+TEST(RandomRoam, StaysWithinMap) {
+  const MapSpec map = MapSpec::square(3);
+  RoamParams params;
+  params.maxSpeedMps = kmhToMps(110.0);
+  RandomRoam roam(map, {750, 750}, params, sim::Rng(5));
+  for (Time t = 0; t <= 600 * kSecond; t += kSecond) {
+    const Vec2 p = roam.positionAt(t);
+    EXPECT_TRUE(map.contains(p)) << "t=" << t << " p=(" << p.x << "," << p.y
+                                 << ")";
+  }
+}
+
+TEST(RandomRoam, RespectsMaxSpeedBetweenQueries) {
+  const MapSpec map = MapSpec::square(11);
+  RoamParams params;
+  params.maxSpeedMps = kmhToMps(50.0);
+  RandomRoam roam(map, {2750, 2750}, params, sim::Rng(6));
+  Vec2 prev = roam.positionAt(0);
+  for (Time t = kSecond; t <= 300 * kSecond; t += kSecond) {
+    const Vec2 cur = roam.positionAt(t);
+    // One second apart: displacement can never exceed maxSpeed * 1 s (a
+    // reflection only folds the path, it cannot lengthen it... but it can
+    // shorten the net displacement).
+    EXPECT_LE(geom::distance(prev, cur), params.maxSpeedMps + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(RandomRoam, ZeroMaxSpeedMeansStationary) {
+  const MapSpec map = MapSpec::square(3);
+  RoamParams params;
+  params.maxSpeedMps = 0.0;
+  RandomRoam roam(map, {100, 900}, params, sim::Rng(7));
+  const Vec2 start = roam.positionAt(0);
+  EXPECT_EQ(roam.positionAt(500 * kSecond), start);
+}
+
+TEST(RandomRoam, DeterministicForSameSeed) {
+  const MapSpec map = MapSpec::square(5);
+  RoamParams params;
+  params.maxSpeedMps = kmhToMps(50.0);
+  RandomRoam a(map, {1000, 1000}, params, sim::Rng(8));
+  RandomRoam b(map, {1000, 1000}, params, sim::Rng(8));
+  for (Time t = 0; t <= 200 * kSecond; t += 7 * kSecond) {
+    EXPECT_EQ(a.positionAt(t), b.positionAt(t));
+  }
+}
+
+TEST(RandomRoam, MovesEventually) {
+  const MapSpec map = MapSpec::square(5);
+  RoamParams params;
+  params.maxSpeedMps = kmhToMps(50.0);
+  RandomRoam roam(map, {1000, 1000}, params, sim::Rng(9));
+  const Vec2 start = roam.positionAt(0);
+  double maxDisplacement = 0.0;
+  for (Time t = 0; t <= 300 * kSecond; t += 10 * kSecond) {
+    maxDisplacement =
+        std::max(maxDisplacement, geom::distance(start, roam.positionAt(t)));
+  }
+  EXPECT_GT(maxDisplacement, 10.0);
+}
+
+TEST(RandomRoam, QueriesAtSameTimeAreStable) {
+  const MapSpec map = MapSpec::square(3);
+  RoamParams params;
+  params.maxSpeedMps = kmhToMps(30.0);
+  RandomRoam roam(map, {500, 500}, params, sim::Rng(10));
+  const Vec2 a = roam.positionAt(17 * kSecond);
+  const Vec2 b = roam.positionAt(17 * kSecond);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomRoamDeath, RejectsBackwardQueries) {
+  const MapSpec map = MapSpec::square(3);
+  RandomRoam roam(map, {500, 500}, RoamParams{}, sim::Rng(11));
+  (void)roam.positionAt(10 * kSecond);
+  EXPECT_DEATH((void)roam.positionAt(5 * kSecond), "Precondition");
+}
+
+TEST(RandomRoam, TurnDurationsWithinConfiguredRange) {
+  // A turn lasts 1..100 s; with a tight window the velocity must be
+  // re-drawn frequently. We only verify the model doesn't get stuck.
+  const MapSpec map = MapSpec::square(3);
+  RoamParams params;
+  params.maxSpeedMps = kmhToMps(30.0);
+  params.minTurnDuration = 1 * kSecond;
+  params.maxTurnDuration = 2 * kSecond;
+  RandomRoam roam(map, {750, 750}, params, sim::Rng(12));
+  Vec2 prevVelocity = roam.currentVelocity();
+  int changes = 0;
+  for (Time t = 0; t <= 60 * kSecond; t += kSecond) {
+    (void)roam.positionAt(t);
+    if (!(roam.currentVelocity() == prevVelocity)) {
+      ++changes;
+      prevVelocity = roam.currentVelocity();
+    }
+  }
+  EXPECT_GT(changes, 20);  // ~40 turns expected in 60 s
+}
+
+TEST(Waypoint, StaysWithinMapAndReachesDestinations) {
+  const MapSpec map = MapSpec::square(5);
+  WaypointParams params;
+  params.minSpeedMps = 1.0;
+  params.maxSpeedMps = 20.0;
+  params.pause = 2 * kSecond;
+  RandomWaypoint wp(map, {0, 0}, params, sim::Rng(13));
+  for (Time t = 0; t <= 500 * kSecond; t += kSecond) {
+    EXPECT_TRUE(map.contains(wp.positionAt(t)));
+  }
+}
+
+TEST(Waypoint, DeterministicForSameSeed) {
+  const MapSpec map = MapSpec::square(5);
+  WaypointParams params;
+  RandomWaypoint a(map, {100, 100}, params, sim::Rng(14));
+  RandomWaypoint b(map, {100, 100}, params, sim::Rng(14));
+  for (Time t = 0; t <= 100 * kSecond; t += 3 * kSecond) {
+    EXPECT_EQ(a.positionAt(t), b.positionAt(t));
+  }
+}
+
+TEST(Waypoint, PausesAtDestination) {
+  const MapSpec map = MapSpec::square(1);
+  WaypointParams params;
+  params.minSpeedMps = 100.0;  // fast legs, long pauses
+  params.maxSpeedMps = 100.0;
+  params.pause = 50 * kSecond;
+  RandomWaypoint wp(map, {0, 0}, params, sim::Rng(15));
+  // Sample densely; during pauses consecutive samples must coincide.
+  int stationarySamples = 0;
+  Vec2 prev = wp.positionAt(0);
+  for (Time t = kSecond; t <= 200 * kSecond; t += kSecond) {
+    const Vec2 cur = wp.positionAt(t);
+    if (cur == prev) ++stationarySamples;
+    prev = cur;
+  }
+  EXPECT_GT(stationarySamples, 100);
+}
+
+}  // namespace
+}  // namespace manet::mobility

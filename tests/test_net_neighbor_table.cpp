@@ -1,0 +1,152 @@
+#include "net/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+
+namespace manet::net {
+namespace {
+
+using sim::kSecond;
+using sim::Time;
+
+Packet hello(NodeId sender, std::vector<NodeId> neighbors = {},
+             Time interval = 1 * kSecond) {
+  Packet p;
+  p.type = PacketType::kHello;
+  p.sender = sender;
+  p.helloNeighbors = std::move(neighbors);
+  p.helloInterval = interval;
+  return p;
+}
+
+TEST(NeighborTable, StartsEmpty) {
+  NeighborTable t;
+  EXPECT_EQ(t.neighborCount(0), 0);
+  EXPECT_TRUE(t.neighborIds(0).empty());
+}
+
+TEST(NeighborTable, HelloInsertsNeighbor) {
+  NeighborTable t;
+  t.onHello(7, hello(7), 1 * kSecond);
+  EXPECT_EQ(t.neighborCount(1 * kSecond), 1);
+  EXPECT_TRUE(t.contains(7, 1 * kSecond));
+}
+
+TEST(NeighborTable, EntryExpiresAfterTwoIntervals) {
+  NeighborTable t;
+  t.onHello(7, hello(7, {}, 1 * kSecond), 0);
+  EXPECT_TRUE(t.contains(7, 2 * kSecond));          // exactly 2 intervals: kept
+  EXPECT_FALSE(t.contains(7, 2 * kSecond + 1));     // just past: dropped
+}
+
+TEST(NeighborTable, FreshHelloRefreshesExpiry) {
+  NeighborTable t;
+  t.onHello(7, hello(7), 0);
+  t.onHello(7, hello(7), 1 * kSecond);
+  EXPECT_TRUE(t.contains(7, 3 * kSecond));
+  EXPECT_FALSE(t.contains(7, 3 * kSecond + 1));
+}
+
+TEST(NeighborTable, ExpiryUsesSenderAnnouncedInterval) {
+  NeighborTable t;
+  t.onHello(7, hello(7, {}, 10 * kSecond), 0);  // DHI host with long interval
+  EXPECT_TRUE(t.contains(7, 19 * kSecond));
+  EXPECT_FALSE(t.contains(7, 21 * kSecond));
+}
+
+TEST(NeighborTable, FallbackIntervalWhenNotAnnounced) {
+  NeighborTable t(10 * kSecond, /*fallbackInterval=*/2 * kSecond);
+  t.onHello(7, hello(7, {}, 0), 0);  // interval 0 = not announced
+  EXPECT_TRUE(t.contains(7, 4 * kSecond));
+  EXPECT_FALSE(t.contains(7, 4 * kSecond + 1));
+}
+
+TEST(NeighborTable, TwoHopSetsStored) {
+  NeighborTable t;
+  t.onHello(7, hello(7, {1, 2, 3}), 0);
+  const auto n = t.neighborsOf(7, kSecond);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(NeighborTable, TwoHopSetsUpdatedByNewerHello) {
+  NeighborTable t;
+  t.onHello(7, hello(7, {1, 2}), 0);
+  t.onHello(7, hello(7, {3}), kSecond);
+  EXPECT_EQ(*t.neighborsOf(7, kSecond), (std::vector<NodeId>{3}));
+}
+
+TEST(NeighborTable, UnknownNeighborHasNoTwoHopSet) {
+  NeighborTable t;
+  EXPECT_FALSE(t.neighborsOf(9, 0).has_value());
+}
+
+TEST(NeighborTable, NeighborIdsListsCurrentNeighbors) {
+  NeighborTable t;
+  t.onHello(1, hello(1), 0);
+  t.onHello(2, hello(2), 0);
+  t.onHello(3, hello(3, {}, 10 * kSecond), 0);
+  auto ids = t.neighborIds(3 * kSecond);  // 1 and 2 expired, 3 remains
+  EXPECT_EQ(ids, (std::vector<NodeId>{3}));
+}
+
+TEST(NeighborTable, JoinRecordsChangeEvent) {
+  NeighborTable t;
+  t.onHello(1, hello(1), 0);
+  EXPECT_EQ(t.changeEventsInWindow(0), 1);
+  t.onHello(1, hello(1), kSecond);  // refresh, not a join
+  EXPECT_EQ(t.changeEventsInWindow(kSecond), 1);
+}
+
+TEST(NeighborTable, LeaveRecordsChangeEvent) {
+  NeighborTable t;
+  t.onHello(1, hello(1), 0);
+  t.purge(5 * kSecond);  // expired at 2 s; purged now
+  EXPECT_EQ(t.changeEventsInWindow(5 * kSecond), 2);  // join + leave
+}
+
+TEST(NeighborTable, ChangeEventsAgeOutOfWindow) {
+  NeighborTable t(10 * kSecond);
+  t.onHello(1, hello(1, {}, 30 * kSecond), 0);  // long-lived entry
+  EXPECT_EQ(t.changeEventsInWindow(0), 1);
+  EXPECT_EQ(t.changeEventsInWindow(10 * kSecond), 1);  // still inside window
+  EXPECT_EQ(t.changeEventsInWindow(10 * kSecond + 1), 0);
+}
+
+TEST(NeighborTable, NeighborhoodVariationFormula) {
+  // nv = changes / (|N| * 10 s): 2 neighbors, 2 join events => 2/(2*10)=0.1.
+  NeighborTable t;
+  t.onHello(1, hello(1, {}, 30 * kSecond), 0);
+  t.onHello(2, hello(2, {}, 30 * kSecond), 0);
+  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(kSecond), 2.0 / (2.0 * 10.0));
+}
+
+TEST(NeighborTable, VariationZeroWhenStable) {
+  NeighborTable t;
+  t.onHello(1, hello(1, {}, 30 * kSecond), 0);
+  // 11 s later the join event left the window; the entry is still alive.
+  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(11 * kSecond), 0.0);
+}
+
+TEST(NeighborTable, VariationWithEmptyNeighborhoodUsesUnitDenominator) {
+  NeighborTable t;
+  t.onHello(1, hello(1), 0);
+  t.purge(5 * kSecond);  // join+leave, table now empty
+  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(5 * kSecond), 2.0 / 10.0);
+}
+
+TEST(NeighborTable, PurgeIsStableUnderRepetition) {
+  NeighborTable t;
+  t.onHello(1, hello(1), 0);
+  t.purge(5 * kSecond);
+  const int events = t.changeEventsInWindow(5 * kSecond);
+  t.purge(5 * kSecond);
+  t.purge(5 * kSecond);
+  EXPECT_EQ(t.changeEventsInWindow(5 * kSecond), events);
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,164 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace manet::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(r.next());
+  EXPECT_GT(values.size(), 45u);  // not stuck
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsOneHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng r(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniformInt(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng r(29);
+  std::vector<int> histogram(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++histogram[static_cast<size_t>(r.uniformInt(0, 7))];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng r(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndReproducible) {
+  Rng parent(42);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  Rng a2 = parent.fork(1);
+  int equalAb = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, a2.next());  // same stream id -> same sequence
+    if (va == b.next()) ++equalAb;
+  }
+  EXPECT_LT(equalAb, 3);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(99);
+  Rng b(99);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformTimeWithinBounds) {
+  Rng r(43);
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = r.uniformTime(0, 2 * kSecond);
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, 2 * kSecond);
+  }
+}
+
+TEST(Rng, CopiesEvolveIndependently) {
+  Rng a(5);
+  Rng b = a;  // value semantics
+  EXPECT_EQ(a.next(), b.next());
+  (void)a.next();
+  // b is now one draw behind a; sequences differ at the same call index but
+  // remain individually deterministic.
+  Rng c(5);
+  (void)c.next();
+  (void)c.next();
+  EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(SplitMix, KnownGoldenValues) {
+  // Reference values from the public-domain splitmix64 implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t v1 = splitmix64(state);
+  const std::uint64_t v2 = splitmix64(state);
+  EXPECT_EQ(v1, 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(v2, 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace
+}  // namespace manet::sim

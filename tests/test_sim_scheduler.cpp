@@ -1,0 +1,166 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace manet::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pendingCount(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.runAll();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler s;
+  Time seen = -1;
+  s.schedule(42, [&] { seen = s.now(); });
+  s.runAll();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  Time seen = -1;
+  s.schedule(100, [&] {
+    s.scheduleAfter(50, [&] { seen = s.now(); });
+  });
+  s.runAll();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  auto h = s.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.runAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotent) {
+  Scheduler s;
+  auto h = s.schedule(10, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(s.pendingCount(), 0u);
+}
+
+TEST(Scheduler, CancelAfterFireIsHarmless) {
+  Scheduler s;
+  int count = 0;
+  auto h = s.schedule(10, [&] { ++count; });
+  s.runAll();
+  h.cancel();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, DefaultHandleIsInert) {
+  Scheduler::Handle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler s;
+  auto a = s.schedule(10, [] {});
+  auto b = s.schedule(20, [] {});
+  EXPECT_EQ(s.pendingCount(), 2u);
+  a.cancel();
+  EXPECT_EQ(s.pendingCount(), 1u);
+  s.runAll();
+  EXPECT_EQ(s.pendingCount(), 0u);
+  (void)b;
+}
+
+TEST(Scheduler, RunUntilExecutesInclusiveBoundary) {
+  Scheduler s;
+  int count = 0;
+  s.schedule(10, [&] { ++count; });
+  s.schedule(20, [&] { ++count; });
+  s.schedule(21, [&] { ++count; });
+  EXPECT_EQ(s.runUntil(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pendingCount(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenQueueDrains) {
+  Scheduler s;
+  s.runUntil(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.scheduleAfter(10, chain);
+  };
+  s.schedule(0, chain);
+  s.runAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 40);
+}
+
+TEST(Scheduler, CancelFromInsideAnEarlierEvent) {
+  Scheduler s;
+  bool fired = false;
+  auto victim = s.schedule(20, [&] { fired = true; });
+  s.schedule(10, [&] { victim.cancel(); });
+  s.runAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.runOne());
+  auto h = s.schedule(10, [] {});
+  h.cancel();
+  EXPECT_FALSE(s.runOne());  // skips the dead event
+}
+
+TEST(Scheduler, RunAllHonorsMaxEvents) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule(i, [&] { ++count; });
+  EXPECT_EQ(s.runAll(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SchedulerDeath, RejectsSchedulingInThePast) {
+  Scheduler s;
+  s.schedule(10, [] {});
+  s.runAll();
+  EXPECT_DEATH(s.schedule(5, [] {}), "Precondition");
+}
+
+}  // namespace
+}  // namespace manet::sim

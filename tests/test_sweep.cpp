@@ -1,0 +1,93 @@
+#include "experiment/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manet::experiment {
+namespace {
+
+ScenarioConfig tinyBase() {
+  ScenarioConfig c;
+  c.numHosts = 25;
+  c.numBroadcasts = 3;
+  c.seed = 4;
+  return c;
+}
+
+TEST(Sweep, CartesianProductSize) {
+  const auto cells = runSweep(
+      tinyBase(),
+      {schemeAxis({SchemeSpec::flooding(), SchemeSpec::counter(2)}),
+       mapAxis({1, 5, 11})});
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(Sweep, CoordinatesMatchAxisOrder) {
+  const auto cells = runSweep(
+      tinyBase(), {schemeAxis({SchemeSpec::flooding()}), mapAxis({3})});
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].coordinates.size(), 2u);
+  EXPECT_EQ(cells[0].coordinates[0], "flooding");
+  EXPECT_EQ(cells[0].coordinates[1], "3x3");
+}
+
+TEST(Sweep, InnerAxisVariesFastest) {
+  const auto cells = runSweep(
+      tinyBase(),
+      {schemeAxis({SchemeSpec::flooding(), SchemeSpec::counter(2)}),
+       mapAxis({1, 5})});
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].coordinates, (std::vector<std::string>{"flooding", "1x1"}));
+  EXPECT_EQ(cells[1].coordinates, (std::vector<std::string>{"flooding", "5x5"}));
+  EXPECT_EQ(cells[2].coordinates, (std::vector<std::string>{"C=2", "1x1"}));
+}
+
+TEST(Sweep, ResultsArePopulated) {
+  const auto cells =
+      runSweep(tinyBase(), {schemeAxis({SchemeSpec::flooding()})});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].result.summary.broadcasts, 3u);
+  EXPECT_GE(cells[0].result.re(), 0.0);
+}
+
+TEST(Sweep, SpeedAndSeedAxes) {
+  const auto cells = runSweep(
+      tinyBase(), {speedAxis({10.0, 50.0}), seedAxis({1, 2, 3})});
+  EXPECT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].coordinates[0], "10");
+  EXPECT_EQ(cells[0].coordinates[1], "1");
+}
+
+TEST(Sweep, SeedAxisChangesOutcomes) {
+  const auto cells =
+      runSweep(tinyBase(), {seedAxis({1, 2})});
+  ASSERT_EQ(cells.size(), 2u);
+  // Different seeds give different topologies/timings; latency is a
+  // continuous quantity, so equality would be a one-in-2^53 coincidence.
+  EXPECT_NE(cells[0].result.latency(), cells[1].result.latency());
+}
+
+TEST(Sweep, TableRendersAllCells) {
+  const auto axes = std::vector<SweepAxis>{
+      schemeAxis({SchemeSpec::flooding()}), mapAxis({1, 3})};
+  const auto cells = runSweep(tinyBase(), axes);
+  const util::Table table = sweepTable(axes, cells);
+  EXPECT_EQ(table.rowCount(), 2u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("flooding"), std::string::npos);
+  EXPECT_NE(os.str().find("3x3"), std::string::npos);
+  std::ostringstream csv;
+  table.printCsv(csv);
+  EXPECT_NE(csv.str().find("scheme,map,RE,SRB"), std::string::npos);
+}
+
+TEST(SweepDeath, RejectsEmptyAxis) {
+  SweepAxis empty;
+  empty.name = "empty";
+  EXPECT_DEATH(runSweep(tinyBase(), {empty}), "Precondition");
+}
+
+}  // namespace
+}  // namespace manet::experiment
