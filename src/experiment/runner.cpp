@@ -1,11 +1,15 @@
 #include "experiment/runner.hpp"
 
+#include <chrono>
+
+#include "experiment/parallel.hpp"
 #include "experiment/world.hpp"
 #include "util/assert.hpp"
 
 namespace manet::experiment {
 
 RunResult runScenario(const ScenarioConfig& config) {
+  const auto wallStart = std::chrono::steady_clock::now();
   World world(config);
   world.run();
 
@@ -21,20 +25,21 @@ RunResult runScenario(const ScenarioConfig& config) {
         static_cast<double>(out.summary.hellosSent) /
         (out.simulatedSeconds * static_cast<double>(world.hostCount()));
   }
+  out.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wallStart)
+          .count();
   return out;
 }
 
-RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions) {
-  MANET_EXPECTS(repetitions >= 1);
+RunResult poolRuns(const std::vector<RunResult>& runs) {
+  MANET_EXPECTS(!runs.empty());
   RunResult pooled;
   double re = 0.0;
   double srb = 0.0;
   double latency = 0.0;
   double helloRate = 0.0;
-  for (int i = 0; i < repetitions; ++i) {
-    ScenarioConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(i);
-    RunResult r = runScenario(c);
+  for (const RunResult& r : runs) {
     re += r.re();
     srb += r.srb();
     latency += r.latency();
@@ -42,17 +47,37 @@ RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions) {
     pooled.summary.broadcasts += r.summary.broadcasts;
     pooled.summary.hellosSent += r.summary.hellosSent;
     pooled.summary.dataFramesSent += r.summary.dataFramesSent;
+    pooled.summary.totalReceived += r.summary.totalReceived;
+    pooled.summary.totalRebroadcast += r.summary.totalRebroadcast;
+    pooled.summary.totalReachable += r.summary.totalReachable;
     pooled.framesTransmitted += r.framesTransmitted;
     pooled.framesDelivered += r.framesDelivered;
     pooled.framesCorrupted += r.framesCorrupted;
     pooled.simulatedSeconds += r.simulatedSeconds;
+    pooled.wallSeconds += r.wallSeconds;
     pooled.schemeName = r.schemeName;
   }
-  pooled.summary.meanRe = re / repetitions;
-  pooled.summary.meanSrb = srb / repetitions;
-  pooled.summary.meanLatencySeconds = latency / repetitions;
-  pooled.hellosPerHostPerSecond = helloRate / repetitions;
+  const auto n = static_cast<double>(runs.size());
+  pooled.summary.meanRe = re / n;
+  pooled.summary.meanSrb = srb / n;
+  pooled.summary.meanLatencySeconds = latency / n;
+  pooled.hellosPerHostPerSecond = helloRate / n;
   return pooled;
+}
+
+RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions,
+                              int threads) {
+  MANET_EXPECTS(repetitions >= 1);
+  std::vector<RunResult> runs(static_cast<std::size_t>(repetitions));
+  parallelFor(
+      static_cast<std::size_t>(repetitions),
+      [&config, &runs](std::size_t i) {
+        ScenarioConfig c = config;
+        c.seed = config.seed + static_cast<std::uint64_t>(i);
+        runs[i] = runScenario(c);
+      },
+      threads);
+  return poolRuns(runs);
 }
 
 }  // namespace manet::experiment

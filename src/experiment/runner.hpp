@@ -20,19 +20,61 @@ struct RunResult {
   std::uint64_t framesDelivered = 0;
   std::uint64_t framesCorrupted = 0;
   double simulatedSeconds = 0.0;
+  /// Host wall-clock time spent simulating (summed across repetitions in
+  /// pooled results, so it stays meaningful under parallel execution).
+  double wallSeconds = 0.0;
   std::string schemeName;
 
+  // The paper's metrics: means of per-broadcast ratios (mean of r_i/e_i,
+  // etc.). Every figure bench reports these — they match the paper's
+  // per-broadcast averaging, and for pooled results they are the
+  // mean-of-means across repetitions.
   double re() const { return summary.meanRe; }
   double srb() const { return summary.meanSrb; }
   double latency() const { return summary.meanLatencySeconds; }
+
+  // Pooled-count variants recomputed from raw r/t/e totals: sum(r)/sum(e)
+  // and (sum(r)-sum(t))/sum(r). These weight every broadcast by its audience
+  // size instead of equally; reported nowhere by default, available for
+  // studies that want ratio-of-sums alongside the mean-of-ratios above.
+  double pooledRe() const {
+    return summary.totalReachable > 0
+               ? static_cast<double>(summary.totalReceived) /
+                     static_cast<double>(summary.totalReachable)
+               : 0.0;
+  }
+  double pooledSrb() const {
+    return summary.totalReceived > 0
+               ? static_cast<double>(summary.totalReceived -
+                                     summary.totalRebroadcast) /
+                     static_cast<double>(summary.totalReceived)
+               : 0.0;
+  }
+
+  /// Simulation throughput: channel frames processed per wall-clock second.
+  /// The headline number for the grid/parallel speedups (BENCH json output).
+  double framesPerWallSecond() const {
+    return wallSeconds > 0.0
+               ? static_cast<double>(framesTransmitted) / wallSeconds
+               : 0.0;
+  }
 };
 
 /// Builds a World from `config`, runs it to completion, and extracts results.
 RunResult runScenario(const ScenarioConfig& config);
 
+/// Pools per-repetition results: RE/SRB/latency/hello-rate become arithmetic
+/// means across runs (the figures' numbers); counts (broadcasts, frames,
+/// raw r/t/e, wall-clock) are summed. `runs` must be non-empty and ordered
+/// by repetition so float accumulation is deterministic.
+RunResult poolRuns(const std::vector<RunResult>& runs);
+
 /// Averages `repetitions` runs of the same scenario over distinct seeds
-/// (seed, seed+1, ...). Returns the per-run results plus a pooled result in
-/// which RE/SRB/latency are arithmetic means across runs.
-RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions);
+/// (seed, seed+1, ...), optionally across `threads` workers (0 = auto via
+/// MANET_THREADS / hardware concurrency). Each repetition owns a private
+/// World/Scheduler/RNG seeded exactly as the serial path; results are pooled
+/// in repetition order, so the outcome is identical for any thread count.
+RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions,
+                              int threads = 1);
 
 }  // namespace manet::experiment

@@ -65,6 +65,10 @@ struct ScenarioConfig {
   mac::MacParams mac{};
   int jitterSlots = 31;     // S2: wait U(0, jitterSlots) slots before MAC
   bool collisions = true;   // ablation hook: false = perfect PHY
+  /// Range queries through the channel's spatial grid (default) or the
+  /// exhaustive scan. Identical results either way — the switch exists for
+  /// differential tests and perf comparisons (also: MANET_CHANNEL_GRID=0).
+  bool channelGrid = true;
 
   std::uint64_t seed = 1;
 

@@ -1,5 +1,6 @@
 #include "experiment/sweep.hpp"
 
+#include "experiment/parallel.hpp"
 #include "util/assert.hpp"
 
 namespace manet::experiment {
@@ -51,38 +52,87 @@ SweepAxis seedAxis(std::vector<std::uint64_t> seeds) {
 
 namespace {
 
-void recurse(const ScenarioConfig& base, const std::vector<SweepAxis>& axes,
-             std::size_t depth, std::vector<std::string>& coordinates,
-             ScenarioConfig& current, int repetitions,
-             std::vector<SweepCell>& out) {
-  if (depth == axes.size()) {
-    SweepCell cell;
-    cell.coordinates = coordinates;
-    cell.result = repetitions > 1 ? runScenarioAveraged(current, repetitions)
-                                  : runScenario(current);
-    out.push_back(std::move(cell));
-    return;
-  }
-  for (const auto& value : axes[depth].values) {
-    ScenarioConfig next = current;
-    value.apply(next);
-    coordinates.push_back(value.label);
-    recurse(base, axes, depth + 1, coordinates, next, repetitions, out);
-    coordinates.pop_back();
-  }
+/// One cell of the cartesian product before execution: its coordinate labels
+/// and the axis values to apply (borrowed from `axes`, one per axis).
+struct CellSpec {
+  std::vector<std::string> coordinates;
+  std::vector<const SweepAxis::Value*> values;
+};
+
+/// Enumerates the cartesian product in the serial order (inner axis varies
+/// fastest) without copying any ScenarioConfig: each cell later applies its
+/// value chain onto a single fresh copy of the base config.
+std::vector<CellSpec> materializeCells(const std::vector<SweepAxis>& axes) {
+  std::vector<CellSpec> cells;
+  std::size_t total = 1;
+  for (const auto& axis : axes) total *= axis.values.size();
+  cells.reserve(total);
+
+  CellSpec current;
+  current.coordinates.reserve(axes.size());
+  current.values.reserve(axes.size());
+  const std::function<void(std::size_t)> recurse = [&](std::size_t depth) {
+    if (depth == axes.size()) {
+      cells.push_back(current);
+      return;
+    }
+    for (const auto& value : axes[depth].values) {
+      current.coordinates.push_back(value.label);
+      current.values.push_back(&value);
+      recurse(depth + 1);
+      current.coordinates.pop_back();
+      current.values.pop_back();
+    }
+  };
+  recurse(0);
+  return cells;
+}
+
+ScenarioConfig cellConfig(const ScenarioConfig& base, const CellSpec& cell) {
+  ScenarioConfig config = base;
+  for (const SweepAxis::Value* value : cell.values) value->apply(config);
+  return config;
 }
 
 }  // namespace
 
 std::vector<SweepCell> runSweep(const ScenarioConfig& base,
                                 const std::vector<SweepAxis>& axes,
-                                int repetitions) {
+                                int repetitions, int threads) {
   MANET_EXPECTS(repetitions >= 1);
   for (const auto& axis : axes) MANET_EXPECTS(!axis.values.empty());
+
+  const std::vector<CellSpec> cells = materializeCells(axes);
+  const std::size_t reps = static_cast<std::size_t>(repetitions);
+
+  // Fan the work out at (cell, repetition) granularity so a sweep with few
+  // cells but many repetitions still fills the pool. Every job owns its
+  // whole simulator; the slots below are the only shared writes, disjoint
+  // per job.
+  std::vector<std::vector<RunResult>> runs(cells.size());
+  for (auto& r : runs) r.resize(reps);
+  parallelFor(
+      cells.size() * reps,
+      [&](std::size_t job) {
+        const std::size_t cellIdx = job / reps;
+        const std::size_t rep = job % reps;
+        ScenarioConfig config = cellConfig(base, cells[cellIdx]);
+        config.seed += static_cast<std::uint64_t>(rep);
+        runs[cellIdx][rep] = runScenario(config);
+      },
+      threads);
+
   std::vector<SweepCell> out;
-  std::vector<std::string> coordinates;
-  ScenarioConfig current = base;
-  recurse(base, axes, 0, coordinates, current, repetitions, out);
+  out.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SweepCell cell;
+    cell.coordinates = cells[i].coordinates;
+    // Match the serial single-run path exactly: only pool when averaging
+    // (pooling a single run would drop its percentile/CI fields).
+    cell.result = repetitions > 1 ? poolRuns(runs[i])
+                                  : std::move(runs[i][0]);
+    out.push_back(std::move(cell));
+  }
   return out;
 }
 

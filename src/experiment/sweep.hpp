@@ -2,6 +2,12 @@
 // (or any custom axis) and collect results in one table, optionally as CSV.
 // The figure benches hand-roll their loops to match the paper's exact
 // panels; this utility is the general-purpose tool for new studies.
+//
+// Execution is parallel by default (threads = 0 resolves via MANET_THREADS /
+// hardware concurrency): every (cell, repetition) pair is an independent job
+// with its own World/Scheduler/RNG seeded exactly as the serial path, and
+// results are reassembled in cell-major, repetition-minor order — so the
+// sweep output is identical for any thread count.
 #pragma once
 
 #include <functional>
@@ -38,10 +44,10 @@ struct SweepCell {
 
 /// Runs the cartesian product of all axes over `base` (axes applied in
 /// order, so later axes win on conflicting fields). `repetitions` averages
-/// each cell over consecutive seeds.
+/// each cell over consecutive seeds. `threads`: 0 = auto, 1 = serial.
 std::vector<SweepCell> runSweep(const ScenarioConfig& base,
                                 const std::vector<SweepAxis>& axes,
-                                int repetitions = 1);
+                                int repetitions = 1, int threads = 0);
 
 /// Formats sweep results as an aligned table with one row per cell and
 /// columns: axes..., RE, SRB, latency(s), hello/host/s.

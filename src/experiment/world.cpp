@@ -7,6 +7,7 @@
 #include "mobility/waypoint.hpp"
 #include "stats/connectivity.hpp"
 #include "util/assert.hpp"
+#include "util/env.hpp"
 
 namespace manet::experiment {
 
@@ -17,6 +18,8 @@ World::World(const ScenarioConfig& config)
       policy_(config_.scheme.build()),
       workloadRng_(sim::Rng(config_.seed).fork(0xF00D)) {
   channel_.setCollisionsEnabled(config_.collisions);
+  channel_.setGridEnabled(config_.channelGrid &&
+                          util::envInt("MANET_CHANNEL_GRID", 1) != 0);
 
   const mobility::MapSpec map =
       mobility::MapSpec::square(config_.mapUnits, config_.unitMeters);
@@ -95,7 +98,7 @@ int World::reachableFrom(net::NodeId source) const {
 }
 
 int World::oracleNeighborCount(net::NodeId id) const {
-  return static_cast<int>(channel_.nodesInRange(id).size());
+  return static_cast<int>(channel_.inRangeCount(id));
 }
 
 std::vector<net::NodeId> World::oracleNeighbors(net::NodeId id) const {

@@ -1,11 +1,22 @@
 #include "phy/channel.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace manet::phy {
+
+namespace {
+
+/// Upper bound on grid cells along one axis. Dense maps in this codebase are
+/// a few tens of radii across; the cap only guards degenerate geometries
+/// (e.g. one node flung far away) from allocating a huge cell table.
+constexpr int kMaxCellsPerAxis = 256;
+
+}  // namespace
 
 Channel::Channel(sim::Scheduler& scheduler, PhyParams params)
     : scheduler_(scheduler), params_(params) {
@@ -21,6 +32,7 @@ void Channel::attach(net::NodeId id, Listener* listener, PositionFn position) {
   n.listener = listener;
   n.position = std::move(position);
   n.attached = true;
+  ++attachVersion_;
 }
 
 Channel::Node& Channel::node(net::NodeId id) {
@@ -54,20 +66,254 @@ bool Channel::isTransmitting(net::NodeId id) const {
   return node(id).transmitting;
 }
 
-std::vector<net::NodeId> Channel::nodesInRange(net::NodeId id) const {
-  const geom::Vec2 center = positionOf(id);
-  const double r2 = params_.radiusMeters * params_.radiusMeters;
-  std::vector<net::NodeId> out;
-  for (net::NodeId other = 0; other < nodes_.size(); ++other) {
-    if (other == id || !nodes_[other].attached) continue;
-    if (geom::distanceSquared(center, nodes_[other].position()) <= r2) {
-      out.push_back(other);
+void Channel::ensureGrid() const {
+  if (grid_.valid && grid_.builtAt == scheduler_.now() &&
+      grid_.attachVersion == attachVersion_) {
+    return;
+  }
+  const std::size_t n = nodes_.size();
+  grid_.positions.resize(n);
+  grid_.cellOf.assign(n, -1);
+  grid_.sortedIds.clear();
+  grid_.rankOf.assign(n, -1);
+
+  // Pay each position callback exactly once per epoch; every query this
+  // epoch reads the cached coordinates.
+  geom::Vec2 lo{0.0, 0.0};
+  geom::Vec2 hi{0.0, 0.0};
+  bool first = true;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (!nodes_[id].attached) continue;
+    const geom::Vec2 p = nodes_[id].position();
+    grid_.positions[id] = p;
+    grid_.rankOf[id] = static_cast<int>(grid_.sortedIds.size());
+    grid_.sortedIds.push_back(static_cast<net::NodeId>(id));
+    if (first) {
+      lo = hi = p;
+      first = false;
+    } else {
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
     }
   }
+
+  grid_.origin = lo;
+  grid_.bboxMax = hi;
+  double cell = params_.radiusMeters;
+  int cols = first ? 1 : static_cast<int>((hi.x - lo.x) / cell) + 1;
+  int rows = first ? 1 : static_cast<int>((hi.y - lo.y) / cell) + 1;
+  if (cols > kMaxCellsPerAxis || rows > kMaxCellsPerAxis) {
+    const double span = std::max(hi.x - lo.x, hi.y - lo.y);
+    cell = std::max(cell, span / kMaxCellsPerAxis + 1e-9);
+    cols = static_cast<int>((hi.x - lo.x) / cell) + 1;
+    rows = static_cast<int>((hi.y - lo.y) / cell) + 1;
+  }
+  grid_.cellSize = cell;
+  grid_.cols = cols;
+  grid_.rows = rows;
+
+  // Counting sort into CSR; iterating ids ascending keeps each cell's node
+  // list ascending, which the queries rely on for deterministic order.
+  grid_.cellStart.assign(static_cast<std::size_t>(cols) * rows + 1, 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (!nodes_[id].attached) continue;
+    const geom::Vec2 p = grid_.positions[id];
+    const int cx = std::min(cols - 1, static_cast<int>((p.x - lo.x) / cell));
+    const int cy = std::min(rows - 1, static_cast<int>((p.y - lo.y) / cell));
+    const int c = cy * cols + cx;
+    grid_.cellOf[id] = c;
+    ++grid_.cellStart[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c < grid_.cellStart.size(); ++c) {
+    grid_.cellStart[c] += grid_.cellStart[c - 1];
+  }
+  grid_.cellNodes.resize(grid_.cellStart.back());
+  grid_.cellX.resize(grid_.cellStart.back());
+  grid_.cellY.resize(grid_.cellStart.back());
+  const std::size_t cells = static_cast<std::size_t>(cols) * rows;
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  grid_.cellMinX.assign(cells, inf);
+  grid_.cellMaxX.assign(cells, -inf);
+  grid_.cellMinY.assign(cells, inf);
+  grid_.cellMaxY.assign(cells, -inf);
+  std::vector<int> fill(grid_.cellStart.begin(), grid_.cellStart.end() - 1);
+  for (std::size_t id = 0; id < n; ++id) {
+    const int c = grid_.cellOf[id];
+    if (c < 0) continue;
+    const auto cc = static_cast<std::size_t>(c);
+    const auto slot = static_cast<std::size_t>(fill[cc]++);
+    const geom::Vec2 p = grid_.positions[id];
+    grid_.cellNodes[slot] = static_cast<net::NodeId>(id);
+    grid_.cellX[slot] = p.x;
+    grid_.cellY[slot] = p.y;
+    grid_.cellMinX[cc] = std::min(grid_.cellMinX[cc], p.x);
+    grid_.cellMaxX[cc] = std::max(grid_.cellMaxX[cc], p.x);
+    grid_.cellMinY[cc] = std::min(grid_.cellMinY[cc], p.y);
+    grid_.cellMaxY[cc] = std::max(grid_.cellMaxY[cc], p.y);
+  }
+
+  grid_.valid = true;
+  grid_.builtAt = scheduler_.now();
+  grid_.attachVersion = attachVersion_;
+}
+
+void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
+                             std::vector<net::NodeId>& out) const {
+  const double r2 = params_.radiusMeters * params_.radiusMeters;
+  if (!gridEnabled_) {
+    for (net::NodeId id = 0; id < nodes_.size(); ++id) {
+      if (id == exclude || !nodes_[id].attached) continue;
+      if (geom::distanceSquared(center, nodes_[id].position()) <= r2) {
+        out.push_back(id);
+      }
+    }
+    return;
+  }
+
+  ensureGrid();
+  // When the whole population's bounding box lies inside the query disk —
+  // routine on dense single-cell maps — every other node is in range and
+  // the pre-sorted id list can be spliced around `exclude` directly.
+  {
+    const double fx =
+        std::max(center.x - grid_.origin.x, grid_.bboxMax.x - center.x);
+    const double fy =
+        std::max(center.y - grid_.origin.y, grid_.bboxMax.y - center.y);
+    if (fx * fx + fy * fy <= r2) {
+      const net::NodeId* b = grid_.sortedIds.data();
+      const std::size_t total = grid_.sortedIds.size();
+      const bool excluded =
+          exclude < grid_.rankOf.size() && grid_.rankOf[exclude] >= 0;
+      const std::size_t k =
+          excluded ? static_cast<std::size_t>(grid_.rankOf[exclude]) : total;
+      const std::size_t at = out.size();
+      out.resize(at + total - (excluded ? 1 : 0));
+      net::NodeId* w = out.data() + at;
+      std::copy(b, b + k, w);
+      std::copy(b + k + (excluded ? 1 : 0), b + total, w + k);
+      return;
+    }
+  }
+  // Cell size >= radius, so a disk centered anywhere inside cell (ccx,ccy)
+  // is contained in the 3x3 neighborhood. Single pass over those cells,
+  // sized to the attached-population upper bound up front. Pointers are
+  // hoisted so stores into `out` can't force reloads through `grid_`. A
+  // cell whose occupant bounding box lies inside the disk is bulk-copied
+  // (splicing out `exclude`); otherwise branchless compaction over the
+  // contiguous coordinate arrays — always store the candidate id, advance
+  // only when it qualifies.
+  const std::size_t before = out.size();
+  out.resize(before + grid_.sortedIds.size());
+  const double* xs = grid_.cellX.data();
+  const double* ys = grid_.cellY.data();
+  const net::NodeId* ids = grid_.cellNodes.data();
+  net::NodeId* dst = out.data() + before;
+  std::size_t kept = 0;
+  int cellsWithCandidates = 0;
+  forEachNeighborCell(center, [&](std::size_t c, int lo, int hi) {
+    cellsWithCandidates += (hi > lo) ? 1 : 0;
+    if (cellFullyCovered(c, center, r2)) {
+      const net::NodeId* b = ids + lo;
+      const net::NodeId* e = ids + hi;
+      const net::NodeId* p = std::lower_bound(b, e, exclude);
+      net::NodeId* w = std::copy(b, p, dst + kept);
+      if (p != e && *p == exclude) ++p;
+      w = std::copy(p, e, w);
+      kept = static_cast<std::size_t>(w - dst);
+      return;
+    }
+    for (int i = lo; i < hi; ++i) {
+      const double dx = xs[i] - center.x;
+      const double dy = ys[i] - center.y;
+      const net::NodeId id = ids[i];
+      dst[kept] = id;
+      kept += static_cast<std::size_t>((dx * dx + dy * dy <= r2) &
+                                       (id != exclude));
+    }
+  });
+  out.resize(before + kept);
+  // Per-cell lists are ascending but interleave across cells, so sort when
+  // more than one cell contributed — on a single-cell map (the densest
+  // case) no sort is needed.
+  if (cellsWithCandidates > 1) {
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+  }
+}
+
+std::size_t Channel::inRangeCount(net::NodeId id) const {
+  const double r2 = params_.radiusMeters * params_.radiusMeters;
+  if (!gridEnabled_) {
+    const geom::Vec2 center = node(id).position();  // asserts attachment
+    std::size_t count = 0;
+    for (net::NodeId other = 0; other < nodes_.size(); ++other) {
+      if (other == id || !nodes_[other].attached) continue;
+      if (geom::distanceSquared(center, nodes_[other].position()) <= r2) {
+        ++count;
+      }
+    }
+    return count;
+  }
+  ensureGrid();
+  MANET_EXPECTS(id < grid_.rankOf.size() && grid_.rankOf[id] >= 0);
+  const geom::Vec2 center = grid_.positions[id];
+  {
+    const double fx =
+        std::max(center.x - grid_.origin.x, grid_.bboxMax.x - center.x);
+    const double fy =
+        std::max(center.y - grid_.origin.y, grid_.bboxMax.y - center.y);
+    if (fx * fx + fy * fy <= r2) return grid_.sortedIds.size() - 1;
+  }
+  // Fully covered cells contribute their occupancy outright; otherwise a
+  // branch-free scan over the contiguous coordinate arrays. `id` itself is
+  // at distance 0 and gets counted either way, so subtract it afterwards.
+  const double* xs = grid_.cellX.data();
+  const double* ys = grid_.cellY.data();
+  std::size_t count = 0;
+  forEachNeighborCell(center, [&](std::size_t c, int lo, int hi) {
+    if (cellFullyCovered(c, center, r2)) {
+      count += static_cast<std::size_t>(hi - lo);
+      return;
+    }
+    for (int i = lo; i < hi; ++i) {
+      const double dx = xs[i] - center.x;
+      const double dy = ys[i] - center.y;
+      count += (dx * dx + dy * dy <= r2) ? 1u : 0u;
+    }
+  });
+  return count - 1;
+}
+
+std::vector<net::NodeId> Channel::nodesInRange(net::NodeId id) const {
+  std::vector<net::NodeId> out;
+  nodesInRange(id, out);
   return out;
 }
 
+void Channel::nodesInRange(net::NodeId id,
+                           std::vector<net::NodeId>& out) const {
+  out.clear();
+  if (gridEnabled_) {
+    ensureGrid();
+    // Attachment check via the grid's dense rank table — same contract as
+    // node(id) without touching the cold Node record.
+    MANET_EXPECTS(id < grid_.rankOf.size() && grid_.rankOf[id] >= 0);
+    collectInRange(grid_.positions[id], id, out);
+  } else {
+    collectInRange(node(id).position(), id, out);
+  }
+}
+
 std::vector<geom::Vec2> Channel::snapshotPositions() const {
+  if (gridEnabled_) {
+    ensureGrid();
+    std::vector<geom::Vec2> out = grid_.positions;
+    for (net::NodeId id = 0; id < nodes_.size(); ++id) {
+      if (!nodes_[id].attached) out[id] = geom::Vec2{};
+    }
+    return out;
+  }
   std::vector<geom::Vec2> out(nodes_.size());
   for (net::NodeId id = 0; id < nodes_.size(); ++id) {
     if (nodes_[id].attached) out[id] = nodes_[id].position();
@@ -100,12 +346,13 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
     for (const auto& rec : tx.activeRx) rec->corrupted = true;
   }
 
-  const double r2 = params_.radiusMeters * params_.radiusMeters;
-  for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-    if (id == src || !nodes_[id].attached) continue;
+  // Take the scratch buffer by move so a listener callback that reenters
+  // transmit() synchronously cannot clobber the receiver list mid-loop.
+  std::vector<net::NodeId> receivers = std::move(scratch_);
+  receivers.clear();
+  collectInRange(frame.srcPos, src, receivers);
+  for (const net::NodeId id : receivers) {
     Node& rx = nodes_[id];
-    if (geom::distanceSquared(frame.srcPos, rx.position()) > r2) continue;
-
     auto rec = std::make_shared<ActiveRx>();
     rec->frame = frame;
     if (collisionsEnabled_) {
@@ -130,6 +377,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
   }
 
   scheduler_.schedule(end, [this, src] { finishTransmission(src); });
+  scratch_ = std::move(receivers);
   return end;
 }
 

@@ -14,8 +14,17 @@
 //
 // The channel is also the position oracle: it owns the position callbacks
 // and exposes range queries used by the world's connectivity snapshots.
+//
+// Range resolution (DESIGN.md §7): queries go through a uniform spatial grid
+// (cell size = radio radius) rebuilt lazily once per simulation-time epoch,
+// so `transmit`/`nodesInRange` only examine the 3x3 cell neighborhood and
+// pay the position callbacks once per node per epoch instead of once per
+// query. `setGridEnabled(false)` restores the exhaustive O(N) scan; both
+// paths visit candidates in ascending node id, so a run is bit-identical
+// under either.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -79,8 +88,18 @@ class Channel {
   /// Current position of node `id`.
   geom::Vec2 positionOf(net::NodeId id) const;
 
-  /// All attached node ids within `radiusMeters` of node `id` (excl. itself).
+  /// All attached node ids within `radiusMeters` of node `id` (excl. itself),
+  /// in ascending id order.
   std::vector<net::NodeId> nodesInRange(net::NodeId id) const;
+
+  /// As above, but overwriting `out` (capacity reuse for hot callers — the
+  /// same resolution path transmit() runs per frame).
+  void nodesInRange(net::NodeId id, std::vector<net::NodeId>& out) const;
+
+  /// Number of attached nodes within range of `id` (excl. itself) without
+  /// materializing the list — the oracle neighbor-count `n` the adaptive
+  /// schemes query on every rebroadcast decision.
+  std::size_t inRangeCount(net::NodeId id) const;
 
   /// Positions of all attached nodes, indexed by node id.
   std::vector<geom::Vec2> snapshotPositions() const;
@@ -97,6 +116,12 @@ class Channel {
   /// intact (perfect-PHY model used by bench/abl_collision_model).
   void setCollisionsEnabled(bool enabled) { collisionsEnabled_ = enabled; }
 
+  /// Differential-testing hook: when disabled, range queries fall back to the
+  /// exhaustive all-nodes scan instead of the spatial grid. Either setting
+  /// yields identical simulations (same candidates, same order).
+  void setGridEnabled(bool enabled) { gridEnabled_ = enabled; }
+  bool gridEnabled() const { return gridEnabled_; }
+
  private:
   struct ActiveRx {
     Frame frame;
@@ -111,6 +136,38 @@ class Channel {
     std::vector<std::shared_ptr<ActiveRx>> activeRx;
   };
 
+  /// Uniform-cell spatial index over the attached nodes' positions, cached
+  /// for one simulation-time epoch (positions are pure functions of time, so
+  /// within one timestamp the index is exact). CSR layout: `cellNodes` holds
+  /// node ids grouped by cell, `cellStart[c]..cellStart[c+1]` delimits cell
+  /// c; `cellX`/`cellY` mirror the occupants' coordinates so the range scan
+  /// runs over contiguous doubles instead of chasing position callbacks.
+  struct Grid {
+    bool valid = false;
+    sim::Time builtAt = -1;
+    std::uint64_t attachVersion = 0;
+    double cellSize = 0.0;
+    geom::Vec2 origin{};                // == population bbox min corner
+    geom::Vec2 bboxMax{};               // population bbox max corner
+    int cols = 0;
+    int rows = 0;
+    std::vector<net::NodeId> sortedIds;  // attached ids, ascending
+    std::vector<int> rankOf;            // id -> index in sortedIds (-1: none)
+    std::vector<geom::Vec2> positions;  // per node id, cached this epoch
+    std::vector<int> cellOf;            // per node id (-1 = not attached)
+    std::vector<int> cellStart;         // cols*rows + 1 offsets
+    std::vector<net::NodeId> cellNodes;
+    std::vector<double> cellX;          // parallel to cellNodes
+    std::vector<double> cellY;
+    // Tight bounding box of each cell's occupants (+inf/-inf when empty).
+    // When the whole box lies inside a query disk every occupant is in
+    // range and the per-node distance scan can be skipped.
+    std::vector<double> cellMinX;
+    std::vector<double> cellMaxX;
+    std::vector<double> cellMinY;
+    std::vector<double> cellMaxY;
+  };
+
   Node& node(net::NodeId id);
   const Node& node(net::NodeId id) const;
   void raiseBusy(Node& n);
@@ -118,10 +175,53 @@ class Channel {
   void finishReception(net::NodeId rx, const std::shared_ptr<ActiveRx>& rec);
   void finishTransmission(net::NodeId src);
 
+  /// Rebuilds the grid if it is stale for the current epoch (time advanced
+  /// or a node attached since the last build).
+  void ensureGrid() const;
+  /// Invokes fn(c, lo, hi) with the index and CSR occupant range of every
+  /// cell in the 3x3 neighborhood of the cell containing `center`. Requires
+  /// a current grid (call ensureGrid() first).
+  template <typename Fn>
+  void forEachNeighborCell(geom::Vec2 center, Fn&& fn) const {
+    const int ccx = std::clamp(
+        static_cast<int>((center.x - grid_.origin.x) / grid_.cellSize), 0,
+        grid_.cols - 1);
+    const int ccy = std::clamp(
+        static_cast<int>((center.y - grid_.origin.y) / grid_.cellSize), 0,
+        grid_.rows - 1);
+    for (int cy = std::max(0, ccy - 1);
+         cy <= std::min(grid_.rows - 1, ccy + 1); ++cy) {
+      for (int cx = std::max(0, ccx - 1);
+           cx <= std::min(grid_.cols - 1, ccx + 1); ++cx) {
+        const auto c = static_cast<std::size_t>(cy * grid_.cols + cx);
+        fn(c, grid_.cellStart[c], grid_.cellStart[c + 1]);
+      }
+    }
+  }
+  /// True when every occupant of cell `c` is within `radiusMeters` of
+  /// `center` (the cell's occupant bounding box lies inside the disk), so
+  /// the whole cell qualifies without per-node distance checks.
+  bool cellFullyCovered(std::size_t c, geom::Vec2 center, double r2) const {
+    const double fx = std::max(center.x - grid_.cellMinX[c],
+                               grid_.cellMaxX[c] - center.x);
+    const double fy = std::max(center.y - grid_.cellMinY[c],
+                               grid_.cellMaxY[c] - center.y);
+    return fx * fx + fy * fy <= r2;
+  }
+  /// Appends all attached ids within `radiusMeters` of `center` (except
+  /// `exclude`) to `out`, ascending. Uses the grid when enabled and current,
+  /// the exhaustive scan otherwise.
+  void collectInRange(geom::Vec2 center, net::NodeId exclude,
+                      std::vector<net::NodeId>& out) const;
+
   sim::Scheduler& scheduler_;
   PhyParams params_;
   std::vector<Node> nodes_;
   bool collisionsEnabled_ = true;
+  bool gridEnabled_ = true;
+  std::uint64_t attachVersion_ = 0;
+  mutable Grid grid_;
+  mutable std::vector<net::NodeId> scratch_;  // transmit() receiver list
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t framesDelivered_ = 0;
   std::uint64_t framesCorrupted_ = 0;

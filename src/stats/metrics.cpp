@@ -96,6 +96,9 @@ RunSummary MetricsCollector::summarize() const {
   RunningStat latency;
   RunningStat hops;
   QuantileEstimator latencyQ;
+  std::uint64_t received = 0;
+  std::uint64_t rebroadcast = 0;
+  std::uint64_t reachable = 0;
   for (const PerBroadcast& pb : order_) {
     if (pb.reachable > 0) re.add(pb.reachability());
     if (pb.received > 0) {
@@ -104,8 +107,14 @@ RunSummary MetricsCollector::summarize() const {
     }
     latency.add(pb.latencySeconds());
     latencyQ.add(pb.latencySeconds());
+    received += static_cast<std::uint64_t>(std::max(0, pb.received));
+    rebroadcast += static_cast<std::uint64_t>(std::max(0, pb.rebroadcast));
+    reachable += static_cast<std::uint64_t>(std::max(0, pb.reachable));
   }
   RunSummary out;
+  out.totalReceived = received;
+  out.totalRebroadcast = rebroadcast;
+  out.totalReachable = reachable;
   out.meanRe = re.mean();
   out.meanSrb = srb.mean();
   out.meanLatencySeconds = latency.mean();

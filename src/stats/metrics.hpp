@@ -50,6 +50,14 @@ struct RunSummary {
   std::uint64_t broadcasts = 0;
   std::uint64_t hellosSent = 0;
   std::uint64_t dataFramesSent = 0;  // source tx + rebroadcasts
+
+  // Raw per-broadcast counts summed over the run (and, in pooled results,
+  // over runs). meanRe/meanSrb are means of per-broadcast ratios — the
+  // paper's averaging; these totals let callers recompute the pooled-count
+  // variants sum(r)/sum(e) and (sum(r)-sum(t))/sum(r) alongside them.
+  std::uint64_t totalReceived = 0;     // sum of r
+  std::uint64_t totalRebroadcast = 0;  // sum of t
+  std::uint64_t totalReachable = 0;    // sum of e
 };
 
 class MetricsCollector {

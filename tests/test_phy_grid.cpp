@@ -1,0 +1,196 @@
+// Differential tests for the channel's spatial grid index: under mobility,
+// across densities, the grid-backed range queries and transmit delivery sets
+// must match the exhaustive-scan fallback exactly (DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "mobility/map.hpp"
+#include "mobility/random_roam.hpp"
+#include "net/packet.hpp"
+#include "phy/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace manet::phy {
+namespace {
+
+using net::NodeId;
+
+class Sink : public Channel::Listener {
+ public:
+  struct Rx {
+    NodeId from;
+    bool corrupted;
+    sim::Time at;
+    friend bool operator==(const Rx&, const Rx&) = default;
+  };
+  void onFrameReceived(const Frame& frame, bool corrupted) override {
+    receptions.push_back({frame.src, corrupted, frame.txEnd});
+  }
+  std::vector<Rx> receptions;
+};
+
+/// A channel full of random-roaming hosts whose position callbacks read the
+/// scheduler clock — the same wiring the real World uses.
+struct MobileFixture {
+  MobileFixture(int hosts, int mapUnits, std::uint64_t seed) {
+    const mobility::MapSpec map = mobility::MapSpec::square(mapUnits);
+    sim::Rng master(seed);
+    channel = std::make_unique<Channel>(scheduler, PhyParams{});
+    for (int i = 0; i < hosts; ++i) {
+      sim::Rng rng = master.fork(0xA000 + static_cast<std::uint64_t>(i));
+      mobility::RoamParams roam;
+      roam.maxSpeedMps = mobility::kmhToMps(10.0 * mapUnits);
+      roam.minTurnDuration = 100 * sim::kMillisecond;
+      roam.maxTurnDuration = 2 * sim::kSecond;
+      models.push_back(std::make_unique<mobility::RandomRoam>(
+          map, map.uniformPoint(rng), roam, rng.fork(0xA0)));
+      sinks.push_back(std::make_unique<Sink>());
+      mobility::MobilityModel* model = models.back().get();
+      channel->attach(
+          static_cast<NodeId>(i), sinks.back().get(),
+          [this, model] { return model->positionAt(scheduler.now()); });
+    }
+  }
+
+  void advance(sim::Time dt) {
+    scheduler.schedule(scheduler.now() + dt, [] {});
+    scheduler.runAll();
+  }
+
+  sim::Scheduler scheduler;
+  std::unique_ptr<Channel> channel;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> models;
+  std::vector<std::unique_ptr<Sink>> sinks;
+};
+
+TEST(PhyGridDifferential, NodesInRangeMatchesExhaustiveUnderMobility) {
+  for (const int mapUnits : {1, 3, 7}) {
+    for (const std::uint64_t seed : {11u, 12u}) {
+      MobileFixture fx(60, mapUnits, seed);
+      for (int epoch = 0; epoch < 25; ++epoch) {
+        fx.advance(200 * sim::kMillisecond);
+        for (int i = 0; i < 60; ++i) {
+          const auto id = static_cast<NodeId>(i);
+          fx.channel->setGridEnabled(true);
+          const auto viaGrid = fx.channel->nodesInRange(id);
+          fx.channel->setGridEnabled(false);
+          const auto viaScan = fx.channel->nodesInRange(id);
+          ASSERT_EQ(viaGrid, viaScan)
+              << "map " << mapUnits << " seed " << seed << " epoch " << epoch
+              << " node " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PhyGridDifferential, SnapshotPositionsMatchesExhaustive) {
+  MobileFixture fx(40, 5, 21);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    fx.advance(500 * sim::kMillisecond);
+    fx.channel->setGridEnabled(true);
+    const auto viaGrid = fx.channel->snapshotPositions();
+    fx.channel->setGridEnabled(false);
+    const auto viaScan = fx.channel->snapshotPositions();
+    ASSERT_EQ(viaGrid, viaScan);
+  }
+}
+
+/// Runs the same randomized transmission schedule against a grid channel and
+/// an exhaustive channel and asserts every node's reception log (sender,
+/// corruption flag, timing) is identical.
+TEST(PhyGridDifferential, TransmitDeliverySetsMatchExhaustive) {
+  for (const int mapUnits : {1, 5}) {
+    MobileFixture grid(50, mapUnits, 33);
+    MobileFixture scan(50, mapUnits, 33);
+    grid.channel->setGridEnabled(true);
+    scan.channel->setGridEnabled(false);
+
+    sim::Rng rng(99);
+    for (int round = 0; round < 40; ++round) {
+      const auto dt = rng.uniformTime(1, 5 * sim::kMillisecond);
+      const auto src =
+          static_cast<NodeId>(rng.uniformInt(0, 49));
+      for (MobileFixture* fx : {&grid, &scan}) {
+        fx->advance(dt);
+        if (!fx->channel->isTransmitting(src)) {
+          fx->channel->transmit(src, net::makeDataPacket({src, 0}, src), 280);
+        }
+        fx->scheduler.runAll();
+      }
+    }
+
+    ASSERT_EQ(grid.channel->framesTransmitted(),
+              scan.channel->framesTransmitted());
+    EXPECT_EQ(grid.channel->framesDelivered(),
+              scan.channel->framesDelivered());
+    EXPECT_EQ(grid.channel->framesCorrupted(),
+              scan.channel->framesCorrupted());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(grid.sinks[i]->receptions, scan.sinks[i]->receptions)
+          << "map " << mapUnits << " node " << i;
+    }
+  }
+}
+
+/// Whole-simulation differential: a full scenario run must be bit-identical
+/// with the grid on and off (same RNG draws, same event order, same metrics).
+TEST(PhyGridDifferential, FullScenarioIsIdenticalWithGridOnAndOff) {
+  experiment::ScenarioConfig config;
+  config.mapUnits = 3;
+  config.numHosts = 60;
+  config.numBroadcasts = 8;
+  config.scheme = experiment::SchemeSpec::adaptiveCounter();
+  config.seed = 5;
+
+  config.channelGrid = true;
+  const experiment::RunResult withGrid = experiment::runScenario(config);
+  config.channelGrid = false;
+  const experiment::RunResult without = experiment::runScenario(config);
+
+  EXPECT_EQ(withGrid.re(), without.re());
+  EXPECT_EQ(withGrid.srb(), without.srb());
+  EXPECT_EQ(withGrid.latency(), without.latency());
+  EXPECT_EQ(withGrid.framesTransmitted, without.framesTransmitted);
+  EXPECT_EQ(withGrid.framesDelivered, without.framesDelivered);
+  EXPECT_EQ(withGrid.framesCorrupted, without.framesCorrupted);
+  EXPECT_EQ(withGrid.summary.totalReceived, without.summary.totalReceived);
+  EXPECT_EQ(withGrid.summary.totalRebroadcast,
+            without.summary.totalRebroadcast);
+  EXPECT_EQ(withGrid.summary.totalReachable, without.summary.totalReachable);
+  EXPECT_EQ(withGrid.simulatedSeconds, without.simulatedSeconds);
+}
+
+TEST(PhyGrid, GridEnabledByDefault) {
+  sim::Scheduler scheduler;
+  Channel channel(scheduler, PhyParams{});
+  EXPECT_TRUE(channel.gridEnabled());
+}
+
+/// Nodes attached after a query (fresh attach version) must show up without
+/// waiting for time to advance.
+TEST(PhyGrid, AttachInvalidatesCachedGrid) {
+  sim::Scheduler scheduler;
+  Channel channel(scheduler, PhyParams{});
+  std::vector<std::unique_ptr<Sink>> sinks;
+  auto add = [&](geom::Vec2 pos) {
+    const auto id = static_cast<NodeId>(sinks.size());
+    sinks.push_back(std::make_unique<Sink>());
+    channel.attach(id, sinks.back().get(), [pos] { return pos; });
+    return id;
+  };
+  const NodeId a = add({0, 0});
+  EXPECT_TRUE(channel.nodesInRange(a).empty());  // builds the grid
+  const NodeId b = add({100, 0});                // same timestamp
+  const auto inRange = channel.nodesInRange(a);
+  ASSERT_EQ(inRange.size(), 1u);
+  EXPECT_EQ(inRange[0], b);
+}
+
+}  // namespace
+}  // namespace manet::phy
