@@ -29,7 +29,7 @@ namespace {
 
 class NullListener : public phy::Channel::Listener {
  public:
-  void onFrameReceived(const phy::Frame&, bool) override {}
+  void onFrameReceived(const phy::Frame&, phy::DropReason) override {}
 };
 
 /// A channel populated like a World: one RandomRoam model per host, position

@@ -1,6 +1,9 @@
 // Trace inspector: record every protocol event of a small run and print a
 // per-broadcast timeline — who relayed, who was suppressed and when, where
-// collisions hit. The event stream can also be dumped as CSV for plotting.
+// frames were lost (tallied per drop reason: collision, half-duplex,
+// injected fault loss, host crash). The event stream can also be dumped as
+// CSV for plotting. Fault injection responds to the MANET_FAULT_* env knobs,
+// e.g. MANET_FAULT_LOSS=ge ./build/examples/trace_inspector
 //
 //   ./build/examples/trace_inspector [mapUnits] [broadcasts] [--csv]
 #include <cstdlib>
@@ -38,10 +41,23 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Recorded " << recorder.totalSeen() << " events ("
-            << recorder.countOf(trace::EventKind::kCollision)
-            << " collisions, "
+            << recorder.countOf(trace::EventKind::kDrop) << " drops, "
             << recorder.countOf(trace::EventKind::kInhibited)
-            << " inhibitions)\n\n";
+            << " inhibitions)\n";
+  std::cout << "Drops by reason:";
+  for (const phy::DropReason reason :
+       {phy::DropReason::kCollision, phy::DropReason::kHalfDuplex,
+        phy::DropReason::kFaultLoss, phy::DropReason::kHostDown}) {
+    std::cout << ' ' << phy::dropReasonName(reason) << '='
+              << recorder.countOfDrop(reason);
+  }
+  std::cout << "\n";
+  if (recorder.countOf(trace::EventKind::kHostDown) > 0) {
+    std::cout << "Churn: " << recorder.countOf(trace::EventKind::kHostDown)
+              << " crashes, " << recorder.countOf(trace::EventKind::kHostUp)
+              << " recoveries\n";
+  }
+  std::cout << "\n";
   for (const net::BroadcastId bid : trace::broadcastsIn(recorder.events())) {
     const auto tl = trace::buildTimeline(recorder.events(), bid);
     if (tl) std::cout << tl->render() << "\n";

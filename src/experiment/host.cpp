@@ -27,6 +27,22 @@ Host::Host(World& world, net::NodeId id,
 
 void Host::start() { hello_->start(); }
 
+void Host::onCrash() {
+  MANET_EXPECTS(up_);
+  up_ = false;
+  hello_->stop();
+  for (auto& [bid, state] : states_) state.jitterTimer.cancel();
+  states_.clear();
+  mac_->reset();
+  table_.clear();
+}
+
+void Host::onRecover() {
+  MANET_EXPECTS(!up_);
+  up_ = true;
+  hello_->start();
+}
+
 net::BroadcastId Host::originateBroadcast() {
   return originateBroadcast([](net::Packet&) {});
 }
@@ -207,17 +223,17 @@ void Host::onUnicastOutcome(mac::DcfMac::TxId, const net::Packet& packet,
   if (app_ != nullptr) app_->onUnicastOutcome(*this, packet, delivered);
 }
 
-void Host::onCorruptedFrame(const phy::Frame& frame) {
+void Host::onCorruptedFrame(const phy::Frame& frame, phy::DropReason reason) {
   if (world_.traceSink() == nullptr) return;
   const net::Packet& packet = *frame.packet;
-  emitTrace(trace::EventKind::kCollision,
+  emitTrace(trace::EventKind::kDrop,
             packet.type == net::PacketType::kData ? packet.bid
                                                   : net::BroadcastId{},
-            packet.sender);
+            packet.sender, reason);
 }
 
 void Host::emitTrace(trace::EventKind kind, net::BroadcastId bid,
-                     net::NodeId from) {
+                     net::NodeId from, phy::DropReason drop) {
   trace::TraceSink* sink = world_.traceSink();
   if (sink == nullptr) return;
   trace::Event event;
@@ -227,6 +243,7 @@ void Host::emitTrace(trace::EventKind kind, net::BroadcastId bid,
   event.bid = bid;
   event.from = from;
   event.position = position();
+  event.drop = drop;
   sink->onEvent(event);
 }
 

@@ -60,6 +60,16 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   /// Starts periodic agents (HELLO). Call once before the run.
   void start();
 
+  /// Host churn (DESIGN.md §8). A crash is a cold reboot: every queued frame
+  /// and timer is dropped, the MAC resets, and the neighbor table plus all
+  /// per-broadcast memory is forgotten — a recovered host treats copies it
+  /// saw before the crash as brand-new receptions. Recovery restarts the
+  /// HELLO agent. The world flips the channel's node state; these hooks only
+  /// manage host-local state.
+  void onCrash();
+  void onRecover();
+  bool up() const { return up_; }
+
   /// Originates a brand-new broadcast from this host (a "broadcast request"
   /// of the workload). Returns its identity.
   net::BroadcastId originateBroadcast();
@@ -92,7 +102,8 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   void onTxStarted(mac::DcfMac::TxId id, const net::Packet& packet) override;
   void onTxFinished(mac::DcfMac::TxId id, const net::Packet& packet) override;
   void onReceive(const phy::Frame& frame) override;
-  void onCorruptedFrame(const phy::Frame& frame) override;
+  void onCorruptedFrame(const phy::Frame& frame,
+                        phy::DropReason reason) override;
   void onUnicastOutcome(mac::DcfMac::TxId id, const net::Packet& packet,
                         bool delivered) override;
 
@@ -124,7 +135,8 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   void submitToMac(net::BroadcastId bid);
   void inhibit(BroadcastState& state, net::BroadcastId bid);
   void emitTrace(trace::EventKind kind, net::BroadcastId bid,
-                 net::NodeId from = net::kInvalidNode);
+                 net::NodeId from = net::kInvalidNode,
+                 phy::DropReason drop = phy::DropReason::kNone);
 
   World& world_;
   net::NodeId id_;
@@ -136,7 +148,8 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   mutable net::NeighborTable table_;
   std::unique_ptr<mac::DcfMac> mac_;
   std::unique_ptr<net::HelloAgent> hello_;
-  std::uint32_t nextSeq_ = 0;
+  std::uint32_t nextSeq_ = 0;  // survives crashes: bids stay unique
+  bool up_ = true;
   HostApp* app_ = nullptr;
   std::unordered_map<net::BroadcastId, BroadcastState, net::BroadcastIdHash>
       states_;

@@ -20,6 +20,10 @@ RunResult runScenario(const ScenarioConfig& config) {
   out.framesTransmitted = world.channel().framesTransmitted();
   out.framesDelivered = world.channel().framesDelivered();
   out.framesCorrupted = world.channel().framesCorrupted();
+  out.faultsEnabled = world.config().fault.enabled();
+  out.framesLostToFault = world.channel().framesLostToFault();
+  out.framesDroppedHostDown = world.channel().framesDroppedHostDown();
+  out.hostDownSeconds = world.hostDownSeconds();
   if (out.simulatedSeconds > 0.0 && world.hostCount() > 0) {
     out.hellosPerHostPerSecond =
         static_cast<double>(out.summary.hellosSent) /
@@ -53,6 +57,10 @@ RunResult poolRuns(const std::vector<RunResult>& runs) {
     pooled.framesTransmitted += r.framesTransmitted;
     pooled.framesDelivered += r.framesDelivered;
     pooled.framesCorrupted += r.framesCorrupted;
+    pooled.faultsEnabled = pooled.faultsEnabled || r.faultsEnabled;
+    pooled.framesLostToFault += r.framesLostToFault;
+    pooled.framesDroppedHostDown += r.framesDroppedHostDown;
+    pooled.hostDownSeconds += r.hostDownSeconds;
     pooled.simulatedSeconds += r.simulatedSeconds;
     pooled.wallSeconds += r.wallSeconds;
     pooled.schemeName = r.schemeName;

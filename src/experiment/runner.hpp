@@ -19,6 +19,11 @@ struct RunResult {
   std::uint64_t framesTransmitted = 0;
   std::uint64_t framesDelivered = 0;
   std::uint64_t framesCorrupted = 0;
+  // Fault injection (zero and inert when faults are off).
+  bool faultsEnabled = false;
+  std::uint64_t framesLostToFault = 0;      // injected link loss
+  std::uint64_t framesDroppedHostDown = 0;  // receptions cut off by a crash
+  double hostDownSeconds = 0.0;             // summed host-seconds spent down
   double simulatedSeconds = 0.0;
   /// Host wall-clock time spent simulating (summed across repetitions in
   /// pooled results, so it stays meaningful under parallel execution).

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "experiment/scheme_spec.hpp"
+#include "fault/config.hpp"
 #include "geom/vec2.hpp"
 #include "mac/dcf.hpp"
 #include "net/hello.hpp"
@@ -69,6 +70,12 @@ struct ScenarioConfig {
   /// exhaustive scan. Identical results either way — the switch exists for
   /// differential tests and perf comparisons (also: MANET_CHANNEL_GRID=0).
   bool channelGrid = true;
+
+  /// Fault injection (DESIGN.md §8): link loss models and host churn. Off by
+  /// default; a disabled config is bit-identical to the fault-free
+  /// simulator. The world additionally applies MANET_FAULT_* environment
+  /// overrides at construction.
+  fault::FaultConfig fault{};
 
   std::uint64_t seed = 1;
 

@@ -138,10 +138,19 @@ std::vector<SweepCell> runSweep(const ScenarioConfig& base,
 
 util::Table sweepTable(const std::vector<SweepAxis>& axes,
                        const std::vector<SweepCell>& cells) {
+  // Fault columns appear only when some cell actually ran with faults, so
+  // the golden fault-free tables are byte-identical to before the fault
+  // subsystem existed.
+  bool anyFaults = false;
+  for (const auto& cell : cells) anyFaults |= cell.result.faultsEnabled;
+
   std::vector<std::string> header;
   for (const auto& axis : axes) header.push_back(axis.name);
   header.insert(header.end(),
                 {"RE", "SRB", "latency(s)", "hello/host/s"});
+  if (anyFaults) {
+    header.insert(header.end(), {"lost", "down-drop", "down(s)"});
+  }
   util::Table table(header);
   for (const auto& cell : cells) {
     std::vector<std::string> row = cell.coordinates;
@@ -149,6 +158,11 @@ util::Table sweepTable(const std::vector<SweepAxis>& axes,
     row.push_back(util::fmt(cell.result.srb(), 3));
     row.push_back(util::fmt(cell.result.latency(), 4));
     row.push_back(util::fmt(cell.result.hellosPerHostPerSecond, 2));
+    if (anyFaults) {
+      row.push_back(std::to_string(cell.result.framesLostToFault));
+      row.push_back(std::to_string(cell.result.framesDroppedHostDown));
+      row.push_back(util::fmt(cell.result.hostDownSeconds, 1));
+    }
     table.addRow(std::move(row));
   }
   return table;

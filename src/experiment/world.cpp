@@ -21,6 +21,19 @@ World::World(const ScenarioConfig& config)
   channel_.setGridEnabled(config_.channelGrid &&
                           util::envInt("MANET_CHANNEL_GRID", 1) != 0);
 
+  // Fault injection. Dedicated RNG streams (0xFA01 loss, 0xC4 churn) mean
+  // enabling faults never shifts the draws of mobility, hosts, or workload.
+  config_.fault = config_.fault.withEnvOverrides();
+  lossModel_ =
+      fault::makeLossModel(config_.fault, sim::Rng(config_.seed).fork(0xFA01));
+  if (lossModel_ != nullptr) {
+    channel_.setLossFn([this](net::NodeId src, net::NodeId dst) {
+      return lossModel_->shouldDrop(src, dst);
+    });
+  }
+  downSince_.assign(static_cast<std::size_t>(config_.numHosts), -1);
+  downAccum_.assign(static_cast<std::size_t>(config_.numHosts), 0);
+
   const mobility::MapSpec map =
       mobility::MapSpec::square(config_.mapUnits, config_.unitMeters);
   sim::Rng master(config_.seed);
@@ -93,8 +106,63 @@ void World::startAgents() {
 }
 
 int World::reachableFrom(net::NodeId source) const {
-  return stats::reachableCount(channel_.snapshotPositions(),
+  // Crashed hosts sit at Vec2{} in the snapshot; mask them out of the BFS
+  // whenever any host is actually down (churn config or manual setHostUp).
+  bool anyDown = false;
+  std::vector<bool> alive(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    alive[i] = hosts_[i]->up();
+    anyDown |= !alive[i];
+  }
+  if (!anyDown) {
+    return stats::reachableCount(channel_.snapshotPositions(),
+                                 config_.phy.radiusMeters, source);
+  }
+  return stats::reachableCount(channel_.snapshotPositions(), alive,
                                config_.phy.radiusMeters, source);
+}
+
+void World::setHostUp(net::NodeId id, bool up) {
+  Host& host = *hosts_[id];
+  if (host.up() == up) return;
+  const std::vector<phy::Frame> flushed = channel_.setNodeUp(id, up);
+  if (!up) {
+    host.onCrash();
+    downSince_[id] = scheduler_.now();
+  } else {
+    host.onRecover();
+    downAccum_[id] += scheduler_.now() - downSince_[id];
+    downSince_[id] = -1;
+  }
+  if (traceSink_ == nullptr) return;
+  trace::Event event;
+  event.kind = up ? trace::EventKind::kHostUp : trace::EventKind::kHostDown;
+  event.at = scheduler_.now();
+  event.node = id;
+  event.position = host.mobility().positionAt(scheduler_.now());
+  traceSink_->onEvent(event);
+  for (const phy::Frame& frame : flushed) {
+    trace::Event dropEvent;
+    dropEvent.kind = trace::EventKind::kDrop;
+    dropEvent.at = scheduler_.now();
+    dropEvent.node = id;
+    if (frame.packet->type == net::PacketType::kData) {
+      dropEvent.bid = frame.packet->bid;
+    }
+    dropEvent.from = frame.packet->sender;
+    dropEvent.position = event.position;
+    dropEvent.drop = phy::DropReason::kHostDown;
+    traceSink_->onEvent(dropEvent);
+  }
+}
+
+double World::hostDownSeconds() const {
+  sim::Time total = 0;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    total += downAccum_[i];
+    if (downSince_[i] >= 0) total += scheduler_.now() - downSince_[i];
+  }
+  return sim::toSeconds(total);
 }
 
 int World::oracleNeighborCount(net::NodeId id) const {
@@ -112,10 +180,23 @@ void World::scheduleWorkload() {
     const auto source = static_cast<net::NodeId>(
         workloadRng_.uniformInt(0, config_.numHosts - 1));
     scheduler_.schedule(at, [this, source] {
+      // A crashed host cannot originate traffic; its request is simply lost
+      // (the draw still happens, so churn never shifts the workload stream).
+      if (!hosts_[source]->up()) return;
       hosts_[source]->originateBroadcast();
     });
   }
   horizon_ = at + config_.drain;
+}
+
+void World::scheduleChurn() {
+  if (!config_.fault.churnEnabled()) return;
+  churnTimeline_ = fault::buildChurnTimeline(
+      config_.fault, config_.numHosts, horizon_,
+      sim::Rng(config_.seed).fork(0xC4));
+  for (const fault::ChurnEvent& ev : churnTimeline_) {
+    scheduler_.schedule(ev.at, [this, ev] { setHostUp(ev.node, ev.up); });
+  }
 }
 
 void World::run() {
@@ -123,6 +204,7 @@ void World::run() {
   ran_ = true;
   startAgents();
   scheduleWorkload();
+  scheduleChurn();
   scheduler_.runUntil(horizon_);
 }
 

@@ -6,6 +6,8 @@
 
 #include "experiment/host.hpp"
 #include "experiment/scenario.hpp"
+#include "fault/churn.hpp"
+#include "fault/loss.hpp"
 #include "mobility/map.hpp"
 #include "phy/channel.hpp"
 #include "sim/random.hpp"
@@ -42,7 +44,29 @@ class World {
   std::size_t hostCount() const { return hosts_.size(); }
 
   /// e for a broadcast starting now at `source` (unit-disk BFS snapshot).
+  /// Crashed hosts neither count nor relay.
   int reachableFrom(net::NodeId source) const;
+
+  // --- fault injection (DESIGN.md §8) ---
+  /// Crashes (`up = false`) or recovers (`up = true`) a host mid-run:
+  /// detaches/reattaches it on the channel, resets its MAC and neighbor
+  /// state, and emits kHostDown/kHostUp (plus per-flushed-frame kDrop)
+  /// trace events. No-op when the host is already in the requested state.
+  void setHostUp(net::NodeId id, bool up);
+  bool hostUp(net::NodeId id) const { return hosts_[id]->up(); }
+
+  /// Total host-seconds spent crashed so far (hosts still down accrue up to
+  /// the current simulation time).
+  double hostDownSeconds() const;
+
+  /// The installed link loss model (nullptr when loss is off).
+  const fault::LossModel* lossModel() const { return lossModel_.get(); }
+
+  /// The crash/recover timeline the run will replay (built in run(); empty
+  /// before that or when churn is off).
+  const std::vector<fault::ChurnEvent>& churnTimeline() const {
+    return churnTimeline_;
+  }
 
   /// Oracle neighborhood queries (true geometry at the current instant).
   int oracleNeighborCount(net::NodeId id) const;
@@ -55,10 +79,11 @@ class World {
 
  private:
   void scheduleWorkload();
+  void scheduleChurn();
   std::vector<std::unique_ptr<mobility::MobilityModel>> buildMobility(
       const mobility::MapSpec& map, sim::Rng& master);
 
-  ScenarioConfig config_;  // resolved
+  ScenarioConfig config_;  // resolved, MANET_FAULT_* overrides applied
   sim::Scheduler scheduler_;
   phy::Channel channel_;
   stats::MetricsCollector metrics_;
@@ -68,6 +93,11 @@ class World {
   sim::Time horizon_ = 0;
   bool ran_ = false;
   trace::TraceSink* traceSink_ = nullptr;
+
+  std::unique_ptr<fault::LossModel> lossModel_;
+  std::vector<fault::ChurnEvent> churnTimeline_;
+  std::vector<sim::Time> downSince_;   // per host; -1 when up
+  std::vector<sim::Time> downAccum_;   // per host; completed down intervals
 };
 
 }  // namespace manet::experiment

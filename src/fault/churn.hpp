@@ -1,0 +1,22 @@
+// Host churn schedule generation (DESIGN.md §8). Turns a FaultConfig into a
+// sorted crash/recover timeline the world replays: either the explicit
+// script, or a random schedule where a seeded subset of hosts alternates
+// exponentially distributed up/down dwell times.
+#pragma once
+
+#include <vector>
+
+#include "fault/config.hpp"
+#include "sim/random.hpp"
+
+namespace manet::fault {
+
+/// Builds the churn timeline for `numHosts` hosts over [0, horizon).
+/// Scripted events (if any) take precedence over random generation; out-of-
+/// horizon events are dropped. The result is sorted by (at, node) and all
+/// draws come from `rng`, a stream dedicated to churn.
+std::vector<ChurnEvent> buildChurnTimeline(const FaultConfig& config,
+                                           int numHosts, sim::Time horizon,
+                                           sim::Rng rng);
+
+}  // namespace manet::fault

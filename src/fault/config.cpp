@@ -1,0 +1,47 @@
+#include "fault/config.hpp"
+
+#include "util/env.hpp"
+
+namespace manet::fault {
+
+FaultConfig FaultConfig::withEnvOverrides() const {
+  FaultConfig out = *this;
+
+  if (auto loss = util::envString("MANET_FAULT_LOSS")) {
+    if (*loss == "none") {
+      out.loss = Loss::kNone;
+    } else if (*loss == "iid") {
+      out.loss = Loss::kIid;
+    } else if (*loss == "ge") {
+      out.loss = Loss::kGilbertElliott;
+    }
+  }
+  if (auto per = util::envString("MANET_FAULT_PER")) {
+    out.per = util::envDouble("MANET_FAULT_PER", out.per);
+    // A bare PER means i.i.d. loss unless the model was named explicitly.
+    if (!util::envString("MANET_FAULT_LOSS") && out.loss == Loss::kNone) {
+      out.loss = Loss::kIid;
+    }
+  }
+  out.geLossGood = util::envDouble("MANET_FAULT_GE_LOSS_GOOD", out.geLossGood);
+  out.geLossBad = util::envDouble("MANET_FAULT_GE_LOSS_BAD", out.geLossBad);
+  out.geGoodToBad = util::envDouble("MANET_FAULT_GE_P_GB", out.geGoodToBad);
+  out.geBadToGood = util::envDouble("MANET_FAULT_GE_P_BG", out.geBadToGood);
+
+  out.churn = util::envInt("MANET_FAULT_CHURN", out.churn ? 1 : 0) != 0;
+  out.churnFraction =
+      util::envDouble("MANET_FAULT_CHURN_FRACTION", out.churnFraction);
+  if (auto up = util::envString("MANET_FAULT_UP_S")) {
+    (void)up;
+    out.meanUpTime = static_cast<sim::Time>(
+        util::envDouble("MANET_FAULT_UP_S", 0) * sim::kSecond);
+  }
+  if (auto down = util::envString("MANET_FAULT_DOWN_S")) {
+    (void)down;
+    out.meanDownTime = static_cast<sim::Time>(
+        util::envDouble("MANET_FAULT_DOWN_S", 0) * sim::kSecond);
+  }
+  return out;
+}
+
+}  // namespace manet::fault

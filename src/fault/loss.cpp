@@ -1,0 +1,57 @@
+#include "fault/loss.hpp"
+
+#include "util/assert.hpp"
+
+namespace manet::fault {
+
+bool IidLoss::shouldDrop(net::NodeId src, net::NodeId dst) {
+  (void)src;
+  (void)dst;
+  return rng_.bernoulli(per_);
+}
+
+GilbertElliottLoss::LinkState& GilbertElliottLoss::link(net::NodeId src,
+                                                        net::NodeId dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    // Key-derived fork: the same (src, dst) pair always gets the same
+    // stream, independent of the order links first see traffic.
+    it = links_.emplace(key, LinkState{false, rng_.fork(key)}).first;
+  }
+  return it->second;
+}
+
+bool GilbertElliottLoss::shouldDrop(net::NodeId src, net::NodeId dst) {
+  LinkState& state = link(src, dst);
+  const double lossP =
+      state.bad ? config_.geLossBad : config_.geLossGood;
+  const bool drop = state.rng.bernoulli(lossP);
+  const double flipP = state.bad ? config_.geBadToGood : config_.geGoodToBad;
+  if (state.rng.bernoulli(flipP)) state.bad = !state.bad;
+  return drop;
+}
+
+bool GilbertElliottLoss::linkBad(net::NodeId src, net::NodeId dst) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  auto it = links_.find(key);
+  return it != links_.end() && it->second.bad;
+}
+
+std::unique_ptr<LossModel> makeLossModel(const FaultConfig& config,
+                                         sim::Rng rng) {
+  switch (config.loss) {
+    case FaultConfig::Loss::kNone:
+      return nullptr;
+    case FaultConfig::Loss::kIid:
+      MANET_EXPECTS(config.per >= 0.0 && config.per <= 1.0);
+      return std::make_unique<IidLoss>(config.per, rng);
+    case FaultConfig::Loss::kGilbertElliott:
+      return std::make_unique<GilbertElliottLoss>(config, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace manet::fault

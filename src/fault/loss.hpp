@@ -1,0 +1,76 @@
+// Link impairment models (DESIGN.md §8). A LossModel decides, per reception,
+// whether the frame arrives with a failed FCS. The channel invokes it after
+// range resolution and before collision bookkeeping, so a lost frame still
+// asserts energy at the receiver (carrier sense and collisions are
+// unaffected) — only the FCS verdict changes.
+//
+// Each model draws from its own forked RNG stream; the Gilbert–Elliott model
+// additionally forks one stream per (src, dst) link so the per-link Markov
+// chains are independent and the draw order is insensitive to which other
+// links happen to carry traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "fault/config.hpp"
+#include "net/ids.hpp"
+#include "sim/random.hpp"
+
+namespace manet::fault {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True when the frame from `src` arriving at `dst` should be corrupted.
+  virtual bool shouldDrop(net::NodeId src, net::NodeId dst) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Independent, identically distributed loss: every reception fails with
+/// probability `per`, regardless of link or history.
+class IidLoss final : public LossModel {
+ public:
+  IidLoss(double per, sim::Rng rng) : per_(per), rng_(rng) {}
+  bool shouldDrop(net::NodeId src, net::NodeId dst) override;
+  const char* name() const override { return "iid"; }
+
+ private:
+  double per_;
+  sim::Rng rng_;
+};
+
+/// Two-state bursty loss. Each directed (src, dst) link carries its own
+/// Good/Bad Markov chain advanced once per reception on that link: the loss
+/// verdict is drawn from the current state's loss probability, then the
+/// state transition is evaluated. All links start in Good.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(const FaultConfig& config, sim::Rng rng)
+      : config_(config), rng_(rng) {}
+  bool shouldDrop(net::NodeId src, net::NodeId dst) override;
+  const char* name() const override { return "gilbert_elliott"; }
+
+  /// True when the link's chain is currently in the Bad state (test hook).
+  bool linkBad(net::NodeId src, net::NodeId dst) const;
+
+ private:
+  struct LinkState {
+    bool bad = false;
+    sim::Rng rng;
+  };
+  LinkState& link(net::NodeId src, net::NodeId dst);
+
+  FaultConfig config_;
+  sim::Rng rng_;  // parent stream the per-link streams fork from
+  std::unordered_map<std::uint64_t, LinkState> links_;
+};
+
+/// Builds the configured model, or nullptr for FaultConfig::Loss::kNone.
+/// `rng` must be a stream dedicated to link loss (forked from the master
+/// seed) so enabling loss never perturbs other components' draws.
+std::unique_ptr<LossModel> makeLossModel(const FaultConfig& config,
+                                         sim::Rng rng);
+
+}  // namespace manet::fault

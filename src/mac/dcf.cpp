@@ -93,6 +93,29 @@ bool DcfMac::cancel(TxId id) {
   return true;
 }
 
+void DcfMac::reset() {
+  timer_.cancel();
+  exchangeTimer_.cancel();
+  responseTimer_.cancel();
+  navTimer_.cancel();
+  queue_.clear();
+  transmitting_ = false;
+  onAir_ = OnAir::kNone;
+  onAirId_ = kInvalidTx;
+  onAirPacket_.reset();
+  mediumBusy_ = false;
+  idleSince_ = scheduler_.now();
+  backoffRemaining_ = -1;
+  hasCurrent_ = false;
+  current_ = Pending{};
+  exchange_ = Exchange::kNone;
+  responsePending_ = false;
+  navUntil_ = 0;
+  // A rebooted station has no reception history: a retransmitted unicast it
+  // saw before the crash will be delivered again (the cost of crashing).
+  seenUnicast_.clear();
+}
+
 bool DcfMac::virtualOrPhysicalBusy() const {
   return mediumBusy_ || scheduler_.now() < navUntil_;
 }
@@ -120,10 +143,10 @@ void DcfMac::applyNav(const net::Packet& packet, sim::Time frameEnd) {
   navTimer_ = scheduler_.schedule(navUntil_, [this] { reschedule(); });
 }
 
-void DcfMac::onFrameReceived(const phy::Frame& frame, bool corrupted) {
-  if (corrupted) {
+void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
+  if (drop != phy::DropReason::kNone) {
     ++framesDroppedCorrupt_;
-    upper_->onCorruptedFrame(frame);
+    upper_->onCorruptedFrame(frame, drop);
     return;
   }
   const net::Packet& packet = *frame.packet;

@@ -77,8 +77,13 @@ class DcfMac final : public phy::Channel::Listener {
     /// Control frames (RTS/CTS/ACK) are consumed by the MAC; only data and
     /// hello frames are delivered.
     virtual void onReceive(const phy::Frame& frame) = 0;
-    /// A frame arrived but failed its FCS (collision / half-duplex loss).
-    virtual void onCorruptedFrame(const phy::Frame& frame) { (void)frame; }
+    /// A frame arrived but failed its FCS; `reason` says why (collision,
+    /// half-duplex loss, or injected fault loss).
+    virtual void onCorruptedFrame(const phy::Frame& frame,
+                                  phy::DropReason reason) {
+      (void)frame;
+      (void)reason;
+    }
     /// Final verdict of a unicast transmission: acknowledged or dropped
     /// after the retry limit.
     virtual void onUnicastOutcome(TxId id, const net::Packet& packet,
@@ -111,6 +116,12 @@ class DcfMac final : public phy::Channel::Listener {
   /// it already started transmitting (or already left the queue).
   bool cancel(TxId id);
 
+  /// Crash reset (host churn, DESIGN.md §8): drops every queued frame and
+  /// in-flight exchange without upper-layer callbacks, cancels all timers,
+  /// and forgets backoff, NAV, and duplicate-filter state — the station
+  /// reboots with a cold MAC. Statistics counters are preserved.
+  void reset();
+
   /// True when nothing is queued, on the air, or mid-exchange.
   bool quiescent() const {
     return queue_.empty() && !transmitting_ && exchange_ == Exchange::kNone &&
@@ -130,7 +141,8 @@ class DcfMac final : public phy::Channel::Listener {
   // --- phy::Channel::Listener ---
   void onMediumBusy() override;
   void onMediumIdle() override;
-  void onFrameReceived(const phy::Frame& frame, bool corrupted) override;
+  void onFrameReceived(const phy::Frame& frame,
+                       phy::DropReason drop) override;
   void onTxComplete() override;
 
  private:

@@ -63,6 +63,13 @@ class NeighborTable {
   /// Raw change-event count within the window (for tests/diagnostics).
   int changeEventsInWindow(sim::Time now);
 
+  /// Forgets all neighbors and nv history (host crash: the rebooted host
+  /// relearns its neighborhood from scratch). No leave events are recorded.
+  void clear() {
+    entries_.clear();
+    changes_.clear();
+  }
+
  private:
   sim::Time expiryOf(const Entry& e) const;
   void recordChange(sim::Time now);

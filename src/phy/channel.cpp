@@ -78,12 +78,13 @@ void Channel::ensureGrid() const {
   grid_.rankOf.assign(n, -1);
 
   // Pay each position callback exactly once per epoch; every query this
-  // epoch reads the cached coordinates.
+  // epoch reads the cached coordinates. Churned-down nodes are invisible:
+  // they get no rank, no cell, and no cached position.
   geom::Vec2 lo{0.0, 0.0};
   geom::Vec2 hi{0.0, 0.0};
   bool first = true;
   for (std::size_t id = 0; id < n; ++id) {
-    if (!nodes_[id].attached) continue;
+    if (!nodes_[id].attached || !nodes_[id].up) continue;
     const geom::Vec2 p = nodes_[id].position();
     grid_.positions[id] = p;
     grid_.rankOf[id] = static_cast<int>(grid_.sortedIds.size());
@@ -118,7 +119,7 @@ void Channel::ensureGrid() const {
   // list ascending, which the queries rely on for deterministic order.
   grid_.cellStart.assign(static_cast<std::size_t>(cols) * rows + 1, 0);
   for (std::size_t id = 0; id < n; ++id) {
-    if (!nodes_[id].attached) continue;
+    if (!nodes_[id].attached || !nodes_[id].up) continue;
     const geom::Vec2 p = grid_.positions[id];
     const int cx = std::min(cols - 1, static_cast<int>((p.x - lo.x) / cell));
     const int cy = std::min(rows - 1, static_cast<int>((p.y - lo.y) / cell));
@@ -164,7 +165,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
   const double r2 = params_.radiusMeters * params_.radiusMeters;
   if (!gridEnabled_) {
     for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-      if (id == exclude || !nodes_[id].attached) continue;
+      if (id == exclude || !nodes_[id].attached || !nodes_[id].up) continue;
       if (geom::distanceSquared(center, nodes_[id].position()) <= r2) {
         out.push_back(id);
       }
@@ -248,7 +249,9 @@ std::size_t Channel::inRangeCount(net::NodeId id) const {
     const geom::Vec2 center = node(id).position();  // asserts attachment
     std::size_t count = 0;
     for (net::NodeId other = 0; other < nodes_.size(); ++other) {
-      if (other == id || !nodes_[other].attached) continue;
+      if (other == id || !nodes_[other].attached || !nodes_[other].up) {
+        continue;
+      }
       if (geom::distanceSquared(center, nodes_[other].position()) <= r2) {
         ++count;
       }
@@ -306,17 +309,19 @@ void Channel::nodesInRange(net::NodeId id,
 }
 
 std::vector<geom::Vec2> Channel::snapshotPositions() const {
+  // Unattached and churned-down nodes report Vec2{}; callers that mix down
+  // nodes into geometric queries must mask them out (World::reachableFrom).
   if (gridEnabled_) {
     ensureGrid();
     std::vector<geom::Vec2> out = grid_.positions;
     for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-      if (!nodes_[id].attached) out[id] = geom::Vec2{};
+      if (!nodes_[id].attached || !nodes_[id].up) out[id] = geom::Vec2{};
     }
     return out;
   }
   std::vector<geom::Vec2> out(nodes_.size());
   for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-    if (nodes_[id].attached) out[id] = nodes_[id].position();
+    if (nodes_[id].attached && nodes_[id].up) out[id] = nodes_[id].position();
   }
   return out;
 }
@@ -325,6 +330,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
                             std::size_t bytes) {
   MANET_EXPECTS(packet != nullptr);
   Node& tx = node(src);
+  MANET_EXPECTS(tx.up);
   MANET_EXPECTS(!tx.transmitting);
 
   const sim::Time start = scheduler_.now();
@@ -343,7 +349,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
   tx.transmitting = true;
   raiseBusy(tx);
   if (collisionsEnabled_) {
-    for (const auto& rec : tx.activeRx) rec->corrupted = true;
+    for (const auto& rec : tx.activeRx) corrupt(*rec, DropReason::kHalfDuplex);
   }
 
   // Take the scratch buffer by move so a listener callback that reenters
@@ -355,12 +361,21 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
     Node& rx = nodes_[id];
     auto rec = std::make_shared<ActiveRx>();
     rec->frame = frame;
+    // Injected link loss is resolved first (the radio impairment exists
+    // regardless of contention) but the frame's energy still collides with
+    // everything else arriving at this receiver.
+    if (lossFn_ && lossFn_(src, id)) {
+      rec->reason = DropReason::kFaultLoss;
+    }
     if (collisionsEnabled_) {
       // Overlap with anything already arriving, or with the receiver's own
       // ongoing transmission, corrupts everything involved.
       if (!rx.activeRx.empty() || rx.transmitting) {
-        rec->corrupted = true;
-        for (const auto& other : rx.activeRx) other->corrupted = true;
+        corrupt(*rec, rx.transmitting ? DropReason::kHalfDuplex
+                                      : DropReason::kCollision);
+        for (const auto& other : rx.activeRx) {
+          corrupt(*other, DropReason::kCollision);
+        }
       }
     }
     rx.activeRx.push_back(rec);
@@ -371,37 +386,77 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
       raiseBusy(rx);
     } else {
       scheduler_.scheduleAfter(params_.carrierSenseDelay,
-                               [this, id] { raiseBusy(node(id)); });
+                               [this, id, epoch = rx.epoch] {
+                                 Node& n = node(id);
+                                 if (n.epoch == epoch) raiseBusy(n);
+                               });
     }
     scheduler_.schedule(end, [this, id, rec] { finishReception(id, rec); });
   }
 
-  scheduler_.schedule(end, [this, src] { finishTransmission(src); });
+  scheduler_.schedule(end, [this, src, epoch = tx.epoch] {
+    finishTransmission(src, epoch);
+  });
   scratch_ = std::move(receivers);
   return end;
 }
 
 void Channel::finishReception(net::NodeId rxId,
                               const std::shared_ptr<ActiveRx>& rec) {
+  if (rec->orphaned) return;  // receiver churned down mid-frame
   Node& rx = node(rxId);
   auto it = std::find(rx.activeRx.begin(), rx.activeRx.end(), rec);
   MANET_ASSERT(it != rx.activeRx.end());
   rx.activeRx.erase(it);
   lowerBusy(rx);
-  if (rec->corrupted) {
-    ++framesCorrupted_;
-  } else {
-    ++framesDelivered_;
+  switch (rec->reason) {
+    case DropReason::kNone:
+      ++framesDelivered_;
+      break;
+    case DropReason::kFaultLoss:
+      ++framesLostToFault_;
+      break;
+    default:
+      ++framesCorrupted_;
+      break;
   }
-  rx.listener->onFrameReceived(rec->frame, rec->corrupted);
+  rx.listener->onFrameReceived(rec->frame, rec->reason);
 }
 
-void Channel::finishTransmission(net::NodeId src) {
+void Channel::finishTransmission(net::NodeId src, std::uint64_t epoch) {
   Node& tx = node(src);
+  if (tx.epoch != epoch) return;  // transmitter churned before frame end
   MANET_ASSERT(tx.transmitting);
   tx.transmitting = false;
   lowerBusy(tx);
   tx.listener->onTxComplete();
+}
+
+std::vector<Frame> Channel::setNodeUp(net::NodeId id, bool up) {
+  Node& n = node(id);
+  if (n.up == up) return {};
+  std::vector<Frame> flushed;
+  if (!up) {
+    // Off the air: flush in-flight receptions (their completion events are
+    // orphaned) and silently reset medium/transmit state. The node's own
+    // in-flight frame, if any, keeps going at its receivers; the epoch bump
+    // cancels the pending finishTransmission callback.
+    flushed.reserve(n.activeRx.size());
+    for (const auto& rec : n.activeRx) {
+      rec->orphaned = true;
+      flushed.push_back(rec->frame);
+      ++framesDroppedHostDown_;
+    }
+    n.activeRx.clear();
+    n.transmitting = false;
+    n.busyCount = 0;
+  }
+  // Recovery rejoins with a clean, idle medium view: transmissions already
+  // in the air are missed entirely (their start was not observed).
+  n.up = up;
+  ++n.epoch;
+  ++attachVersion_;  // range-resolution structures must rebuild
+  return flushed;
 }
 
 }  // namespace manet::phy

@@ -32,6 +32,7 @@
 
 #include "geom/vec2.hpp"
 #include "net/packet.hpp"
+#include "phy/drop.hpp"
 #include "phy/params.hpp"
 #include "sim/scheduler.hpp"
 
@@ -61,18 +62,44 @@ class Channel {
     /// Carrier went idle (back to 0).
     virtual void onMediumIdle() {}
     /// A frame addressed to the broadcast medium finished arriving.
-    /// `corrupted` = FCS would fail (collision or half-duplex loss).
-    virtual void onFrameReceived(const Frame& frame, bool corrupted) = 0;
+    /// `drop` = kNone when intact; otherwise why the FCS would fail
+    /// (collision, half-duplex loss, or injected fault loss).
+    virtual void onFrameReceived(const Frame& frame, DropReason drop) = 0;
     /// This node's own transmission just ended (channel state updated).
     virtual void onTxComplete() {}
   };
 
   using PositionFn = std::function<geom::Vec2()>;
 
+  /// Fault-injection hook (DESIGN.md §8): consulted once per (frame,
+  /// receiver) pair after range resolution; return true to drop that
+  /// reception as a link-level loss. The frame still asserts energy at the
+  /// receiver (carrier-sense stays busy, overlaps still collide) — it
+  /// arrives with a failed FCS, reason kFaultLoss. Unset = lossless.
+  using LossFn = std::function<bool(net::NodeId src, net::NodeId dst)>;
+
   Channel(sim::Scheduler& scheduler, PhyParams params);
 
   /// Registers a node. `id` values must be dense (0..N-1) and unique.
   void attach(net::NodeId id, Listener* listener, PositionFn position);
+
+  /// Installs (or clears, with nullptr) the link-impairment hook. Receivers
+  /// are consulted in ascending id order, so a model drawing from its own
+  /// RNG stream is deterministic for a given schedule of transmissions.
+  void setLossFn(LossFn fn) { lossFn_ = std::move(fn); }
+
+  /// Host churn (DESIGN.md §8): takes a node off the air (`up = false`) or
+  /// brings it back. A down node is invisible to range resolution, neither
+  /// hears nor asserts energy, and its in-flight receptions are flushed —
+  /// returned to the caller (for kHostDown trace drops) and counted in
+  /// framesDroppedHostDown(). A frame the node itself had on the air when
+  /// it went down keeps propagating to its receivers (the crash boundary is
+  /// quantized to frame ends); only the transmitter's own state is reset.
+  /// No listener callbacks fire from this call. Idempotent per direction.
+  std::vector<Frame> setNodeUp(net::NodeId id, bool up);
+
+  /// False while node `id` is churned off the air.
+  bool nodeUp(net::NodeId id) const { return node(id).up; }
 
   /// Starts transmitting `packet` from `src` now. The caller (MAC) must not
   /// already be transmitting. Returns the transmission end time.
@@ -110,7 +137,15 @@ class Channel {
   // --- statistics (monotone counters over the whole run) ---
   std::uint64_t framesTransmitted() const { return framesTransmitted_; }
   std::uint64_t framesDelivered() const { return framesDelivered_; }
+  /// Receptions lost to collisions or half-duplex conflicts (the only
+  /// losses of the fault-free model; fault losses are counted separately).
   std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+  /// Receptions dropped by the installed LossFn (injected link loss).
+  std::uint64_t framesLostToFault() const { return framesLostToFault_; }
+  /// Receptions flushed because the receiver went down mid-frame.
+  std::uint64_t framesDroppedHostDown() const {
+    return framesDroppedHostDown_;
+  }
 
   /// Test/ablation hook: when disabled, overlapping frames are all delivered
   /// intact (perfect-PHY model used by bench/abl_collision_model).
@@ -125,14 +160,22 @@ class Channel {
  private:
   struct ActiveRx {
     Frame frame;
-    bool corrupted = false;
+    DropReason reason = DropReason::kNone;  // first corruption cause wins
+    /// Receiver churned off the air mid-frame: the scheduled completion
+    /// event must not touch the (already flushed) node state.
+    bool orphaned = false;
+    bool corrupted() const { return reason != DropReason::kNone; }
   };
   struct Node {
     Listener* listener = nullptr;
     PositionFn position;
     bool attached = false;
+    bool up = true;     // false while churned down (attached but off-air)
     bool transmitting = false;
     int busyCount = 0;  // overlapping in-range transmissions incl. own
+    /// Bumped on every up/down transition; deferred channel events carry
+    /// the epoch they were scheduled under and skip if the node churned.
+    std::uint64_t epoch = 0;
     std::vector<std::shared_ptr<ActiveRx>> activeRx;
   };
 
@@ -173,7 +216,11 @@ class Channel {
   void raiseBusy(Node& n);
   void lowerBusy(Node& n);
   void finishReception(net::NodeId rx, const std::shared_ptr<ActiveRx>& rec);
-  void finishTransmission(net::NodeId src);
+  void finishTransmission(net::NodeId src, std::uint64_t epoch);
+  /// Marks `rec` corrupted with `reason` unless an earlier cause already did.
+  static void corrupt(ActiveRx& rec, DropReason reason) {
+    if (rec.reason == DropReason::kNone) rec.reason = reason;
+  }
 
   /// Rebuilds the grid if it is stale for the current epoch (time advanced
   /// or a node attached since the last build).
@@ -219,12 +266,15 @@ class Channel {
   std::vector<Node> nodes_;
   bool collisionsEnabled_ = true;
   bool gridEnabled_ = true;
+  LossFn lossFn_;
   std::uint64_t attachVersion_ = 0;
   mutable Grid grid_;
   mutable std::vector<net::NodeId> scratch_;  // transmit() receiver list
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t framesDelivered_ = 0;
   std::uint64_t framesCorrupted_ = 0;
+  std::uint64_t framesLostToFault_ = 0;
+  std::uint64_t framesDroppedHostDown_ = 0;
 };
 
 }  // namespace manet::phy

@@ -1,0 +1,30 @@
+// Why a frame failed to arrive intact at a receiver. Shared vocabulary of
+// the channel (which classifies the failure), the MAC (which reports it
+// upward), the trace layer (kDrop events), and the fault subsystem
+// (DESIGN.md §8).
+#pragma once
+
+namespace manet::phy {
+
+enum class DropReason {
+  kNone,        // delivered intact
+  kCollision,   // overlapped another arrival at the receiver
+  kHalfDuplex,  // the receiver was transmitting during the arrival
+  kFaultLoss,   // injected link impairment (fault::LossModel)
+  kHostDown,    // the receiver crashed mid-reception (host churn)
+};
+
+inline const char* dropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone: return "none";
+    case DropReason::kCollision: return "collision";
+    case DropReason::kHalfDuplex: return "half_duplex";
+    case DropReason::kFaultLoss: return "fault_loss";
+    case DropReason::kHostDown: return "host_down";
+  }
+  return "?";
+}
+
+inline constexpr int kDropReasonCount = 5;
+
+}  // namespace manet::phy

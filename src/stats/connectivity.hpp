@@ -16,6 +16,14 @@ namespace manet::stats {
 int reachableCount(const std::vector<geom::Vec2>& positions, double radius,
                    std::size_t source);
 
+/// As above, but hosts whose `alive` flag is false neither relay nor count
+/// toward the result (host churn: crashed hosts are unreachable and cannot
+/// bridge partitions). `alive` must match `positions` in size and
+/// `alive[source]` must be true.
+int reachableCount(const std::vector<geom::Vec2>& positions,
+                   const std::vector<bool>& alive, double radius,
+                   std::size_t source);
+
 /// Ids of the hosts reachable from `source` (excluding it), ascending.
 std::vector<std::size_t> reachableSet(const std::vector<geom::Vec2>& positions,
                                       double radius, std::size_t source);

@@ -8,6 +8,7 @@
 
 #include "geom/vec2.hpp"
 #include "net/ids.hpp"
+#include "phy/drop.hpp"
 #include "sim/time.hpp"
 
 namespace manet::trace {
@@ -18,13 +19,18 @@ enum class EventKind {
   kTxFinished,           // the data frame left the air
   kDelivered,            // a host received the packet intact, first time
   kDuplicateHeard,       // a host received an intact duplicate
-  kCollision,            // a frame arrived corrupted at a host
+  kDrop,                 // a frame was lost at a host; Event::drop says why
   kInhibited,            // the scheme cancelled a pending rebroadcast
   kHelloSent,            // a HELLO beacon was transmitted
+  kHostDown,             // host churn: the host crashed
+  kHostUp,               // host churn: the host recovered
 };
 
+inline constexpr int kEventKindCount = 10;
+
 /// One event. `bid` is meaningful for the broadcast-related kinds; position
-/// is the observing host's position at event time.
+/// is the observing host's position at event time; `drop` is meaningful for
+/// kDrop only.
 struct Event {
   EventKind kind = EventKind::kDelivered;
   sim::Time at = 0;
@@ -32,6 +38,7 @@ struct Event {
   net::BroadcastId bid{};
   net::NodeId from = net::kInvalidNode;  // sender, for rx-side events
   geom::Vec2 position{};
+  phy::DropReason drop = phy::DropReason::kNone;
 };
 
 /// Receives every emitted event, in nondecreasing time order.

@@ -11,9 +11,11 @@ const char* eventKindName(EventKind kind) {
     case EventKind::kTxFinished: return "tx_end";
     case EventKind::kDelivered: return "delivered";
     case EventKind::kDuplicateHeard: return "duplicate";
-    case EventKind::kCollision: return "collision";
+    case EventKind::kDrop: return "drop";
     case EventKind::kInhibited: return "inhibited";
     case EventKind::kHelloSent: return "hello";
+    case EventKind::kHostDown: return "host_down";
+    case EventKind::kHostUp: return "host_up";
   }
   return "?";
 }
@@ -21,6 +23,9 @@ const char* eventKindName(EventKind kind) {
 void Recorder::onEvent(const Event& event) {
   ++totalSeen_;
   ++countsByKind_[static_cast<std::size_t>(event.kind)];
+  if (event.kind == EventKind::kDrop) {
+    ++dropsByReason_[static_cast<std::size_t>(event.drop)];
+  }
   if (filter_ && !filter_(event)) return;
   if (storageCap_ != 0 && events_.size() >= storageCap_) return;
   events_.push_back(event);
@@ -28,6 +33,10 @@ void Recorder::onEvent(const Event& event) {
 
 std::uint64_t Recorder::countOf(EventKind kind) const {
   return countsByKind_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t Recorder::countOfDrop(phy::DropReason reason) const {
+  return dropsByReason_[static_cast<std::size_t>(reason)];
 }
 
 std::vector<Event> Recorder::select(EventKind kind,

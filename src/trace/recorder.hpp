@@ -27,6 +27,9 @@ class Recorder final : public TraceSink {
   std::uint64_t countOf(EventKind kind) const;
   std::uint64_t totalSeen() const { return totalSeen_; }
 
+  /// Total kDrop events seen with the given reason.
+  std::uint64_t countOfDrop(phy::DropReason reason) const;
+
   /// Events of one kind for one broadcast, in time order.
   std::vector<Event> select(EventKind kind, net::BroadcastId bid) const;
 
@@ -42,7 +45,8 @@ class Recorder final : public TraceSink {
   std::vector<Event> events_;
   std::size_t storageCap_ = 0;
   std::uint64_t totalSeen_ = 0;
-  std::uint64_t countsByKind_[8] = {};
+  std::uint64_t countsByKind_[kEventKindCount] = {};
+  std::uint64_t dropsByReason_[phy::kDropReasonCount] = {};
 };
 
 /// Fans one event stream out to several sinks.

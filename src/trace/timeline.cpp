@@ -74,7 +74,9 @@ std::optional<Timeline> buildTimeline(const std::vector<Event>& events,
         found = true;
         continue;
       case EventKind::kHelloSent:
-      case EventKind::kCollision:
+      case EventKind::kDrop:
+      case EventKind::kHostDown:
+      case EventKind::kHostUp:
         continue;
       default:
         break;

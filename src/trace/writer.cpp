@@ -6,7 +6,7 @@
 namespace manet::trace {
 
 void writeCsv(std::ostream& os, std::span<const Event> events) {
-  os << "time_us,kind,node,origin,seq,from,x,y\n";
+  os << "time_us,kind,node,origin,seq,from,x,y,reason\n";
   for (const Event& e : events) {
     os << e.at << ',' << eventKindName(e.kind) << ',' << e.node << ',';
     if (e.bid.origin == net::kInvalidNode) {
@@ -19,7 +19,9 @@ void writeCsv(std::ostream& os, std::span<const Event> events) {
     } else {
       os << e.from << ',';
     }
-    os << e.position.x << ',' << e.position.y << '\n';
+    os << e.position.x << ',' << e.position.y << ',';
+    if (e.drop != phy::DropReason::kNone) os << phy::dropReasonName(e.drop);
+    os << '\n';
   }
 }
 
@@ -31,6 +33,9 @@ std::string formatEvent(const Event& event) {
     os << " bid=(" << event.bid.origin << "," << event.bid.seq << ")";
   }
   if (event.from != net::kInvalidNode) os << " from=" << event.from;
+  if (event.drop != phy::DropReason::kNone) {
+    os << " reason=" << phy::dropReasonName(event.drop);
+  }
   return os.str();
 }
 

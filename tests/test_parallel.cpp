@@ -139,6 +139,44 @@ TEST(PooledCounts, AveragedResultExposesBothAveragings) {
   }
 }
 
+/// Fault injection must stay deterministic under parallel execution: every
+/// fault draw comes from a per-run forked stream, so a sweep with loss and
+/// churn enabled is byte-identical for any thread count.
+TEST(ParallelSweep, FaultSweepIsIdenticalAcrossThreadCounts) {
+  ScenarioConfig base = tinyBase();
+  base.fault.loss = fault::FaultConfig::Loss::kGilbertElliott;
+  base.fault.churn = true;
+  base.fault.churnFraction = 0.5;
+  base.fault.meanUpTime = 3 * sim::kSecond;
+  base.fault.meanDownTime = 1 * sim::kSecond;
+  const std::vector<SweepAxis> axes{
+      schemeAxis({SchemeSpec::flooding(), SchemeSpec::counter(3)})};
+
+  const auto serial = runSweep(base, axes, /*repetitions=*/2, /*threads=*/1);
+  const auto parallel = runSweep(base, axes, /*repetitions=*/2, /*threads=*/4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.framesTransmitted,
+              parallel[i].result.framesTransmitted);
+    EXPECT_EQ(serial[i].result.framesLostToFault,
+              parallel[i].result.framesLostToFault);
+    EXPECT_EQ(serial[i].result.framesDroppedHostDown,
+              parallel[i].result.framesDroppedHostDown);
+    EXPECT_EQ(serial[i].result.hostDownSeconds,
+              parallel[i].result.hostDownSeconds);
+    EXPECT_EQ(serial[i].result.re(), parallel[i].result.re());
+  }
+
+  std::ostringstream serialOut;
+  std::ostringstream parallelOut;
+  sweepTable(axes, serial).print(serialOut);
+  sweepTable(axes, parallel).print(parallelOut);
+  EXPECT_EQ(serialOut.str(), parallelOut.str());
+  // The fault columns actually appear for fault-enabled sweeps.
+  EXPECT_NE(serialOut.str().find("lost"), std::string::npos);
+}
+
 TEST(PooledCounts, SingleRunSummaryCountsAreConsistent) {
   const RunResult r = runScenario(tinyBase());
   // r can slightly exceed the BFS snapshot e under mobility, but both are

@@ -26,8 +26,8 @@ class Probe : public Channel::Listener {
   };
   void onMediumBusy() override { ++busyEvents; }
   void onMediumIdle() override { ++idleEvents; }
-  void onFrameReceived(const Frame& frame, bool corrupted) override {
-    receptions.push_back({frame.src, corrupted, frame.txEnd});
+  void onFrameReceived(const Frame& frame, DropReason drop) override {
+    receptions.push_back({frame.src, drop != DropReason::kNone, frame.txEnd});
   }
   void onTxComplete() override { ++txCompleted; }
 

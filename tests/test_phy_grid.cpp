@@ -28,8 +28,8 @@ class Sink : public Channel::Listener {
     sim::Time at;
     friend bool operator==(const Rx&, const Rx&) = default;
   };
-  void onFrameReceived(const Frame& frame, bool corrupted) override {
-    receptions.push_back({frame.src, corrupted, frame.txEnd});
+  void onFrameReceived(const Frame& frame, DropReason drop) override {
+    receptions.push_back({frame.src, drop != DropReason::kNone, frame.txEnd});
   }
   std::vector<Rx> receptions;
 };

@@ -37,13 +37,30 @@ TEST(Recorder, StoresEventsInOrder) {
 TEST(Recorder, CountsByKind) {
   Recorder r;
   for (int i = 0; i < 3; ++i) {
-    r.onEvent(makeEvent(EventKind::kCollision, i, 0));
+    r.onEvent(makeEvent(EventKind::kDrop, i, 0));
   }
   r.onEvent(makeEvent(EventKind::kHelloSent, 5, 0));
-  EXPECT_EQ(r.countOf(EventKind::kCollision), 3u);
+  EXPECT_EQ(r.countOf(EventKind::kDrop), 3u);
   EXPECT_EQ(r.countOf(EventKind::kHelloSent), 1u);
   EXPECT_EQ(r.countOf(EventKind::kInhibited), 0u);
   EXPECT_EQ(r.totalSeen(), 4u);
+}
+
+TEST(Recorder, CountsDropsByReason) {
+  Recorder r;
+  Event e = makeEvent(EventKind::kDrop, 1, 0);
+  e.drop = phy::DropReason::kCollision;
+  r.onEvent(e);
+  r.onEvent(e);
+  e.drop = phy::DropReason::kFaultLoss;
+  r.onEvent(e);
+  e.drop = phy::DropReason::kHostDown;
+  r.onEvent(e);
+  EXPECT_EQ(r.countOfDrop(phy::DropReason::kCollision), 2u);
+  EXPECT_EQ(r.countOfDrop(phy::DropReason::kFaultLoss), 1u);
+  EXPECT_EQ(r.countOfDrop(phy::DropReason::kHostDown), 1u);
+  EXPECT_EQ(r.countOfDrop(phy::DropReason::kHalfDuplex), 0u);
+  EXPECT_EQ(r.countOf(EventKind::kDrop), 4u);
 }
 
 TEST(Recorder, FilterStillCounts) {
@@ -156,10 +173,19 @@ TEST(Writer, CsvHasHeaderAndRows) {
   std::ostringstream os;
   writeCsv(os, events);
   const std::string text = os.str();
-  EXPECT_NE(text.find("time_us,kind,node,origin,seq,from,x,y"),
+  EXPECT_NE(text.find("time_us,kind,node,origin,seq,from,x,y,reason"),
             std::string::npos);
   EXPECT_NE(text.find("42,delivered,1,0,3,0,"), std::string::npos);
   EXPECT_NE(text.find("50,hello,2,,,,"), std::string::npos);
+}
+
+TEST(Writer, CsvDropRowsCarryReason) {
+  Event e = makeEvent(EventKind::kDrop, 10, 4, {2, 1}, 7);
+  e.drop = phy::DropReason::kFaultLoss;
+  std::ostringstream os;
+  writeCsv(os, {&e, 1});
+  EXPECT_NE(os.str().find("10,drop,4,2,1,7,0,0,fault_loss"),
+            std::string::npos);
 }
 
 TEST(Writer, FormatEventIsReadable) {
@@ -175,8 +201,9 @@ TEST(EventKindNames, AllDistinct) {
   const EventKind kinds[] = {
       EventKind::kBroadcastOriginated, EventKind::kTxStarted,
       EventKind::kTxFinished,          EventKind::kDelivered,
-      EventKind::kDuplicateHeard,      EventKind::kCollision,
-      EventKind::kInhibited,           EventKind::kHelloSent};
+      EventKind::kDuplicateHeard,      EventKind::kDrop,
+      EventKind::kInhibited,           EventKind::kHelloSent,
+      EventKind::kHostDown,            EventKind::kHostUp};
   for (const auto a : kinds) {
     for (const auto b : kinds) {
       if (a != b) {
