@@ -1,5 +1,7 @@
 #include "net/neighbor_table.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace manet::net {
@@ -55,6 +57,10 @@ std::vector<NodeId> NeighborTable::neighborIds(sim::Time now) {
   std::vector<NodeId> ids;
   ids.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) ids.push_back(id);
+  // Canonical ascending order: these ids go onto the wire in HELLO packets
+  // and into scheme/cluster decisions, so hash-map iteration order must not
+  // leak into the simulation (it varies across standard libraries).
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
