@@ -40,7 +40,9 @@ Row run(const experiment::SchemeSpec& scheme, int mapUnits, int requests,
     const auto source =
         static_cast<net::NodeId>(pick.uniformInt(0, hosts - 1));
     auto target = static_cast<net::NodeId>(pick.uniformInt(0, hosts - 1));
-    if (target == source) target = (target + 1) % hosts;
+    if (target == source) {
+      target = (target + 1) % static_cast<net::NodeId>(hosts);
+    }
     world.scheduler().schedule(at, [&routing, source, target] {
       routing.discover(source, target);
     });

@@ -91,7 +91,7 @@ struct StormResult {
 StormResult runStorm(int receivers) {
   sim::Scheduler scheduler;
   phy::Channel channel(scheduler, phy::PhyParams{});
-  sim::Rng rng(receivers);
+  sim::Rng rng(static_cast<std::uint64_t>(receivers));
 
   SourceHost source(scheduler, channel, {0, 0});
   std::vector<std::unique_ptr<ConfirmingHost>> hosts;

@@ -7,16 +7,16 @@ namespace manet::fault {
 FaultConfig FaultConfig::withEnvOverrides() const {
   FaultConfig out = *this;
 
-  if (auto loss = util::envString("MANET_FAULT_LOSS")) {
-    if (*loss == "none") {
+  if (auto lossName = util::envString("MANET_FAULT_LOSS")) {
+    if (*lossName == "none") {
       out.loss = Loss::kNone;
-    } else if (*loss == "iid") {
+    } else if (*lossName == "iid") {
       out.loss = Loss::kIid;
-    } else if (*loss == "ge") {
+    } else if (*lossName == "ge") {
       out.loss = Loss::kGilbertElliott;
     }
   }
-  if (auto per = util::envString("MANET_FAULT_PER")) {
+  if (util::envString("MANET_FAULT_PER")) {
     out.per = util::envDouble("MANET_FAULT_PER", out.per);
     // A bare PER means i.i.d. loss unless the model was named explicitly.
     if (!util::envString("MANET_FAULT_LOSS") && out.loss == Loss::kNone) {

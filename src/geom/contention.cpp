@@ -23,7 +23,8 @@ int contentionFreeCount(int n, double r, sim::Rng& rng) {
   for (int i = 0; i < n; ++i) {
     bool contended = false;
     for (int j = 0; j < n && !contended; ++j) {
-      if (j != i && distanceSquared(hosts[i], hosts[j]) <= r2) {
+      if (j != i && distanceSquared(hosts[static_cast<std::size_t>(i)],
+                                    hosts[static_cast<std::size_t>(j)]) <= r2) {
         contended = true;
       }
     }

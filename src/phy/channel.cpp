@@ -117,7 +117,9 @@ void Channel::ensureGrid() const {
 
   // Counting sort into CSR; iterating ids ascending keeps each cell's node
   // list ascending, which the queries rely on for deterministic order.
-  grid_.cellStart.assign(static_cast<std::size_t>(cols) * rows + 1, 0);
+  const std::size_t cells =
+      static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows);
+  grid_.cellStart.assign(cells + 1, 0);
   for (std::size_t id = 0; id < n; ++id) {
     if (!nodes_[id].attached || !nodes_[id].up) continue;
     const geom::Vec2 p = grid_.positions[id];
@@ -130,10 +132,10 @@ void Channel::ensureGrid() const {
   for (std::size_t c = 1; c < grid_.cellStart.size(); ++c) {
     grid_.cellStart[c] += grid_.cellStart[c - 1];
   }
-  grid_.cellNodes.resize(grid_.cellStart.back());
-  grid_.cellX.resize(grid_.cellStart.back());
-  grid_.cellY.resize(grid_.cellStart.back());
-  const std::size_t cells = static_cast<std::size_t>(cols) * rows;
+  const auto occupied = static_cast<std::size_t>(grid_.cellStart.back());
+  grid_.cellNodes.resize(occupied);
+  grid_.cellX.resize(occupied);
+  grid_.cellY.resize(occupied);
   constexpr double inf = std::numeric_limits<double>::infinity();
   grid_.cellMinX.assign(cells, inf);
   grid_.cellMaxX.assign(cells, -inf);
