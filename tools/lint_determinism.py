@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Determinism lint (DESIGN.md §9).
+
+The simulator's contract is bit-identical runs from a single seed (DESIGN.md
+§5): every random draw flows from sim::Rng streams, and no observable value
+may depend on wall clock, address-space layout, or thread identity. This
+lint statically bans the hazard classes that have historically broken that
+contract in DES codebases:
+
+  H1  ambient entropy:   rand()/srand(), std::random_device, time(),
+                         clock(), gettimeofday, std::chrono::*_clock::now
+                         outside src/sim/random* (the one sanctioned seam)
+  H2  unordered iteration: range-for / begin() iteration over a variable
+                         declared as std::unordered_map/unordered_set in the
+                         same file — iteration order is stdlib-specific, so
+                         anything it feeds (output, RNG draws, event
+                         scheduling) varies across platforms
+  H3  unseeded shuffle:  std::random_shuffle (ambient RNG) or std::shuffle
+                         whose engine argument is constructed inline from
+                         ambient entropy
+  H4  thread identity:   std::this_thread::get_id, pthread_self,
+                         omp_get_thread_num outside src/experiment/parallel*
+                         (the sweep runner may partition by thread; results
+                         must not)
+
+Escape hatch: a site that is genuinely order-insensitive (e.g. cancelling
+timers, erasing from the same container) carries
+
+    // NOLINT-determinism(reason why order/entropy cannot be observed)
+
+on the same or the preceding line. A bare NOLINT-determinism without a
+reason is itself an error — the reason is the review artifact.
+
+Usage: lint_determinism.py [--root DIR] [PATHS...]   (default: <repo>/src)
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to touch ambient entropy (H1): the RNG seam itself.
+ENTROPY_ALLOWED = ("src/sim/random",)
+# Files allowed wall-clock reads (H1 chrono): measurement-only call sites —
+# wall-clock throughput in RunResult and bench harness timing. Simulation
+# state must never depend on them.
+WALLCLOCK_ALLOWED = (
+    "src/sim/random",
+    "src/experiment/runner",
+    "src/experiment/bench_util",
+    "src/experiment/parallel",
+)
+# Files allowed thread-identity logic (H4): the parallel sweep partitioner.
+THREAD_ALLOWED = ("src/experiment/parallel",)
+
+SUPPRESS = re.compile(r"//\s*NOLINT-determinism\((?P<reason>[^)]*)\)")
+LINE_COMMENT = re.compile(r"//.*$")
+
+H1_ENTROPY = re.compile(
+    r"(?<![\w:])(?:std::)?(?:random_device\b|s?rand\s*\(|rand_r\s*\()"
+)
+H1_WALLCLOCK = re.compile(
+    r"(?<![\w:])(?:std::)?(?:time\s*\(\s*(?:NULL|nullptr|0|&)|"
+    r"clock\s*\(\s*\)|gettimeofday\s*\(|clock_gettime\s*\()"
+    r"|std::chrono::(?:system|steady|high_resolution)_clock::now"
+)
+H2_DECL = re.compile(
+    r"(?:std::)?unordered_(?:map|set)\s*<[^;()]*?>\s*\n?\s*(?P<name>\w+)\s*"
+    r"(?:;|=|\{)"
+)
+H3_RANDOM_SHUFFLE = re.compile(r"(?<![\w:])(?:std::)?random_shuffle\s*\(")
+H3_INLINE_ENGINE = re.compile(
+    r"(?<![\w:])(?:std::)?shuffle\s*\([^;]*?(?:std::)?"
+    r"(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)\s*[({]"
+)
+H4_THREAD_ID = re.compile(
+    r"std::this_thread::get_id|pthread_self\s*\(|omp_get_thread_num\s*\("
+)
+
+
+def allowed(rel: str, prefixes: tuple[str, ...]) -> bool:
+    return any(rel.startswith(p) for p in prefixes)
+
+
+def strip_strings(line: str) -> str:
+    """Blanks out string/char literals so banned names inside text don't trip."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def suppressed(lines: list[str], idx: int, findings: list) -> bool:
+    """True when line idx (0-based) carries a reasoned suppression."""
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = SUPPRESS.search(lines[probe])
+        if m:
+            if not m.group("reason").strip():
+                findings.append(
+                    (probe + 1, "NOLINT-determinism without a reason")
+                )
+            return True
+    return False
+
+
+def lint_file(path: Path, rel: str) -> list[tuple[int, str]]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    findings: list[tuple[int, str]] = []
+
+    # H2 needs the file's unordered-container variable names first. Scan the
+    # raw text so multi-line declarations are caught; a .cpp also inherits
+    # the declarations of its companion header (members live in the .hpp,
+    # the iteration in the .cpp).
+    decl_text = text
+    companion = path.with_suffix(".hpp")
+    if path.suffix == ".cpp" and companion.is_file():
+        decl_text += companion.read_text(encoding="utf-8", errors="replace")
+    unordered_names = set(m.group("name") for m in H2_DECL.finditer(decl_text))
+    unordered_names.discard("")
+    h2_iter = (
+        re.compile(
+            r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?(?P<n>"
+            + "|".join(sorted(unordered_names))
+            + r")\s*\)"
+            r"|(?P<m>" + "|".join(sorted(unordered_names)) + r")\s*\.\s*"
+            r"c?begin\s*\("
+        )
+        if unordered_names
+        else None
+    )
+
+    for idx, raw in enumerate(lines):
+        code = strip_strings(LINE_COMMENT.sub("", raw))
+        if not code.strip():
+            continue
+
+        def report(msg: str) -> None:
+            if not suppressed(lines, idx, findings):
+                findings.append((idx + 1, msg))
+
+        if H1_ENTROPY.search(code) and not allowed(rel, ENTROPY_ALLOWED):
+            report("H1 ambient entropy (use a sim::Rng stream)")
+        if H1_WALLCLOCK.search(code) and not allowed(rel, WALLCLOCK_ALLOWED):
+            report("H1 wall-clock read (simulation state must use sim::Time)")
+        if h2_iter is not None and h2_iter.search(code):
+            report(
+                "H2 iteration over unordered container (order is "
+                "stdlib-specific; sort first or justify with "
+                "NOLINT-determinism)"
+            )
+        if H3_RANDOM_SHUFFLE.search(code):
+            report("H3 std::random_shuffle (ambient RNG; use an Rng stream)")
+        if H3_INLINE_ENGINE.search(code):
+            report("H3 shuffle with inline-constructed engine (seed it from "
+                   "a sim::Rng stream)")
+        if H4_THREAD_ID.search(code) and not allowed(rel, THREAD_ALLOWED):
+            report("H4 thread-identity-dependent logic")
+
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None, help="repo root (default: auto)")
+    ap.add_argument("paths", nargs="*", help="files/dirs to lint")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parents[1]
+    targets = [Path(p) for p in args.paths] or [root / "src"]
+
+    files: list[Path] = []
+    for t in targets:
+        if t.is_dir():
+            files.extend(sorted(t.rglob("*.cpp")) + sorted(t.rglob("*.hpp")))
+        elif t.is_file():
+            files.append(t)
+        else:
+            print(f"lint_determinism: no such path: {t}", file=sys.stderr)
+            return 2
+
+    total = 0
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        for line, msg in lint_file(f, rel):
+            print(f"{rel}:{line}: {msg}")
+            total += 1
+
+    if total:
+        print(f"lint_determinism: {total} finding(s) in {len(files)} files")
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
