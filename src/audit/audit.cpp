@@ -1,0 +1,64 @@
+#include "audit/audit.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace manet::audit {
+
+namespace {
+
+/// Default sink: print with full context, then abort. A violation means the
+/// engine's state is corrupt; any table produced after it is untrustworthy.
+class AbortSink final : public Sink {
+ public:
+  void onViolation(const Violation& v) override {
+    std::fprintf(stderr,
+                 "audit: invariant '%s' violated at t=%" PRId64 "us node=%u: "
+                 "%s\n",
+                 v.invariant, static_cast<std::int64_t>(v.at),
+                 static_cast<unsigned>(v.node), v.detail.c_str());
+    std::abort();
+  }
+};
+
+AbortSink& abortSink() {
+  static AbortSink sink;
+  return sink;
+}
+
+thread_local Sink* tlsSink = nullptr;
+thread_local std::uint64_t tlsCount = 0;
+
+}  // namespace
+
+Sink& defaultSink() { return abortSink(); }
+
+Sink* setSink(Sink* sink) {
+  Sink* previous = tlsSink;
+  tlsSink = sink;
+  return previous;
+}
+
+Sink* currentSink() { return tlsSink; }
+
+void report(Violation violation) {
+  ++tlsCount;
+  Sink* sink = tlsSink != nullptr ? tlsSink : &abortSink();
+  sink->onViolation(violation);
+}
+
+std::uint64_t violationCount() { return tlsCount; }
+
+void resetViolationCount() { tlsCount = 0; }
+
+ScopedCountingSink::ScopedCountingSink() { previous_ = setSink(this); }
+
+ScopedCountingSink::~ScopedCountingSink() { setSink(previous_); }
+
+void ScopedCountingSink::onViolation(const Violation& violation) {
+  ++count_;
+  last_ = violation;
+}
+
+}  // namespace manet::audit

@@ -1,0 +1,180 @@
+#include "audit/invariants.hpp"
+
+#include <string>
+
+namespace manet::audit {
+
+namespace {
+
+std::string timesDetail(const char* what, sim::Time observed,
+                        const char* bound, sim::Time limit) {
+  return std::string(what) + "=" + std::to_string(observed) + " " + bound +
+         "=" + std::to_string(limit);
+}
+
+}  // namespace
+
+// --- SchedulerAudit ---------------------------------------------------------
+
+void SchedulerAudit::onSchedule(sim::Time at, sim::Time now) {
+  if (at < now) {
+    report({"scheduler.schedule-in-past", now, net::kInvalidNode,
+            timesDetail("eventAt", at, "now", now)});
+  }
+}
+
+void SchedulerAudit::onPop(sim::Time at) {
+  if (at < lastPop_) {
+    report({"scheduler.monotonic-pop", at, net::kInvalidNode,
+            timesDetail("poppedAt", at, "lastPop", lastPop_)});
+  }
+  lastPop_ = at;
+}
+
+void SchedulerAudit::onCancel(sim::Time eventAt, sim::Time now) {
+  // Cancelling an event due exactly now is legal (same-timestamp inhibition,
+  // the paper's step S5); an event strictly in the past can only still be
+  // live if the pop loop skipped it — a race with the clock.
+  if (eventAt < now) {
+    report({"scheduler.cancel-past-event", now, net::kInvalidNode,
+            timesDetail("eventAt", eventAt, "now", now)});
+  }
+}
+
+// --- ChannelAudit -----------------------------------------------------------
+
+ChannelAudit::PerNode& ChannelAudit::node(net::NodeId id) {
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  return nodes_[id];
+}
+
+void ChannelAudit::onBeginReception(net::NodeId rx, sim::Time at) {
+  (void)at;
+  ++node(rx).active;
+  ++begins_;
+}
+
+void ChannelAudit::onEndReception(net::NodeId rx, sim::Time at) {
+  PerNode& n = node(rx);
+  if (n.active <= 0) {
+    report({"channel.reception-underflow", at, rx,
+            "reception ended with none in flight"});
+    return;
+  }
+  --n.active;
+  ++ends_;
+}
+
+void ChannelAudit::onEnergyRaise(net::NodeId rx, sim::Time at) {
+  (void)at;
+  ++node(rx).energy;
+}
+
+void ChannelAudit::onEnergyLower(net::NodeId rx, sim::Time at) {
+  PerNode& n = node(rx);
+  if (n.energy <= 0) {
+    report({"channel.energy-underflow", at, rx,
+            "carrier energy lowered below zero"});
+    return;
+  }
+  --n.energy;
+}
+
+void ChannelAudit::onHostDown(net::NodeId rx, std::size_t flushed,
+                              sim::Time at) {
+  PerNode& n = node(rx);
+  if (n.active != static_cast<std::int64_t>(flushed)) {
+    report({"channel.flush-mismatch", at, rx,
+            "flushed=" + std::to_string(flushed) +
+                " inFlight=" + std::to_string(n.active)});
+  }
+  flushes_ += static_cast<std::uint64_t>(n.active > 0 ? n.active : 0);
+  n.active = 0;
+  n.energy = 0;
+}
+
+void ChannelAudit::onDeliveryWhileDown(net::NodeId rx, sim::Time at) {
+  report({"channel.down-node-delivery", at, rx,
+          "reception completed at a churned-down node"});
+}
+
+void ChannelAudit::atTeardown(std::uint64_t inFlight, sim::Time at) {
+  if (begins_ != ends_ + flushes_ + inFlight) {
+    report({"channel.teardown-balance", at, net::kInvalidNode,
+            "begins=" + std::to_string(begins_) +
+                " ends=" + std::to_string(ends_) +
+                " flushes=" + std::to_string(flushes_) +
+                " inFlight=" + std::to_string(inFlight)});
+  }
+}
+
+// --- DcfAudit ---------------------------------------------------------------
+
+void DcfAudit::onAirTransition(Air to, sim::Time at) {
+  if (to != Air::kNone && air_ != Air::kNone) {
+    report({"mac.onair-overlap", at, self_,
+            "frame kind " + std::to_string(static_cast<int>(to)) +
+                " started while kind " +
+                std::to_string(static_cast<int>(air_)) + " was on air"});
+  } else if (to == Air::kNone && air_ == Air::kNone) {
+    report({"mac.onair-underflow", at, self_,
+            "transmission ended with nothing on air"});
+  }
+  air_ = to;
+}
+
+void DcfAudit::onExchangeTransition(Exchange to, sim::Time at) {
+  // Legal steps: kNone -> kAwaitCts (RTS sent), kNone -> kAwaitAck (DATA
+  // sent), anything -> kNone (response arrived, timeout, or abort). Awaiting
+  // two responses at once is not a state the DCF has.
+  if (to != Exchange::kNone && exchange_ != Exchange::kNone) {
+    report({"mac.exchange-illegal", at, self_,
+            "entered wait " + std::to_string(static_cast<int>(to)) +
+                " while already in wait " +
+                std::to_string(static_cast<int>(exchange_))});
+  }
+  exchange_ = to;
+}
+
+void DcfAudit::onReset() {
+  air_ = Air::kNone;
+  exchange_ = Exchange::kNone;
+}
+
+// --- NeighborAudit ----------------------------------------------------------
+
+void NeighborAudit::onPurge(sim::Time now) {
+  if (now < lastPurge_) {
+    report({"neighbor.purge-order", now, self_,
+            timesDetail("now", now, "lastPurge", lastPurge_)});
+  }
+  lastPurge_ = now;
+}
+
+void NeighborAudit::onExpire(sim::Time expiry, sim::Time now) {
+  // The table deletes h when no HELLO arrived for two intervals, i.e. only
+  // once its deadline lies strictly in the past.
+  if (expiry >= now) {
+    report({"neighbor.premature-expiry", now, self_,
+            timesDetail("expiry", expiry, "now", now)});
+  }
+}
+
+void NeighborAudit::onClear() {
+  lastPurge_ = std::numeric_limits<sim::Time>::min();
+}
+
+// --- ChurnAudit -------------------------------------------------------------
+
+void ChurnAudit::onCrashReset(net::NodeId node, bool macQuiescent,
+                              bool statesFlushed, bool tableCleared,
+                              sim::Time at) {
+  if (macQuiescent && statesFlushed && tableCleared) return;
+  std::string detail = "residue after crash reset:";
+  if (!macQuiescent) detail += " mac-not-quiescent";
+  if (!statesFlushed) detail += " broadcast-states";
+  if (!tableCleared) detail += " neighbor-table";
+  report({"churn.crash-reset-incomplete", at, node, detail});
+}
+
+}  // namespace manet::audit

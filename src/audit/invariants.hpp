@@ -1,0 +1,142 @@
+// Invariant checkers for the simulation engine (DESIGN.md §9).
+//
+// Each checker is a small always-compiled state machine that mirrors the
+// aspect of engine state its invariants range over and calls audit::report
+// on any illegal step. The engine feeds them through MANET_AUDIT_HOOK call
+// sites (active only under -DMANET_AUDIT=ON); tests feed them corrupted
+// sequences directly, in any build configuration.
+//
+// Invariant identifiers are stable strings (they appear in violation
+// reports and in tests):
+//   scheduler.schedule-in-past   event scheduled before now
+//   scheduler.monotonic-pop      event popped earlier than its predecessor
+//   scheduler.cancel-past-event  live event cancelled after its due time
+//   channel.reception-underflow  reception ended with none in flight
+//   channel.energy-underflow     carrier energy lowered below zero
+//   channel.flush-mismatch       host-down flush disagreed with in-flight set
+//   channel.down-node-delivery   frame completed at a churned-down node
+//   channel.teardown-balance     begin/end/flush ledger broken at teardown
+//   mac.onair-overlap            a frame started while another was on air
+//   mac.onair-underflow          a frame ended with nothing on air
+//   mac.exchange-illegal         RTS/CTS/ACK exchange step out of order
+//   neighbor.purge-order         purge called with a time going backwards
+//   neighbor.premature-expiry    entry expired before its deadline
+//   churn.crash-reset-incomplete host state survived a crash reset
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace manet::audit {
+
+/// Scheduler invariants: pop-time monotonicity and cancellation hygiene.
+class SchedulerAudit {
+ public:
+  /// A new event was scheduled for `at` while the clock reads `now`.
+  void onSchedule(sim::Time at, sim::Time now);
+  /// The next live event, timestamped `at`, is about to run.
+  void onPop(sim::Time at);
+  /// A still-pending event scheduled for `eventAt` was cancelled at `now`.
+  void onCancel(sim::Time eventAt, sim::Time now);
+
+  sim::Time lastPopTime() const { return lastPop_; }
+
+ private:
+  sim::Time lastPop_ = std::numeric_limits<sim::Time>::min();
+};
+
+/// Channel invariants: per-node reception balance, carrier-energy
+/// accounting, and churn flush consistency.
+class ChannelAudit {
+ public:
+  void onBeginReception(net::NodeId rx, sim::Time at);
+  void onEndReception(net::NodeId rx, sim::Time at);
+  void onEnergyRaise(net::NodeId rx, sim::Time at);
+  void onEnergyLower(net::NodeId rx, sim::Time at);
+  /// Node `rx` churned down; `flushed` receptions were returned. Must equal
+  /// the mirror's in-flight count; both ledgers reset to zero.
+  void onHostDown(net::NodeId rx, std::size_t flushed, sim::Time at);
+  /// A reception completion reached a node that is churned down.
+  void onDeliveryWhileDown(net::NodeId rx, sim::Time at);
+  /// End-of-life balance check. `inFlight` is the channel's own count of
+  /// receptions still on the air (legitimate when the run stops mid-frame).
+  void atTeardown(std::uint64_t inFlight, sim::Time at);
+
+  std::uint64_t begins() const { return begins_; }
+  std::uint64_t ends() const { return ends_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  struct PerNode {
+    std::int64_t active = 0;  // receptions in flight
+    std::int64_t energy = 0;  // carrier-sense busy count
+  };
+  PerNode& node(net::NodeId id);
+
+  std::vector<PerNode> nodes_;
+  std::uint64_t begins_ = 0;
+  std::uint64_t ends_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+/// DCF state-machine legality. Mirrors what the station has on the air and
+/// which exchange step it awaits; any transition outside the 802.11 DCF
+/// diagram is a violation.
+class DcfAudit {
+ public:
+  enum class Air { kNone, kBroadcast, kData, kRts, kCts, kAck };
+  enum class Exchange { kNone, kAwaitCts, kAwaitAck };
+
+  explicit DcfAudit(net::NodeId self = net::kInvalidNode) : self_(self) {}
+
+  /// A frame of kind `to` starts transmitting (to != kNone), or the frame on
+  /// the air ends (to == kNone).
+  void onAirTransition(Air to, sim::Time at);
+  /// The initiator starts awaiting `to` (kAwaitCts after RTS, kAwaitAck
+  /// after DATA), or resolves the wait (kNone).
+  void onExchangeTransition(Exchange to, sim::Time at);
+  /// Crash reset: forces both machines to idle; always legal.
+  void onReset();
+
+  Air air() const { return air_; }
+  Exchange exchange() const { return exchange_; }
+
+ private:
+  net::NodeId self_;
+  Air air_ = Air::kNone;
+  Exchange exchange_ = Exchange::kNone;
+};
+
+/// Neighbor-table expiry ordering: purges observe non-decreasing time and
+/// only remove entries whose deadline has truly passed.
+class NeighborAudit {
+ public:
+  explicit NeighborAudit(net::NodeId self = net::kInvalidNode)
+      : self_(self) {}
+
+  void onPurge(sim::Time now);
+  /// An entry with deadline `expiry` is being removed at `now`.
+  void onExpire(sim::Time expiry, sim::Time now);
+  /// Crash reset forgets all entries and the purge clock.
+  void onClear();
+
+ private:
+  net::NodeId self_;
+  sim::Time lastPurge_ = std::numeric_limits<sim::Time>::min();
+};
+
+/// Host churn consistency: a crash reset must leave no protocol residue.
+class ChurnAudit {
+ public:
+  /// Called after a host finished its crash reset. Every flag reports one
+  /// flushed subsystem; any false is a violation.
+  void onCrashReset(net::NodeId node, bool macQuiescent, bool statesFlushed,
+                    bool tableCleared, sim::Time at);
+};
+
+}  // namespace manet::audit

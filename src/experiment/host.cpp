@@ -2,8 +2,13 @@
 
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "experiment/world.hpp"
 #include "util/assert.hpp"
+
+#if MANET_AUDIT_ENABLED
+#include "audit/invariants.hpp"
+#endif
 
 namespace manet::experiment {
 
@@ -31,10 +36,16 @@ void Host::onCrash() {
   MANET_EXPECTS(up_);
   up_ = false;
   hello_->stop();
+  // NOLINT-determinism(cancel-only pass; the map is cleared right after)
   for (auto& [bid, state] : states_) state.jitterTimer.cancel();
   states_.clear();
   mac_->reset();
   table_.clear();
+  // Flush consistency: a cold reboot must leave no duplicate-cache entries,
+  // queued frames, or learned neighbors behind (DESIGN.md §8).
+  MANET_AUDIT_HOOK(audit::ChurnAudit{}.onCrashReset(
+      id_, mac_->quiescent(), states_.empty(),
+      table_.neighborCount(now()) == 0, now()));
 }
 
 void Host::onRecover() {

@@ -11,6 +11,24 @@
 
 namespace manet::experiment {
 
+#if MANET_AUDIT_ENABLED
+void World::AuditBridge::onViolation(const audit::Violation& violation) {
+  if (world_.traceSink_ != nullptr) {
+    trace::Event event;
+    event.kind = trace::EventKind::kAuditViolation;
+    event.at = violation.at;
+    event.node = violation.node;
+    world_.traceSink_->onEvent(event);
+  }
+  // Preserve fail-stop semantics: forward to whatever sink was registered
+  // before this world (a test's capturing sink, an outer world's bridge, or
+  // the default print-and-abort sink).
+  audit::Sink& next =
+      previous_ != nullptr ? *previous_ : audit::defaultSink();
+  next.onViolation(violation);
+}
+#endif
+
 World::World(const ScenarioConfig& config)
     : config_(config.resolved()),
       channel_(scheduler_, config_.phy),

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "experiment/host.hpp"
 #include "experiment/scenario.hpp"
 #include "fault/churn.hpp"
@@ -82,6 +83,29 @@ class World {
   void scheduleChurn();
   std::vector<std::unique_ptr<mobility::MobilityModel>> buildMobility(
       const mobility::MapSpec& map, sim::Rng& master);
+
+#if MANET_AUDIT_ENABLED
+  /// Audited builds (§9): registered as the thread's audit sink for this
+  /// world's lifetime. Mirrors every violation into the trace stream as a
+  /// kAuditViolation event (when a sink is installed), then forwards to the
+  /// previously registered sink — by default the print-and-abort one, or a
+  /// test's capturing sink. Declared first so it outlives the channel's
+  /// teardown ledger check.
+  class AuditBridge final : public audit::Sink {
+   public:
+    explicit AuditBridge(World& world)
+        : world_(world), previous_(audit::setSink(this)) {}
+    ~AuditBridge() override { audit::setSink(previous_); }
+    AuditBridge(const AuditBridge&) = delete;
+    AuditBridge& operator=(const AuditBridge&) = delete;
+    void onViolation(const audit::Violation& violation) override;
+
+   private:
+    World& world_;
+    audit::Sink* previous_;
+  };
+  AuditBridge auditBridge_{*this};
+#endif
 
   ScenarioConfig config_;  // resolved, MANET_FAULT_* overrides applied
   sim::Scheduler scheduler_;

@@ -31,6 +31,7 @@ DcfMac::DcfMac(sim::Scheduler& scheduler, phy::Channel& channel,
   MANET_EXPECTS(params_.cwMin >= 1);
   MANET_EXPECTS(params_.cwMax >= params_.cwMin);
   MANET_EXPECTS(params_.retryLimit >= 0);
+  MANET_AUDIT_HOOK(audit_ = audit::DcfAudit(self_));
   channel_.attach(self_, this, std::move(position));
 }
 
@@ -114,6 +115,7 @@ void DcfMac::reset() {
   // A rebooted station has no reception history: a retransmitted unicast it
   // saw before the crash will be delivered again (the cost of crashing).
   seenUnicast_.clear();
+  MANET_AUDIT_HOOK(audit_.onReset());
 }
 
 bool DcfMac::virtualOrPhysicalBusy() const {
@@ -177,6 +179,8 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
       if (packet.dest != self_ || exchange_ != Exchange::kAwaitCts) return;
       exchangeTimer_.cancel();
       exchange_ = Exchange::kNone;
+      MANET_AUDIT_HOOK(audit_.onExchangeTransition(
+          audit::DcfAudit::Exchange::kNone, scheduler_.now()));
       // DATA follows one SIFS after the CTS.
       exchangeTimer_ = scheduler_.scheduleAfter(params_.sifs, [this] {
         beginDataTransmission();
@@ -187,6 +191,8 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
       if (packet.dest != self_ || exchange_ != Exchange::kAwaitAck) return;
       exchangeTimer_.cancel();
       exchange_ = Exchange::kNone;
+      MANET_AUDIT_HOOK(audit_.onExchangeTransition(
+          audit::DcfAudit::Exchange::kNone, scheduler_.now()));
       finishCurrent(true);
       return;
 
@@ -223,6 +229,10 @@ void DcfMac::scheduleResponse(net::PacketPtr response, std::size_t bytes) {
         transmitting_ = true;
         onAir_ = response->type == net::PacketType::kCts ? OnAir::kCts
                                                          : OnAir::kAck;
+        MANET_AUDIT_HOOK(audit_.onAirTransition(
+            onAir_ == OnAir::kCts ? audit::DcfAudit::Air::kCts
+                                  : audit::DcfAudit::Air::kAck,
+            scheduler_.now()));
         onAirPacket_ = response;
         ++framesSent_;
         channel_.transmit(self_, response, bytes);
@@ -234,6 +244,8 @@ void DcfMac::onTxComplete() {
   transmitting_ = false;
   const OnAir kind = onAir_;
   onAir_ = OnAir::kNone;
+  MANET_AUDIT_HOOK(
+      audit_.onAirTransition(audit::DcfAudit::Air::kNone, scheduler_.now()));
   const TxId finished = onAirId_;
   net::PacketPtr packet = std::move(onAirPacket_);
   onAirId_ = kInvalidTx;
@@ -265,6 +277,10 @@ void DcfMac::onTxComplete() {
 }
 
 void DcfMac::armExchangeTimer(Exchange phase) {
+  MANET_AUDIT_HOOK(audit_.onExchangeTransition(
+      phase == Exchange::kAwaitCts ? audit::DcfAudit::Exchange::kAwaitCts
+                                   : audit::DcfAudit::Exchange::kAwaitAck,
+      scheduler_.now()));
   exchange_ = phase;
   const sim::Time response = phase == Exchange::kAwaitCts
                                  ? controlAirtime(net::kCtsBytes)
@@ -278,6 +294,8 @@ void DcfMac::armExchangeTimer(Exchange phase) {
 void DcfMac::onExchangeTimeout() {
   MANET_ASSERT(hasCurrent_);
   exchange_ = Exchange::kNone;
+  MANET_AUDIT_HOOK(audit_.onExchangeTransition(
+      audit::DcfAudit::Exchange::kNone, scheduler_.now()));
   retryCurrent();
 }
 
@@ -361,6 +379,8 @@ void DcfMac::startTransmission() {
   if (!isUnicast(head)) {
     transmitting_ = true;
     onAir_ = OnAir::kBroadcast;
+    MANET_AUDIT_HOOK(audit_.onAirTransition(audit::DcfAudit::Air::kBroadcast,
+                                            scheduler_.now()));
     onAirId_ = head.id;
     onAirPacket_ = head.packet;
     ++framesSent_;
@@ -382,6 +402,8 @@ void DcfMac::startTransmission() {
                       controlAirtime(net::kAckBytes);
     transmitting_ = true;
     onAir_ = OnAir::kRts;
+    MANET_AUDIT_HOOK(audit_.onAirTransition(audit::DcfAudit::Air::kRts,
+                                            scheduler_.now()));
     onAirPacket_ = rts;
     ++framesSent_;
     channel_.transmit(self_, std::move(rts), net::kRtsBytes);
@@ -395,6 +417,8 @@ void DcfMac::beginDataTransmission() {
   MANET_ASSERT(!transmitting_);
   transmitting_ = true;
   onAir_ = OnAir::kData;
+  MANET_AUDIT_HOOK(audit_.onAirTransition(audit::DcfAudit::Air::kData,
+                                          scheduler_.now()));
   onAirId_ = current_.id;
   onAirPacket_ = current_.packet;
   ++framesSent_;

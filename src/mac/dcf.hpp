@@ -37,10 +37,15 @@
 #include <deque>
 #include <unordered_set>
 
+#include "audit/audit.hpp"
 #include "net/packet.hpp"
 #include "phy/channel.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+
+#if MANET_AUDIT_ENABLED
+#include "audit/invariants.hpp"
+#endif
 
 namespace manet::mac {
 
@@ -226,6 +231,11 @@ class DcfMac final : public phy::Channel::Listener {
   std::uint64_t unicastRetries_ = 0;
   std::uint64_t unicastDrops_ = 0;
   std::uint64_t acksSent_ = 0;
+
+#if MANET_AUDIT_ENABLED
+  /// Mirrors the on-air/exchange machines and flags illegal transitions.
+  audit::DcfAudit audit_;
+#endif
 };
 
 }  // namespace manet::mac

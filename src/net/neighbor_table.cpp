@@ -36,8 +36,11 @@ void NeighborTable::onHello(NodeId from, const Packet& hello, sim::Time now) {
 }
 
 void NeighborTable::purge(sim::Time now) {
+  MANET_AUDIT_HOOK(audit_.onPurge(now));
+  // NOLINT-determinism(erase-only scan; per-expiry leave count is order-insensitive)
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (expiryOf(it->second) < now) {
+      MANET_AUDIT_HOOK(audit_.onExpire(expiryOf(it->second), now));
       it = entries_.erase(it);
       recordChange(now);  // a leave
     } else {
@@ -56,6 +59,7 @@ std::vector<NodeId> NeighborTable::neighborIds(sim::Time now) {
   purge(now);
   std::vector<NodeId> ids;
   ids.reserve(entries_.size());
+  // NOLINT-determinism(collected unsorted, canonicalized below)
   for (const auto& [id, entry] : entries_) ids.push_back(id);
   // Canonical ascending order: these ids go onto the wire in HELLO packets
   // and into scheme/cluster decisions, so hash-map iteration order must not

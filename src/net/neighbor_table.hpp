@@ -14,9 +14,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "net/ids.hpp"
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
+
+#if MANET_AUDIT_ENABLED
+#include "audit/invariants.hpp"
+#endif
 
 namespace manet::net {
 
@@ -68,6 +73,7 @@ class NeighborTable {
   void clear() {
     entries_.clear();
     changes_.clear();
+    MANET_AUDIT_HOOK(audit_.onClear());
   }
 
  private:
@@ -79,6 +85,9 @@ class NeighborTable {
   sim::Time fallbackInterval_;
   std::unordered_map<NodeId, Entry> entries_;
   std::deque<sim::Time> changes_;  // join/leave timestamps, ascending
+#if MANET_AUDIT_ENABLED
+  audit::NeighborAudit audit_;
+#endif
 };
 
 }  // namespace manet::net

@@ -23,6 +23,16 @@ Channel::Channel(sim::Scheduler& scheduler, PhyParams params)
   MANET_EXPECTS(params_.radiusMeters > 0.0);
 }
 
+Channel::~Channel() {
+  // Ledger check: every reception that began must have ended, been flushed
+  // by host churn, or still be on the air when the run stopped mid-frame.
+  MANET_AUDIT_HOOK({
+    std::uint64_t inFlight = 0;
+    for (const Node& n : nodes_) inFlight += n.activeRx.size();
+    audit_.atTeardown(inFlight, scheduler_.now());
+  });
+}
+
 void Channel::attach(net::NodeId id, Listener* listener, PositionFn position) {
   MANET_EXPECTS(listener != nullptr);
   MANET_EXPECTS(position != nullptr);
@@ -46,10 +56,14 @@ const Channel::Node& Channel::node(net::NodeId id) const {
 }
 
 void Channel::raiseBusy(Node& n) {
+  MANET_AUDIT_HOOK(audit_.onEnergyRaise(
+      static_cast<net::NodeId>(&n - nodes_.data()), scheduler_.now()));
   if (++n.busyCount == 1) n.listener->onMediumBusy();
 }
 
 void Channel::lowerBusy(Node& n) {
+  MANET_AUDIT_HOOK(audit_.onEnergyLower(
+      static_cast<net::NodeId>(&n - nodes_.data()), scheduler_.now()));
   MANET_ASSERT(n.busyCount > 0);
   if (--n.busyCount == 0) n.listener->onMediumIdle();
 }
@@ -381,6 +395,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
       }
     }
     rx.activeRx.push_back(rec);
+    MANET_AUDIT_HOOK(audit_.onBeginReception(id, scheduler_.now()));
     // The energy becomes detectable at the receiver only after the carrier-
     // sense delay; a station that starts its own transmission inside that
     // window never saw the medium busy (and collides, per §2.2.3).
@@ -407,9 +422,14 @@ void Channel::finishReception(net::NodeId rxId,
                               const std::shared_ptr<ActiveRx>& rec) {
   if (rec->orphaned) return;  // receiver churned down mid-frame
   Node& rx = node(rxId);
+  // A down node's receptions must all have been orphaned by the flush; a
+  // completion that still reaches one is a churn consistency bug.
+  MANET_AUDIT_HOOK(if (!rx.up)
+                       audit_.onDeliveryWhileDown(rxId, scheduler_.now()));
   auto it = std::find(rx.activeRx.begin(), rx.activeRx.end(), rec);
   MANET_ASSERT(it != rx.activeRx.end());
   rx.activeRx.erase(it);
+  MANET_AUDIT_HOOK(audit_.onEndReception(rxId, scheduler_.now()));
   lowerBusy(rx);
   switch (rec->reason) {
     case DropReason::kNone:
@@ -452,6 +472,7 @@ std::vector<Frame> Channel::setNodeUp(net::NodeId id, bool up) {
     n.activeRx.clear();
     n.transmitting = false;
     n.busyCount = 0;
+    MANET_AUDIT_HOOK(audit_.onHostDown(id, flushed.size(), scheduler_.now()));
   }
   // Recovery rejoins with a clean, idle medium view: transmissions already
   // in the air are missed entirely (their start was not observed).

@@ -30,11 +30,16 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "geom/vec2.hpp"
 #include "net/packet.hpp"
 #include "phy/drop.hpp"
 #include "phy/params.hpp"
 #include "sim/scheduler.hpp"
+
+#if MANET_AUDIT_ENABLED
+#include "audit/invariants.hpp"
+#endif
 
 namespace manet::phy {
 
@@ -79,6 +84,8 @@ class Channel {
   using LossFn = std::function<bool(net::NodeId src, net::NodeId dst)>;
 
   Channel(sim::Scheduler& scheduler, PhyParams params);
+  /// Audited builds verify the begin/end/flush reception ledger here.
+  ~Channel();
 
   /// Registers a node. `id` values must be dense (0..N-1) and unique.
   void attach(net::NodeId id, Listener* listener, PositionFn position);
@@ -275,6 +282,9 @@ class Channel {
   std::uint64_t framesCorrupted_ = 0;
   std::uint64_t framesLostToFault_ = 0;
   std::uint64_t framesDroppedHostDown_ = 0;
+#if MANET_AUDIT_ENABLED
+  audit::ChannelAudit audit_;
+#endif
 };
 
 }  // namespace manet::phy

@@ -11,6 +11,9 @@ struct Scheduler::Handle::Node {
   bool cancelled = false;
   bool fired = false;
   Scheduler* owner = nullptr;
+#if MANET_AUDIT_ENABLED
+  Time at = 0;  // scheduled fire time, for cancellation-race checks
+#endif
 };
 
 void Scheduler::Handle::cancel() {
@@ -20,6 +23,8 @@ void Scheduler::Handle::cancel() {
   if (node_->owner != nullptr) {
     MANET_ASSERT(node_->owner->live_ > 0);
     --node_->owner->live_;
+    MANET_AUDIT_HOOK(
+        node_->owner->audit_.onCancel(node_->at, node_->owner->now_));
   }
 }
 
@@ -33,6 +38,10 @@ Scheduler::Handle Scheduler::schedule(Time at, Callback fn) {
   auto node = std::make_shared<Handle::Node>();
   node->fn = std::move(fn);
   node->owner = this;
+#if MANET_AUDIT_ENABLED
+  node->at = at;
+#endif
+  MANET_AUDIT_HOOK(audit_.onSchedule(at, now_));
   heap_.push(HeapItem{at, nextSeq_++, node});
   ++live_;
   return Handle(std::move(node));
@@ -55,6 +64,7 @@ bool Scheduler::runOne() {
   HeapItem item = heap_.top();
   heap_.pop();
   MANET_ASSERT(item.at >= now_);
+  MANET_AUDIT_HOOK(audit_.onPop(item.at));
   now_ = item.at;
   item.node->fired = true;
   MANET_ASSERT(live_ > 0);

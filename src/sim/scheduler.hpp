@@ -9,7 +9,12 @@
 #include <queue>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "sim/time.hpp"
+
+#if MANET_AUDIT_ENABLED
+#include "audit/invariants.hpp"
+#endif
 
 namespace manet::sim {
 
@@ -83,6 +88,9 @@ class Scheduler {
   std::size_t live_ = 0;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
       heap_;
+#if MANET_AUDIT_ENABLED
+  audit::SchedulerAudit audit_;
+#endif
 };
 
 }  // namespace manet::sim

@@ -24,9 +24,11 @@ enum class EventKind {
   kHelloSent,            // a HELLO beacon was transmitted
   kHostDown,             // host churn: the host crashed
   kHostUp,               // host churn: the host recovered
+  kAuditViolation,       // invariant auditor reported a violation (§9);
+                         // never emitted unless the build sets MANET_AUDIT
 };
 
-inline constexpr int kEventKindCount = 10;
+inline constexpr int kEventKindCount = 11;
 
 /// One event. `bid` is meaningful for the broadcast-related kinds; position
 /// is the observing host's position at event time; `drop` is meaningful for

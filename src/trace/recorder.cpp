@@ -16,6 +16,7 @@ const char* eventKindName(EventKind kind) {
     case EventKind::kHelloSent: return "hello";
     case EventKind::kHostDown: return "host_down";
     case EventKind::kHostUp: return "host_up";
+    case EventKind::kAuditViolation: return "audit_violation";
   }
   return "?";
 }

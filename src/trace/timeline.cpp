@@ -77,6 +77,7 @@ std::optional<Timeline> buildTimeline(const std::vector<Event>& events,
       case EventKind::kDrop:
       case EventKind::kHostDown:
       case EventKind::kHostUp:
+      case EventKind::kAuditViolation:
         continue;
       default:
         break;
