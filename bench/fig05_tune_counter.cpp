@@ -25,7 +25,8 @@ struct Candidate {
   core::CounterThreshold fn;
 };
 
-void runPanel(const std::string& title, const std::vector<Candidate>& cands,
+void runPanel(bench::Report& report, const std::string& panel,
+              const std::string& title, const std::vector<Candidate>& cands,
               const experiment::BenchScale& scale) {
   std::cout << "--- " << title << " ---\n";
   std::vector<std::string> header{"map"};
@@ -44,6 +45,7 @@ void runPanel(const std::string& title, const std::vector<Candidate>& cands,
       experiment::applyScale(config, scale);
       const auto r =
           experiment::runScenarioAveraged(config, scale.repetitions);
+      report.add(panel + "/" + cand.label + "/" + bench::mapLabel(units), r);
       row.push_back(util::fmt(r.re(), 3));
       row.push_back(util::fmt(r.srb(), 3));
     }
@@ -55,7 +57,8 @@ void runPanel(const std::string& title, const std::vector<Candidate>& cands,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig05_tune_counter");
   const auto scale = experiment::benchScale(40);
   bench::banner("Fig. 5 - tuning C(n) for the adaptive counter scheme",
                 "slope 1 best in sparse maps; n1=4, n2=12; linear decay",
@@ -63,26 +66,26 @@ int main() {
 
   using CT = core::CounterThreshold;
 
-  runPanel("Fig. 5a: slope before n1",
+  runPanel(report, "5a", "Fig. 5a: slope before n1",
            {{"s1/3", CT::fromDigits("22233344455555")},
             {"s1/2", CT::fromDigits("22334455555")},
             {"s1", CT::fromDigits("23455555")}},
            scale);
 
-  runPanel("Fig. 5b: choosing n1",
+  runPanel(report, "5b", "Fig. 5b: choosing n1",
            {{"n1=2", CT::fromDigits("233")},
             {"n1=3", CT::fromDigits("2344")},
             {"n1=4", CT::fromDigits("23455")},
             {"n1=5", CT::fromDigits("234566")}},
            scale);
 
-  runPanel("Fig. 5c: choosing n2 (linear decay from 5 to 2)",
+  runPanel(report, "5c", "Fig. 5c: choosing n2 (linear decay from 5 to 2)",
            {{"n2=8", CT::rampAndDecay(4, 8)},
             {"n2=12", CT::rampAndDecay(4, 12)},
             {"n2=16", CT::rampAndDecay(4, 16)}},
            scale);
 
-  runPanel("Fig. 5d: decay shape between n1=4 and n2=12",
+  runPanel(report, "5d", "Fig. 5d: decay shape between n1=4 and n2=12",
            {{"linear", CT::rampAndDecay(4, 12, core::DecayShape::kLinear)},
             {"convex", CT::rampAndDecay(4, 12, core::DecayShape::kConvex)},
             {"concave", CT::rampAndDecay(4, 12, core::DecayShape::kConcave)},

@@ -13,7 +13,8 @@
 
 using namespace manet;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig07_ac_vs_fixed");
   const auto scale = experiment::benchScale(60);
   bench::banner("Fig. 7 - AC vs fixed counter thresholds",
                 "AC resolves the RE/SRB dilemma of fixed C", scale);
@@ -41,6 +42,7 @@ int main() {
       experiment::applyScale(config, scale);
       const auto r =
           experiment::runScenarioAveraged(config, scale.repetitions);
+      report.add(bench::mapLabel(units) + "/" + scheme.name(), r);
       row.push_back(util::fmt(r.re(), 3));
       row.push_back(util::fmt(r.srb(), 3));
       row.push_back(util::fmt(r.latency(), 4));

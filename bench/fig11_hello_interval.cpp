@@ -12,7 +12,8 @@
 
 using namespace manet;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig11_hello_interval");
   const auto scale = experiment::benchScale(40);
   bench::banner("Fig. 11 - NC scheme vs hello interval and speed",
                 "stale tables (long interval x fast hosts) hurt RE on sparse "
@@ -43,6 +44,10 @@ int main() {
         experiment::applyScale(config, scale);
         const auto r =
             experiment::runScenarioAveraged(config, scale.repetitions);
+        report.add(bench::mapLabel(units) + "/hi=" +
+                       std::to_string(hi / sim::kSecond) + "s/" +
+                       util::fmt(speed, 0) + "kmh",
+                   r);
         row.push_back(util::fmt(r.re(), 3));
       }
       table.addRow(std::move(row));

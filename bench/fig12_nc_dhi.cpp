@@ -12,7 +12,8 @@
 
 using namespace manet;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig12_nc_dhi");
   const auto scale = experiment::benchScale(40);
   bench::banner("Fig. 12 - NC with dynamic hello interval (DHI)",
                 "RE stays high at all speeds/densities; hello rate adapts",
@@ -42,6 +43,8 @@ int main() {
       experiment::applyScale(config, scale);
       const auto r =
           experiment::runScenarioAveraged(config, scale.repetitions);
+      report.add(bench::mapLabel(units) + "/" + util::fmt(speed, 0) + "kmh",
+                 r);
       reRow.push_back(util::fmt(r.re(), 3));
       srbRow.push_back(util::fmt(r.srb(), 3));
       rateRow.push_back(util::fmt(r.hellosPerHostPerSecond, 3));

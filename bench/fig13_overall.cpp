@@ -14,7 +14,8 @@
 
 using namespace manet;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig13_overall");
   const auto scale = experiment::benchScale(60);
   bench::banner("Fig. 13 - overall comparison (one table per map)",
                 "adaptive schemes keep RE >= ~95% at every density", scale);
@@ -53,6 +54,7 @@ int main() {
       experiment::applyScale(config, scale);
       const auto r =
           experiment::runScenarioAveraged(config, scale.repetitions);
+      report.add(bench::mapLabel(units) + "/" + entry.scheme.name(), r);
       table.addRow({entry.scheme.name(), util::fmt(r.srb(), 3),
                     util::fmt(r.re(), 3), util::fmt(r.latency(), 4)});
     }

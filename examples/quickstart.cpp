@@ -9,8 +9,12 @@
 //   ./build/examples/quickstart [mapUnits] [numBroadcasts]
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "experiment/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 using namespace manet;
@@ -18,6 +22,12 @@ using namespace manet;
 int main(int argc, char** argv) {
   const int mapUnits = argc > 1 ? std::atoi(argv[1]) : 5;
   const int broadcasts = argc > 2 ? std::atoi(argv[2]) : 50;
+
+  // MANET_BENCH_JSON=<dir> turns on metrics collection and writes a run
+  // report next to the printed table (the table itself is unchanged).
+  const auto jsonDir = util::envString("MANET_BENCH_JSON");
+  if (jsonDir) obs::forceCollection(true);
+  std::vector<obs::RunSample> samples;
 
   std::cout << "Broadcast storm suppression on a " << mapUnits << "x"
             << mapUnits << " map (" << broadcasts << " broadcasts, 100 hosts, "
@@ -50,6 +60,7 @@ int main(int argc, char** argv) {
       config.hello.dynamic = true;  // the paper's DHI variant
     }
     const experiment::RunResult r = experiment::runScenario(config);
+    if (jsonDir) samples.push_back(experiment::toRunSample(r.schemeName, r));
     table.addRow({r.schemeName, util::fmt(r.re(), 3), util::fmt(r.srb(), 3),
                   util::fmt(r.latency(), 3),
                   std::to_string(r.framesTransmitted)});
@@ -57,5 +68,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nRE = reachability, SRB = saved rebroadcasts (both higher "
                "is better).\n";
+  if (jsonDir) {
+    obs::writeReportFile(*jsonDir + "/BENCH_quickstart.json", "quickstart",
+                         samples);
+  }
   return 0;
 }

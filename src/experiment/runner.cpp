@@ -1,38 +1,59 @@
 #include "experiment/runner.hpp"
 
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "experiment/parallel.hpp"
 #include "experiment/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/assert.hpp"
 
 namespace manet::experiment {
 
 RunResult runScenario(const ScenarioConfig& config) {
   const auto wallStart = std::chrono::steady_clock::now();
-  World world(config);
-  world.run();
+  // Each repetition owns a private registry, installed on the running
+  // thread for the duration of the run (parallel repetitions each own
+  // their thread, so there is no sharing).
+  std::shared_ptr<obs::Registry> metrics;
+  if (obs::collectionEnabled()) metrics = std::make_shared<obs::Registry>();
+  obs::ScopedRegistry scoped(metrics.get());
 
+  std::optional<World> world;
+  {
+    obs::ProfileScope profileBuild("scenario.build");
+    world.emplace(config);
+  }
+  {
+    obs::ProfileScope profileRun("scenario.run");
+    world->run();
+  }
+
+  obs::ProfileScope profileCollect("scenario.collect");
   RunResult out;
-  out.summary = world.metrics().summarize();
+  out.seed = config.seed;
+  out.summary = world->metrics().summarize();
   out.schemeName = config.scheme.name();
-  out.simulatedSeconds = sim::toSeconds(world.scheduler().now());
-  out.framesTransmitted = world.channel().framesTransmitted();
-  out.framesDelivered = world.channel().framesDelivered();
-  out.framesCorrupted = world.channel().framesCorrupted();
-  out.faultsEnabled = world.config().fault.enabled();
-  out.framesLostToFault = world.channel().framesLostToFault();
-  out.framesDroppedHostDown = world.channel().framesDroppedHostDown();
-  out.hostDownSeconds = world.hostDownSeconds();
-  if (out.simulatedSeconds > 0.0 && world.hostCount() > 0) {
+  out.simulatedSeconds = sim::toSeconds(world->scheduler().now());
+  out.framesTransmitted = world->channel().framesTransmitted();
+  out.framesDelivered = world->channel().framesDelivered();
+  out.framesCorrupted = world->channel().framesCorrupted();
+  out.faultsEnabled = world->config().fault.enabled();
+  out.framesLostToFault = world->channel().framesLostToFault();
+  out.framesDroppedHostDown = world->channel().framesDroppedHostDown();
+  out.hostDownSeconds = world->hostDownSeconds();
+  if (out.simulatedSeconds > 0.0 && world->hostCount() > 0) {
     out.hellosPerHostPerSecond =
         static_cast<double>(out.summary.hellosSent) /
-        (out.simulatedSeconds * static_cast<double>(world.hostCount()));
+        (out.simulatedSeconds * static_cast<double>(world->hostCount()));
   }
   out.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wallStart)
           .count();
+  out.metrics = std::move(metrics);
   return out;
 }
 
@@ -64,7 +85,16 @@ RunResult poolRuns(const std::vector<RunResult>& runs) {
     pooled.simulatedSeconds += r.simulatedSeconds;
     pooled.wallSeconds += r.wallSeconds;
     pooled.schemeName = r.schemeName;
+    // Ordered merge: `runs` is in repetition order, so the pooled registry
+    // (histogram float sums included) is identical for any thread count.
+    if (r.metrics != nullptr) {
+      if (pooled.metrics == nullptr) {
+        pooled.metrics = std::make_shared<obs::Registry>();
+      }
+      pooled.metrics->merge(*r.metrics);
+    }
   }
+  pooled.seed = runs.front().seed;
   const auto n = static_cast<double>(runs.size());
   pooled.summary.meanRe = re / n;
   pooled.summary.meanSrb = srb / n;
@@ -86,6 +116,26 @@ RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions,
       },
       threads);
   return poolRuns(runs);
+}
+
+obs::RunSample toRunSample(std::string label, const RunResult& result) {
+  obs::RunSample s;
+  s.label = std::move(label);
+  s.scheme = result.schemeName;
+  s.seed = result.seed;
+  s.re = result.re();
+  s.srb = result.srb();
+  s.latencySeconds = result.latency();
+  s.hellosPerHostPerSecond = result.hellosPerHostPerSecond;
+  s.broadcasts = result.summary.broadcasts;
+  s.framesTransmitted = result.framesTransmitted;
+  s.framesDelivered = result.framesDelivered;
+  s.framesCorrupted = result.framesCorrupted;
+  s.simulatedSeconds = result.simulatedSeconds;
+  s.wallSeconds = result.wallSeconds;
+  s.framesPerWallSecond = result.framesPerWallSecond();
+  s.metrics = result.metrics;
+  return s;
 }
 
 }  // namespace manet::experiment

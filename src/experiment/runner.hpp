@@ -2,16 +2,24 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "experiment/scenario.hpp"
+#include "obs/report.hpp"
 #include "stats/metrics.hpp"
 
 namespace manet::experiment {
 
 struct RunResult {
   stats::RunSummary summary;
+  /// Seed of the (first) repetition, echoed into run reports.
+  std::uint64_t seed = 0;
+  /// Engine metrics collected during the run; null unless collection was on
+  /// (MANET_METRICS / obs::forceCollection). Pooled results own the ordered
+  /// merge of every repetition's registry.
+  std::shared_ptr<obs::Registry> metrics;
   /// HELLO traffic rate, packets per host per simulated second (Fig. 12b's
   /// y-axis up to a normalization).
   double hellosPerHostPerSecond = 0.0;
@@ -81,5 +89,8 @@ RunResult poolRuns(const std::vector<RunResult>& runs);
 /// in repetition order, so the outcome is identical for any thread count.
 RunResult runScenarioAveraged(const ScenarioConfig& config, int repetitions,
                               int threads = 1);
+
+/// Flattens a RunResult into the run-report row obs::writeReport serializes.
+obs::RunSample toRunSample(std::string label, const RunResult& result);
 
 }  // namespace manet::experiment

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace manet::mac {
@@ -10,6 +11,15 @@ namespace {
 
 std::uint64_t dupKey(net::NodeId sender, std::uint16_t macSeq) {
   return (static_cast<std::uint64_t>(sender) << 16) | macSeq;
+}
+
+/// Records one backoff draw: the window it was drawn from and the slot
+/// count that came out.
+int recordBackoffDraw(int cw, int slots) {
+  obs::add(obs::Counter::kMacBackoffDraws);
+  obs::observe(obs::Hist::kMacContentionWindow, cw);
+  obs::observe(obs::Hist::kMacBackoffSlots, slots);
+  return slots;
 }
 
 }  // namespace
@@ -80,8 +90,9 @@ void DcfMac::ensureBackoffIfBusy() {
   // frees up (§2.2.3 describes exactly that failure mode).
   if ((mediumBusy_ || scheduler_.now() < navUntil_) && !queue_.empty() &&
       backoffRemaining_ < 0) {
-    backoffRemaining_ =
-        static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast));
+    backoffRemaining_ = recordBackoffDraw(
+        params_.cwBroadcast,
+        static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast)));
   }
 }
 
@@ -255,8 +266,9 @@ void DcfMac::onTxComplete() {
       // Post-backoff: owed after every transmission, and it counts down
       // while the queue is empty too, so a long-idle station may again
       // transmit immediately after DIFS.
-      backoffRemaining_ =
-          static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast));
+      backoffRemaining_ = recordBackoffDraw(
+          params_.cwBroadcast,
+          static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast)));
       upper_->onTxFinished(finished, *packet);
       break;
     case OnAir::kRts:
@@ -304,14 +316,17 @@ void DcfMac::retryCurrent() {
   ++current_.retries;
   if (current_.retries > params_.retryLimit) {
     ++unicastDrops_;
+    obs::add(obs::Counter::kMacUnicastDrops);
     finishCurrent(false);
     return;
   }
   ++unicastRetries_;
+  obs::add(obs::Counter::kMacUnicastRetries);
   // Binary exponential contention-window escalation: 31 -> 63 -> ... ->
   // 1023 (the §4 "backoff window 31~1023").
   current_.cw = std::min(params_.cwMax, current_.cw * 2 + 1);
-  backoffRemaining_ = static_cast<int>(rng_.uniformInt(0, current_.cw));
+  backoffRemaining_ = recordBackoffDraw(
+      current_.cw, static_cast<int>(rng_.uniformInt(0, current_.cw)));
   queue_.push_front(current_);
   hasCurrent_ = false;
   reschedule();
@@ -321,8 +336,9 @@ void DcfMac::finishCurrent(bool delivered) {
   MANET_ASSERT(hasCurrent_);
   hasCurrent_ = false;
   // Post-backoff after the exchange, like any transmission.
-  backoffRemaining_ =
-      static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast));
+  backoffRemaining_ = recordBackoffDraw(
+      params_.cwBroadcast,
+      static_cast<int>(rng_.uniformInt(0, params_.cwBroadcast)));
   upper_->onTxFinished(current_.id, *current_.packet);
   upper_->onUnicastOutcome(current_.id, *current_.packet, delivered);
   reschedule();

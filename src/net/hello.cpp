@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace manet::net {
@@ -59,6 +60,7 @@ void HelloAgent::sendHello() {
   }
   mac_.enqueue(std::move(packet), bytes);
   ++hellosSent_;
+  obs::add(obs::Counter::kHelloTx);
 
   sim::Time next = currentInterval_;
   if (config_.periodJitterFraction > 0.0) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace manet::net {
@@ -27,12 +28,19 @@ void NeighborTable::dropOldChanges(sim::Time now) {
 
 void NeighborTable::onHello(NodeId from, const Packet& hello, sim::Time now) {
   MANET_EXPECTS(hello.type == PacketType::kHello);
+  obs::add(obs::Counter::kHelloRx);
   purge(now);
   auto [it, inserted] = entries_.try_emplace(from);
   it->second.lastHeard = now;
   it->second.interval = hello.helloInterval;
   it->second.neighbors = hello.helloNeighbors;
-  if (inserted) recordChange(now);  // a join
+  if (inserted) {
+    recordChange(now);  // a join
+    obs::add(obs::Counter::kNeighborJoins);
+  }
+  const auto size = static_cast<std::uint64_t>(entries_.size());
+  obs::gaugeMax(obs::Gauge::kNeighborTableSize, size);
+  obs::observe(obs::Hist::kNeighborTableSize, static_cast<double>(size));
 }
 
 void NeighborTable::purge(sim::Time now) {
@@ -43,6 +51,7 @@ void NeighborTable::purge(sim::Time now) {
       MANET_AUDIT_HOOK(audit_.onExpire(expiryOf(it->second), now));
       it = entries_.erase(it);
       recordChange(now);  // a leave
+      obs::add(obs::Counter::kNeighborLeaves);
     } else {
       ++it;
     }

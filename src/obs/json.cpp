@@ -1,0 +1,294 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace manet::obs::json {
+
+std::string quoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, res.ptr);
+}
+
+void Writer::separate() {
+  if (stack_.empty()) return;
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // the key already wrote the comma/indent
+  }
+  if (stack_.back().hasItems) out_ << ",";
+  stack_.back().hasItems = true;
+  newlineIndent();
+}
+
+void Writer::newlineIndent() {
+  out_ << "\n";
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void Writer::beginObject() {
+  separate();
+  out_ << "{";
+  stack_.push_back(Frame{false, false});
+}
+
+void Writer::endObject() {
+  MANET_EXPECTS(!stack_.empty() && !stack_.back().array && !pendingKey_);
+  const bool hadItems = stack_.back().hasItems;
+  stack_.pop_back();
+  if (hadItems) newlineIndent();
+  out_ << "}";
+}
+
+void Writer::beginArray() {
+  separate();
+  out_ << "[";
+  stack_.push_back(Frame{true, false});
+}
+
+void Writer::endArray() {
+  MANET_EXPECTS(!stack_.empty() && stack_.back().array);
+  const bool hadItems = stack_.back().hasItems;
+  stack_.pop_back();
+  if (hadItems) newlineIndent();
+  out_ << "]";
+}
+
+void Writer::key(std::string_view k) {
+  MANET_EXPECTS(!stack_.empty() && !stack_.back().array && !pendingKey_);
+  if (stack_.back().hasItems) out_ << ",";
+  stack_.back().hasItems = true;
+  newlineIndent();
+  out_ << quoted(k) << ": ";
+  pendingKey_ = true;
+}
+
+void Writer::value(std::string_view s) {
+  separate();
+  out_ << quoted(s);
+}
+
+void Writer::value(bool b) {
+  separate();
+  out_ << (b ? "true" : "false");
+}
+
+void Writer::value(double d) {
+  separate();
+  out_ << number(d);
+}
+
+void Writer::value(std::uint64_t u) {
+  separate();
+  out_ << u;
+}
+
+void Writer::value(std::int64_t i) {
+  separate();
+  out_ << i;
+}
+
+const Value* Value::find(std::string_view k) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [key, value] : object) {
+    if (key == k) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    skipWs();
+    Value v;
+    if (!parseValue(v)) return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  bool atEnd() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(char c) {
+    if (atEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skipWs() {
+    while (!atEnd() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                        peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(Value& out) {
+    if (atEnd()) return false;
+    switch (peek()) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': {
+        out.kind = Value::Kind::kString;
+        return parseString(out.str);
+      }
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = Value::Kind::kNull;
+        return literal("null");
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseObject(Value& out) {
+    out.kind = Value::Kind::kObject;
+    if (!consume('{')) return false;
+    skipWs();
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (!consume(':')) return false;
+      skipWs();
+      Value v;
+      if (!parseValue(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parseArray(Value& out) {
+    out.kind = Value::Kind::kArray;
+    if (!consume('[')) return false;
+    skipWs();
+    if (consume(']')) return true;
+    while (true) {
+      skipWs();
+      Value v;
+      if (!parseValue(v)) return false;
+      out.array.push_back(std::move(v));
+      skipWs();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool parseString(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (!atEnd()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (atEnd()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Reports only ever escape control characters; decode the BMP
+          // code point as a single byte when it fits, '?' otherwise.
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned cp = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, cp, 16);
+          if (res.ec != std::errc() || res.ptr != text_.data() + pos_ + 4) {
+            return false;
+          }
+          pos_ += 4;
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseNumber(Value& out) {
+    out.kind = Value::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                        peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                        peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    const auto res = std::from_chars(text_.data() + start,
+                                     text_.data() + pos_, out.num);
+    return res.ec == std::errc() && res.ptr == text_.data() + pos_ &&
+           pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace manet::obs::json

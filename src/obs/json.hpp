@@ -1,0 +1,94 @@
+// Dependency-free JSON for the run-report exporter (DESIGN.md §10).
+//
+// Writer: a small streaming builder that emits deterministic output — keys
+// in the order the caller writes them, doubles via shortest-round-trip
+// formatting (std::to_chars), strings escaped per RFC 8259. Enough for the
+// bench reports; not a general serialization framework.
+//
+// Parser: a minimal recursive-descent reader used by tests (schema
+// round-trip) — objects as ordered key/value vectors, numbers as doubles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manet::obs::json {
+
+/// Escapes and quotes `s` per RFC 8259.
+std::string quoted(std::string_view s);
+
+/// Shortest round-trip decimal form of `value` ("null" for non-finite, which
+/// JSON cannot represent).
+std::string number(double value);
+
+/// Streaming JSON writer. The caller is responsible for writing a single
+/// well-formed value; nesting is tracked so commas and indentation are
+/// automatic. Two-space indentation keeps committed baselines diffable.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Writes `"key":` inside an object; follow with exactly one value call.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(std::uint64_t u);
+  void value(std::int64_t i);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+
+  // Convenience: key + scalar value in one call.
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void separate();
+  void newlineIndent();
+
+  std::ostream& out_;
+  /// One frame per open container: needsComma tracking.
+  struct Frame {
+    bool array = false;
+    bool hasItems = false;
+  };
+  std::vector<Frame> stack_;
+  bool pendingKey_ = false;
+};
+
+/// Parsed JSON value (test-side of the round-trip).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  bool isObject() const { return kind == Kind::kObject; }
+  bool isArray() const { return kind == Kind::kArray; }
+  /// Member lookup (nullptr when absent or not an object).
+  const Value* find(std::string_view k) const;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed). Returns
+/// nullopt on any syntax error or trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace manet::obs::json

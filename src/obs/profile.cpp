@@ -1,0 +1,36 @@
+// The sanctioned wall-clock home of the obs layer: profiling scopes read
+// steady_clock here and nowhere else (tools/lint_determinism.py allowlists
+// src/obs/profile). Readings land in the metrics registry only — never in
+// simulation state.
+#include "obs/profile.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace manet::obs {
+
+std::uint64_t monotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ProfileScope::ProfileScope(const char* scope) : scope_(scope) {
+  if (current() != nullptr) {
+    active_ = true;
+    startNanos_ = monotonicNanos();
+  }
+}
+
+ProfileScope::~ProfileScope() {
+  if (!active_) return;
+  // The registry may have been swapped out inside the scope; only record
+  // into the one that is still installed.
+  if (Registry* r = current()) {
+    r->recordScope(scope_, monotonicNanos() - startNanos_);
+  }
+}
+
+}  // namespace manet::obs

@@ -1,0 +1,190 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+// Build manifest knobs, injected by src/obs/CMakeLists.txt at configure
+// time. Unknown when building outside git or without CMake.
+#ifndef MANET_GIT_SHA
+#define MANET_GIT_SHA "unknown"
+#endif
+#ifndef MANET_BUILD_TYPE
+#define MANET_BUILD_TYPE "unknown"
+#endif
+#ifndef MANET_COMPILER
+#define MANET_COMPILER "unknown"
+#endif
+#ifndef MANET_SANITIZE_FLAG
+#define MANET_SANITIZE_FLAG ""
+#endif
+// Set globally by -DMANET_AUDIT=ON (see the top-level CMakeLists.txt).
+#ifndef MANET_AUDIT_ENABLED
+#define MANET_AUDIT_ENABLED 0
+#endif
+
+extern char** environ;
+
+namespace manet::obs {
+
+namespace {
+
+/// Every REPRO_* / MANET_* variable present in the environment, sorted by
+/// name — the reproduction knobs that make two reports comparable.
+std::vector<std::pair<std::string, std::string>> reproEnvironment() {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const char* entry = *e;
+    if (std::strncmp(entry, "REPRO_", 6) != 0 &&
+        std::strncmp(entry, "MANET_", 6) != 0) {
+      continue;
+    }
+    const char* eq = std::strchr(entry, '=');
+    if (eq == nullptr) continue;
+    out.emplace_back(std::string(entry, eq), std::string(eq + 1));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void writeEnvironment(json::Writer& w) {
+  w.key("environment");
+  w.beginObject();
+  w.field("gitSha", MANET_GIT_SHA);
+  w.field("buildType", MANET_BUILD_TYPE);
+  w.field("compiler", MANET_COMPILER);
+  w.field("sanitize", MANET_SANITIZE_FLAG);
+  w.field("audit", MANET_AUDIT_ENABLED != 0);
+  w.key("env");
+  w.beginObject();
+  for (const auto& [name, value] : reproEnvironment()) w.field(name, value);
+  w.endObject();
+  w.endObject();
+}
+
+void writeRegistry(json::Writer& w, const Registry& registry,
+                   bool includeTiming) {
+  w.beginObject();
+  w.key("counters");
+  w.beginObject();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Counter::kCount);
+       ++i) {
+    const auto c = static_cast<Counter>(i);
+    w.field(name(c), registry.counter(c));
+  }
+  w.endObject();
+  w.key("gauges");
+  w.beginObject();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Gauge::kCount); ++i) {
+    const auto g = static_cast<Gauge>(i);
+    w.field(name(g), registry.gauge(g));
+  }
+  w.endObject();
+  w.key("histograms");
+  w.beginObject();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Hist::kCount); ++i) {
+    const auto h = static_cast<Hist>(i);
+    const stats::Histogram& hist = registry.histogram(h);
+    w.key(name(h));
+    w.beginObject();
+    w.field("count", hist.count());
+    w.field("sum", hist.sum());
+    w.field("min", hist.min());
+    w.field("max", hist.max());
+    // Sparse buckets as [exclusive upper edge, count] pairs.
+    w.key("buckets");
+    w.beginArray();
+    for (std::size_t b = 0; b < stats::Histogram::kBuckets; ++b) {
+      if (hist.bucketCount(b) == 0) continue;
+      w.beginArray();
+      w.value(stats::Histogram::bucketUpper(b));
+      w.value(hist.bucketCount(b));
+      w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  if (includeTiming) {
+    w.key("profile");
+    w.beginObject();
+    for (const auto& [scope, stats] : registry.scopes()) {
+      w.key(scope);
+      w.beginObject();
+      w.field("calls", stats.calls);
+      w.field("totalSeconds",
+              static_cast<double>(stats.totalNanos) * 1e-9);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endObject();
+}
+
+}  // namespace
+
+std::string metricsJson(const Registry& registry, bool includeTiming) {
+  std::ostringstream out;
+  json::Writer w(out);
+  writeRegistry(w, registry, includeTiming);
+  return out.str();
+}
+
+void writeReport(std::ostream& out, const std::string& bench,
+                 const std::vector<RunSample>& samples) {
+  json::Writer w(out);
+  w.beginObject();
+  w.field("schema", kSchema);
+  w.field("schemaVersion", kSchemaVersion);
+  w.field("bench", bench);
+  writeEnvironment(w);
+  w.key("results");
+  w.beginArray();
+  for (const RunSample& s : samples) {
+    w.beginObject();
+    w.field("label", s.label);
+    w.field("scheme", s.scheme);
+    w.field("seed", s.seed);
+    w.field("re", s.re);
+    w.field("srb", s.srb);
+    w.field("latencySeconds", s.latencySeconds);
+    w.field("hellosPerHostPerSecond", s.hellosPerHostPerSecond);
+    w.field("broadcasts", s.broadcasts);
+    w.field("framesTransmitted", s.framesTransmitted);
+    w.field("framesDelivered", s.framesDelivered);
+    w.field("framesCorrupted", s.framesCorrupted);
+    w.field("simulatedSeconds", s.simulatedSeconds);
+    w.field("wallSeconds", s.wallSeconds);
+    w.field("framesPerWallSecond", s.framesPerWallSecond);
+    if (s.metrics != nullptr) {
+      w.key("metrics");
+      writeRegistry(w, *s.metrics, /*includeTiming=*/true);
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+}
+
+bool writeReportFile(const std::string& path, const std::string& bench,
+                     const std::vector<RunSample>& samples) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot open report file " << path << "\n";
+    return false;
+  }
+  writeReport(out, bench, samples);
+  out.flush();
+  if (!out) {
+    std::cerr << "obs: short write on report file " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace manet::obs

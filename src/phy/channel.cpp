@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace manet::phy {
@@ -174,12 +175,23 @@ void Channel::ensureGrid() const {
   grid_.valid = true;
   grid_.builtAt = scheduler_.now();
   grid_.attachVersion = attachVersion_;
+
+  obs::add(obs::Counter::kGridRebuilds);
+  if (obs::current() != nullptr) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      const int occupancy = grid_.cellStart[c + 1] - grid_.cellStart[c];
+      if (occupancy > 0) {
+        obs::observe(obs::Hist::kGridCellOccupancy, occupancy);
+      }
+    }
+  }
 }
 
 void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
                              std::vector<net::NodeId>& out) const {
   const double r2 = params_.radiusMeters * params_.radiusMeters;
   if (!gridEnabled_) {
+    obs::add(obs::Counter::kGridFallbackQueries);
     for (net::NodeId id = 0; id < nodes_.size(); ++id) {
       if (id == exclude || !nodes_[id].attached || !nodes_[id].up) continue;
       if (geom::distanceSquared(center, nodes_[id].position()) <= r2) {
@@ -190,6 +202,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
   }
 
   ensureGrid();
+  obs::add(obs::Counter::kGridQueries);
   // When the whole population's bounding box lies inside the query disk —
   // routine on dense single-cell maps — every other node is in range and
   // the pre-sorted id list can be spliced around `exclude` directly.
@@ -199,6 +212,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
     const double fy =
         std::max(center.y - grid_.origin.y, grid_.bboxMax.y - center.y);
     if (fx * fx + fy * fy <= r2) {
+      obs::add(obs::Counter::kGridBboxFastPath);
       const net::NodeId* b = grid_.sortedIds.data();
       const std::size_t total = grid_.sortedIds.size();
       const bool excluded =
@@ -232,6 +246,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
   forEachNeighborCell(center, [&](std::size_t c, int lo, int hi) {
     cellsWithCandidates += (hi > lo) ? 1 : 0;
     if (cellFullyCovered(c, center, r2)) {
+      obs::add(obs::Counter::kGridCellsCovered);
       const net::NodeId* b = ids + lo;
       const net::NodeId* e = ids + hi;
       const net::NodeId* p = std::lower_bound(b, e, exclude);
@@ -241,6 +256,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
       kept = static_cast<std::size_t>(w - dst);
       return;
     }
+    if (hi > lo) obs::add(obs::Counter::kGridCellsScanned);
     for (int i = lo; i < hi; ++i) {
       const double dx = xs[i] - center.x;
       const double dy = ys[i] - center.y;
@@ -262,6 +278,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
 std::size_t Channel::inRangeCount(net::NodeId id) const {
   const double r2 = params_.radiusMeters * params_.radiusMeters;
   if (!gridEnabled_) {
+    obs::add(obs::Counter::kGridFallbackQueries);
     const geom::Vec2 center = node(id).position();  // asserts attachment
     std::size_t count = 0;
     for (net::NodeId other = 0; other < nodes_.size(); ++other) {
@@ -275,6 +292,7 @@ std::size_t Channel::inRangeCount(net::NodeId id) const {
     return count;
   }
   ensureGrid();
+  obs::add(obs::Counter::kGridQueries);
   MANET_EXPECTS(id < grid_.rankOf.size() && grid_.rankOf[id] >= 0);
   const geom::Vec2 center = grid_.positions[id];
   {
@@ -282,7 +300,10 @@ std::size_t Channel::inRangeCount(net::NodeId id) const {
         std::max(center.x - grid_.origin.x, grid_.bboxMax.x - center.x);
     const double fy =
         std::max(center.y - grid_.origin.y, grid_.bboxMax.y - center.y);
-    if (fx * fx + fy * fy <= r2) return grid_.sortedIds.size() - 1;
+    if (fx * fx + fy * fy <= r2) {
+      obs::add(obs::Counter::kGridBboxFastPath);
+      return grid_.sortedIds.size() - 1;
+    }
   }
   // Fully covered cells contribute their occupancy outright; otherwise a
   // branch-free scan over the contiguous coordinate arrays. `id` itself is
@@ -292,9 +313,11 @@ std::size_t Channel::inRangeCount(net::NodeId id) const {
   std::size_t count = 0;
   forEachNeighborCell(center, [&](std::size_t c, int lo, int hi) {
     if (cellFullyCovered(c, center, r2)) {
+      obs::add(obs::Counter::kGridCellsCovered);
       count += static_cast<std::size_t>(hi - lo);
       return;
     }
+    if (hi > lo) obs::add(obs::Counter::kGridCellsScanned);
     for (int i = lo; i < hi; ++i) {
       const double dx = xs[i] - center.x;
       const double dy = ys[i] - center.y;
@@ -359,6 +382,28 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
   frame.txStart = start;
   frame.txEnd = end;
   ++framesTransmitted_;
+  obs::add(obs::Counter::kChannelTx);
+  if (obs::current() != nullptr) {
+    const auto airtime = static_cast<std::uint64_t>(end - start);
+    switch (frame.packet->type) {
+      case net::PacketType::kRts:
+      case net::PacketType::kCts:
+        obs::add(obs::Counter::kAirtimeRtsCtsUs, airtime);
+        break;
+      case net::PacketType::kAck:
+        obs::add(obs::Counter::kAirtimeAckUs, airtime);
+        break;
+      case net::PacketType::kData:
+        if (frame.packet->dest != net::kInvalidNode) {
+          obs::add(obs::Counter::kAirtimeDataUs, airtime);
+          break;
+        }
+        [[fallthrough]];
+      case net::PacketType::kHello:
+        obs::add(obs::Counter::kAirtimeBroadcastUs, airtime);
+        break;
+    }
+  }
 
   // The transmitter occupies its own medium and — being half-duplex —
   // garbles anything it was in the middle of receiving.
@@ -434,12 +479,23 @@ void Channel::finishReception(net::NodeId rxId,
   switch (rec->reason) {
     case DropReason::kNone:
       ++framesDelivered_;
+      obs::add(obs::Counter::kChannelDelivered);
       break;
     case DropReason::kFaultLoss:
       ++framesLostToFault_;
+      obs::add(obs::Counter::kChannelDropFault);
+      break;
+    case DropReason::kHalfDuplex:
+      ++framesCorrupted_;
+      obs::add(obs::Counter::kChannelDropHalfDuplex);
+      break;
+    case DropReason::kHostDown:
+      ++framesCorrupted_;
+      obs::add(obs::Counter::kChannelDropHostDown);
       break;
     default:
       ++framesCorrupted_;
+      obs::add(obs::Counter::kChannelDropCollision);
       break;
   }
   rx.listener->onFrameReceived(rec->frame, rec->reason);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace manet::sim {
@@ -23,6 +24,7 @@ void Scheduler::Handle::cancel() {
   if (node_->owner != nullptr) {
     MANET_ASSERT(node_->owner->live_ > 0);
     --node_->owner->live_;
+    obs::add(obs::Counter::kSchedulerCancelled);
     MANET_AUDIT_HOOK(
         node_->owner->audit_.onCancel(node_->at, node_->owner->now_));
   }
@@ -44,6 +46,8 @@ Scheduler::Handle Scheduler::schedule(Time at, Callback fn) {
   MANET_AUDIT_HOOK(audit_.onSchedule(at, now_));
   heap_.push(HeapItem{at, nextSeq_++, node});
   ++live_;
+  obs::add(obs::Counter::kSchedulerScheduled);
+  obs::gaugeMax(obs::Gauge::kSchedulerQueueDepth, live_);
   return Handle(std::move(node));
 }
 
@@ -69,6 +73,7 @@ bool Scheduler::runOne() {
   item.node->fired = true;
   MANET_ASSERT(live_ > 0);
   --live_;
+  obs::add(obs::Counter::kSchedulerExecuted);
   Callback fn = std::move(item.node->fn);
   item.node->fn = nullptr;
   fn();

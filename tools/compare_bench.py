@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Compare bench run reports against committed baselines (DESIGN.md §10).
+
+Consumes the `manet.bench-report` JSON documents the benches emit with
+`--json <path>` / MANET_BENCH_JSON=<dir> and compares each against the
+baseline of the same filename under bench/baselines/.
+
+Failure policy — two severities, deliberately asymmetric:
+
+  HARD FAIL (exit 1): schema/shape mismatches. Wrong schema name or
+  version, a baseline row label missing from the candidate, a missing
+  result key, a retired metric name, or a REPRO_* scale mismatch between
+  the two reports. These mean the reports are not comparable (or a
+  metric/key was removed without the schema-version bump the policy in
+  src/obs/report.hpp requires) and must never pass silently.
+
+  WARN ONLY (exit 0, `::warning::` annotations on GitHub Actions):
+  value drift — throughput regressions beyond --throughput-tolerance and
+  differing deterministic values. Simulation results are bit-stable for a
+  fixed platform, but baselines are recorded on one machine and CI runs on
+  another: different glibc/libm versions round transcendentals differently,
+  and wall-clock throughput depends on the runner's load. Tracking the
+  trajectory is the point; gating merges on it would only teach people to
+  ignore CI.
+
+Usage:
+  compare_bench.py --baselines bench/baselines --candidates out/
+  compare_bench.py baseline.json candidate.json
+
+Exit status: 0 comparable (possibly with warnings), 1 shape mismatch,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from pathlib import Path
+
+SCHEMA = "manet.bench-report"
+
+# Result-row keys whose absence in a candidate row is a shape error.
+REQUIRED_ROW_KEYS = (
+    "label", "scheme", "seed", "re", "srb", "latencySeconds",
+    "hellosPerHostPerSecond", "broadcasts", "framesTransmitted",
+    "framesDelivered", "framesCorrupted", "simulatedSeconds",
+    "wallSeconds", "framesPerWallSecond",
+)
+
+# Deterministic per-row values: identical platform => identical bits. Drift
+# here is worth a warning (usually a different libm, sometimes a real
+# behaviour change that should come with a baseline refresh).
+DETERMINISTIC_KEYS = (
+    "seed", "re", "srb", "latencySeconds", "broadcasts",
+    "framesTransmitted", "framesDelivered", "framesCorrupted",
+)
+
+
+def on_actions() -> bool:
+    return os.environ.get("GITHUB_ACTIONS") == "true"
+
+
+class Comparison:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.errors: list[str] = []
+        self.warnings: list[str] = []
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    def warn(self, msg: str) -> None:
+        self.warnings.append(msg)
+
+    def emit(self) -> None:
+        for msg in self.errors:
+            print(f"{self.name}: ERROR: {msg}")
+        for msg in self.warnings:
+            if on_actions():
+                print(f"::warning title=bench-trajectory {self.name}::{msg}")
+            else:
+                print(f"{self.name}: warning: {msg}")
+
+
+def load(path: Path, cmp: Comparison) -> dict | None:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        cmp.error(f"cannot load {path}: {exc}")
+        return None
+    if not isinstance(doc, dict):
+        cmp.error(f"{path}: top level is not an object")
+        return None
+    return doc
+
+
+def check_schema(doc: dict, which: str, cmp: Comparison) -> bool:
+    if doc.get("schema") != SCHEMA:
+        cmp.error(f"{which}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+        return False
+    if not isinstance(doc.get("schemaVersion"), int):
+        cmp.error(f"{which}: schemaVersion missing or not an int")
+        return False
+    return True
+
+
+def rows_by_label(doc: dict, which: str, cmp: Comparison) -> dict | None:
+    results = doc.get("results")
+    if not isinstance(results, list):
+        cmp.error(f"{which}: results missing or not an array")
+        return None
+    out: dict[str, dict] = {}
+    for row in results:
+        if not isinstance(row, dict) or "label" not in row:
+            cmp.error(f"{which}: result row without a label")
+            return None
+        if row["label"] in out:
+            cmp.error(f"{which}: duplicate row label {row['label']!r}")
+            return None
+        out[row["label"]] = row
+    return out
+
+
+def repro_env(doc: dict) -> dict[str, str]:
+    env = doc.get("environment", {}).get("env", {})
+    if not isinstance(env, dict):
+        return {}
+    return {k: v for k, v in env.items() if k.startswith("REPRO_")}
+
+
+def compare_metrics(base_row: dict, cand_row: dict, label: str,
+                    cmp: Comparison) -> None:
+    base_m = base_row.get("metrics")
+    cand_m = cand_row.get("metrics")
+    if base_m is None:
+        return
+    if cand_m is None:
+        cmp.error(f"row {label!r}: baseline has metrics, candidate does not")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        base_names = set(base_m.get(section, {}))
+        cand_names = set(cand_m.get(section, {}))
+        gone = base_names - cand_names
+        if gone:
+            cmp.error(
+                f"row {label!r}: metric name(s) retired from {section} "
+                f"without a schema bump: {', '.join(sorted(gone))}"
+            )
+
+
+def compare_values(base_row: dict, cand_row: dict, label: str,
+                   cmp: Comparison) -> None:
+    drifted = []
+    for key in DETERMINISTIC_KEYS:
+        b, c = base_row.get(key), cand_row.get(key)
+        if isinstance(b, float) or isinstance(c, float):
+            same = (isinstance(b, (int, float)) and
+                    isinstance(c, (int, float)) and
+                    math.isclose(b, c, rel_tol=1e-9, abs_tol=1e-12))
+        else:
+            same = b == c
+        if not same:
+            drifted.append(f"{key} {b!r} -> {c!r}")
+    if drifted:
+        cmp.warn(
+            f"row {label!r}: deterministic values drifted (differing "
+            f"platform/libm, or a behaviour change needing a baseline "
+            f"refresh): {'; '.join(drifted)}"
+        )
+
+
+def aggregate_throughput(rows: dict[str, dict]) -> float:
+    """Report-level frames / wall-second. Per-row wall times at CI scale are
+    sub-millisecond and dominated by scheduling noise; the whole-report
+    aggregate is the trackable trajectory number."""
+    frames = sum(r.get("framesTransmitted", 0) for r in rows.values()
+                 if isinstance(r.get("framesTransmitted"), int))
+    wall = sum(r.get("wallSeconds", 0.0) for r in rows.values()
+               if isinstance(r.get("wallSeconds"), (int, float)))
+    return frames / wall if wall > 0 else 0.0
+
+
+def compare_reports(base_path: Path, cand_path: Path,
+                    tolerance: float) -> Comparison:
+    cmp = Comparison(cand_path.name)
+    base = load(base_path, cmp)
+    cand = load(cand_path, cmp)
+    if base is None or cand is None:
+        return cmp
+    if not check_schema(base, "baseline", cmp):
+        return cmp
+    if not check_schema(cand, "candidate", cmp):
+        return cmp
+    if base["schemaVersion"] != cand["schemaVersion"]:
+        cmp.error(
+            f"schemaVersion mismatch: baseline {base['schemaVersion']}, "
+            f"candidate {cand['schemaVersion']} — refresh the baseline"
+        )
+        return cmp
+    if base.get("bench") != cand.get("bench"):
+        cmp.error(
+            f"bench name mismatch: {base.get('bench')!r} vs "
+            f"{cand.get('bench')!r}"
+        )
+        return cmp
+
+    base_env, cand_env = repro_env(base), repro_env(cand)
+    if base_env != cand_env:
+        cmp.error(
+            f"REPRO_* scale mismatch (reports not comparable): baseline "
+            f"{base_env}, candidate {cand_env}"
+        )
+        return cmp
+
+    base_rows = rows_by_label(base, "baseline", cmp)
+    cand_rows = rows_by_label(cand, "candidate", cmp)
+    if base_rows is None or cand_rows is None:
+        return cmp
+
+    missing = set(base_rows) - set(cand_rows)
+    if missing:
+        cmp.error(f"row label(s) missing from candidate: "
+                  f"{', '.join(sorted(missing))}")
+    extra = set(cand_rows) - set(base_rows)
+    if extra:
+        cmp.warn(f"new row label(s) not in baseline (additive, consider a "
+                 f"baseline refresh): {', '.join(sorted(extra))}")
+
+    for label in sorted(set(base_rows) & set(cand_rows)):
+        base_row, cand_row = base_rows[label], cand_rows[label]
+        absent = [k for k in REQUIRED_ROW_KEYS if k not in cand_row]
+        if absent:
+            cmp.error(f"row {label!r}: missing key(s) {', '.join(absent)}")
+            continue
+        compare_metrics(base_row, cand_row, label, cmp)
+        compare_values(base_row, cand_row, label, cmp)
+
+    base_tp = aggregate_throughput(base_rows)
+    cand_tp = aggregate_throughput(cand_rows)
+    if base_tp > 0 and cand_tp >= 0:
+        drop = (base_tp - cand_tp) / base_tp
+        if drop > tolerance:
+            cmp.warn(
+                f"aggregate throughput regressed {drop:.0%} "
+                f"({base_tp:.0f} -> {cand_tp:.0f} frames/wall-second, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return cmp
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*",
+                    help="explicit BASELINE CANDIDATE pair")
+    ap.add_argument("--baselines", type=Path,
+                    help="directory of committed baseline reports")
+    ap.add_argument("--candidates", type=Path,
+                    help="directory of freshly produced reports")
+    ap.add_argument("--throughput-tolerance", type=float, default=0.20,
+                    help="warn when framesPerWallSecond drops by more than "
+                         "this fraction (default 0.20)")
+    args = ap.parse_args(argv)
+
+    pairs: list[tuple[Path, Path]] = []
+    if args.files:
+        if len(args.files) != 2 or args.baselines or args.candidates:
+            ap.error("positional usage is exactly: BASELINE CANDIDATE")
+        pairs.append((Path(args.files[0]), Path(args.files[1])))
+    elif args.baselines and args.candidates:
+        baselines = sorted(args.baselines.glob("BENCH_*.json"))
+        if not baselines:
+            print(f"compare_bench: no BENCH_*.json under {args.baselines}",
+                  file=sys.stderr)
+            return 2
+        # A baseline without a fresh report fails inside compare_reports —
+        # the trajectory must not silently stop being tracked.
+        for base in baselines:
+            pairs.append((base, args.candidates / base.name))
+    else:
+        ap.error("need either BASELINE CANDIDATE or --baselines/--candidates")
+
+    failed = 0
+    warned = 0
+    for base, cand in pairs:
+        cmp = compare_reports(base, cand, args.throughput_tolerance)
+        cmp.emit()
+        failed += len(cmp.errors)
+        warned += len(cmp.warnings)
+
+    n = len(pairs)
+    if failed:
+        print(f"compare_bench: {failed} shape error(s) across {n} report(s)")
+        return 1
+    print(f"compare_bench: {n} report(s) comparable, {warned} warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -45,13 +45,20 @@ from pathlib import Path
 # Files allowed to touch ambient entropy (H1): the RNG seam itself.
 ENTROPY_ALLOWED = ("src/sim/random",)
 # Files allowed wall-clock reads (H1 chrono): measurement-only call sites —
-# wall-clock throughput in RunResult and bench harness timing. Simulation
-# state must never depend on them.
+# wall-clock throughput in RunResult, bench harness timing, and the obs
+# profiling scopes (src/obs/profile is the sanctioned steady_clock home; all
+# other code times itself through obs::ProfileScope rather than reading a
+# clock directly). Simulation state must never depend on them. A site
+# outside these files that must read a clock carries a reasoned
+# `// NOLINT-determinism(...)` instead of widening this list — the list is
+# for homes whose whole purpose is measurement, the escape hatch is for
+# exceptional single sites.
 WALLCLOCK_ALLOWED = (
     "src/sim/random",
     "src/experiment/runner",
     "src/experiment/bench_util",
     "src/experiment/parallel",
+    "src/obs/profile",
 )
 # Files allowed thread-identity logic (H4): the parallel sweep partitioner.
 THREAD_ALLOWED = ("src/experiment/parallel",)
