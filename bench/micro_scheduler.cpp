@@ -1,0 +1,160 @@
+// Scheduler memory-layout microbench (DESIGN.md §11): schedule/cancel/fire
+// churn at MAC-realistic cancel rates, plus packet-pool churn. Not a paper
+// figure — a regression guard for the engine's allocation behaviour.
+//
+// Every case reports `allocs_per_item`, measured by a global operator
+// new/delete override: the pooled scheduler and packet arena should hold it
+// near zero in steady state, so a capture outgrowing InlineFn's buffer or a
+// pool bypass shows up as a counter jump, not just a throughput dip.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> gHeapAllocs{0};
+
+}  // namespace
+
+// Count every heap allocation in the process. The bench runs single-threaded
+// and the counter is relaxed: we only ever read it quiesced, between phases.
+// noinline: keeps GCC from pairing the builtin operator-new semantics with
+// the free() inside delete at inlined call sites (-Wmismatched-new-delete).
+[[gnu::noinline]] void* operator new(std::size_t bytes) {
+  gHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(bytes)) return p;
+  throw std::bad_alloc();
+}
+
+[[gnu::noinline]] void* operator new[](std::size_t bytes) {
+  return ::operator new(bytes);
+}
+
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+[[gnu::noinline]] void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
+using namespace manet;
+
+namespace {
+
+/// Steady-state event churn: a warm scheduler fires batches of MAC-like
+/// timers, a fraction of which are cancelled before they fire (the range
+/// argument, percent). The capture mimics the MAC's largest hot-path
+/// callback — an owner pointer, a refcounted packet, and a size — so this
+/// also guards the InlineFn capacity audit. The fig13 run measures ~8%
+/// cancels (sim.scheduler.cancelled / scheduled); 50% models
+/// suppression-heavy schemes where most rebroadcasts are inhibited.
+void BM_SchedulerChurn(benchmark::State& state) {
+  const int cancelPct = static_cast<int>(state.range(0));
+  constexpr int kBatch = 256;
+  constexpr sim::Time kMaxDelay = 977;
+
+  sim::Scheduler s;
+  sim::Rng rng(42);
+  auto packet = std::make_shared<net::Packet>();  // stand-in captured payload
+  std::vector<sim::Scheduler::Handle> handles(kBatch);
+  long sink = 0;
+
+  // Warm the node pool so the (bounded) slab carving happens off-clock.
+  for (int i = 0; i < kBatch; ++i) {
+    handles[static_cast<std::size_t>(i)] =
+        s.scheduleAfter(1 + rng.uniformTime(0, kMaxDelay),
+                        [&sink, packet, i] { sink += i; });
+  }
+  s.runUntil(s.now() + 2 * kMaxDelay);
+
+  const std::uint64_t allocsBefore = gHeapAllocs.load();
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      handles[static_cast<std::size_t>(i)] =
+          s.scheduleAfter(1 + rng.uniformTime(0, kMaxDelay),
+                          [&sink, packet, i] { sink += i; });
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      if (rng.uniformInt(0, 99) < cancelPct) {
+        handles[static_cast<std::size_t>(i)].cancel();
+      }
+    }
+    s.runUntil(s.now() + 2 * kMaxDelay);
+  }
+  benchmark::DoNotOptimize(sink);
+
+  const auto items = static_cast<double>(state.iterations()) * kBatch;
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      static_cast<double>(gHeapAllocs.load() - allocsBefore) / items);
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(8)->Arg(50);
+
+/// Packet churn in the control-frame pattern: allocate, stamp, drop. With
+/// the arena (range argument 1) steady-state traffic recycles one block;
+/// without it (0) every packet is a fresh make_shared.
+void BM_PacketChurn(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pooled ? &pool : nullptr);
+
+  // Warm the pool: the first block is the one steady state recycles.
+  net::makePacket().reset();
+
+  const std::uint64_t allocsBefore = gHeapAllocs.load();
+  for (auto _ : state) {
+    auto p = net::makePacket();
+    p->type = net::PacketType::kAck;
+    p->sender = 1;
+    p->dest = 2;
+    benchmark::DoNotOptimize(p);
+  }
+  const auto items = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      static_cast<double>(gHeapAllocs.load() - allocsBefore) / items);
+}
+BENCHMARK(BM_PacketChurn)->Arg(0)->Arg(1);
+
+/// Worst-case heap discipline: every event cancelled, none fire. Guards the
+/// eager-removal path (heapRemove from arbitrary positions) staying
+/// allocation-free and O(log n) rather than degrading to lazy tombstones.
+void BM_SchedulerCancelAll(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::Scheduler s;
+  sim::Rng rng(7);
+  std::vector<sim::Scheduler::Handle> handles(
+      static_cast<std::size_t>(batch));
+  long sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      handles[static_cast<std::size_t>(i)] =
+          s.scheduleAfter(1 + rng.uniformTime(0, 997), [&sink] { ++sink; });
+    }
+    // Cancel in a shuffled order so removals hit interior heap positions.
+    for (int i = batch - 1; i > 0; --i) {
+      std::swap(handles[static_cast<std::size_t>(i)],
+                handles[static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::uint32_t>(i)))]);
+    }
+    for (auto& h : handles) h.cancel();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SchedulerCancelAll)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

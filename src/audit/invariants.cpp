@@ -41,6 +41,15 @@ void SchedulerAudit::onCancel(sim::Time eventAt, sim::Time now) {
   }
 }
 
+void SchedulerAudit::onCount(std::size_t live, std::size_t resident,
+                             sim::Time now) {
+  if (live != resident) {
+    report({"scheduler.count-drift", now, net::kInvalidNode,
+            "live=" + std::to_string(live) +
+                " heapResident=" + std::to_string(resident)});
+  }
+}
+
 // --- ChannelAudit -----------------------------------------------------------
 
 ChannelAudit::PerNode& ChannelAudit::node(net::NodeId id) {

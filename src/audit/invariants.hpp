@@ -11,6 +11,7 @@
 //   scheduler.schedule-in-past   event scheduled before now
 //   scheduler.monotonic-pop      event popped earlier than its predecessor
 //   scheduler.cancel-past-event  live event cancelled after its due time
+//   scheduler.count-drift        live count != heap-resident count
 //   channel.reception-underflow  reception ended with none in flight
 //   channel.energy-underflow     carrier energy lowered below zero
 //   channel.flush-mismatch       host-down flush disagreed with in-flight set
@@ -24,6 +25,7 @@
 //   churn.crash-reset-incomplete host state survived a crash reset
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -43,6 +45,10 @@ class SchedulerAudit {
   void onPop(sim::Time at);
   /// A still-pending event scheduled for `eventAt` was cancelled at `now`.
   void onCancel(sim::Time eventAt, sim::Time now);
+  /// After every pop/cancel the scheduler reports its redundant live-event
+  /// counter and the heap's resident size; with eager cancel removal the
+  /// two must always agree, so any drift is a pool/heap bookkeeping bug.
+  void onCount(std::size_t live, std::size_t resident, sim::Time now);
 
   sim::Time lastPopTime() const { return lastPop_; }
 

@@ -4,6 +4,7 @@
 
 #include "audit/audit.hpp"
 #include "experiment/world.hpp"
+#include "sim/inline_fn.hpp"
 #include "util/assert.hpp"
 
 #if MANET_AUDIT_ENABLED
@@ -64,7 +65,7 @@ net::BroadcastId Host::originateBroadcast(
   MANET_ASSERT(!states_.contains(bid));
   BroadcastState& state = states_[bid];
   state.phase = PacketPhase::kSource;
-  auto packet = std::make_shared<net::Packet>();
+  auto packet = net::makePacket();
   packet->type = net::PacketType::kData;
   packet->sender = id_;
   packet->bid = bid;
@@ -130,7 +131,7 @@ void Host::handleFirstReception(net::BroadcastId bid,
   // Rebroadcast the same payload under the same (origin, seq) identity,
   // with ourselves as the relaying sender; route requests additionally
   // accumulate the relay path (DSR-style, the paper's footnote 1).
-  auto copy = std::make_shared<net::Packet>(*packet);
+  auto copy = net::makePacket(*packet);
   copy->sender = id_;
   copy->hopCount = static_cast<std::uint16_t>(packet->hopCount + 1);
   if (copy->appKind == net::Packet::AppKind::kRouteRequest) {
@@ -149,10 +150,11 @@ void Host::handleFirstReception(net::BroadcastId bid,
   const sim::Time jitter =
       jitterRng_.uniformTime(0, world_.config().jitterSlots) *
       world_.config().mac.slot;
+  auto jitterCb = [this, bid] { submitToMac(bid); };
+  static_assert(sim::InlineFn::storesInline<decltype(jitterCb)>(),
+                "rebroadcast-jitter capture must fit the event node");
   state.jitterTimer =
-      world_.scheduler().scheduleAfter(jitter, [this, bid] {
-        submitToMac(bid);
-      });
+      world_.scheduler().scheduleAfter(jitter, std::move(jitterCb));
 }
 
 void Host::submitToMac(net::BroadcastId bid) {

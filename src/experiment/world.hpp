@@ -10,6 +10,7 @@
 #include "fault/churn.hpp"
 #include "fault/loss.hpp"
 #include "mobility/map.hpp"
+#include "net/packet_pool.hpp"
 #include "phy/channel.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -78,6 +79,10 @@ class World {
   void setTraceSink(trace::TraceSink* sink) { traceSink_ = sink; }
   trace::TraceSink* traceSink() const { return traceSink_; }
 
+  /// This world's packet arena (DESIGN.md §11); installed as the thread's
+  /// current pool for the world's lifetime, unless pooling is disabled.
+  net::PacketPool& packetPool() { return packetPool_; }
+
  private:
   void scheduleWorkload();
   void scheduleChurn();
@@ -108,6 +113,12 @@ class World {
 #endif
 
   ScenarioConfig config_;  // resolved, MANET_FAULT_* overrides applied
+  /// Packet arena + its thread-install scope. Declared before every
+  /// component that allocates packets; the scope uninstalls first on
+  /// destruction, and outstanding packets keep the arena state refcounted.
+  net::PacketPool packetPool_;
+  net::PacketPool::Scope packetScope_{
+      net::PacketPool::enabled() ? &packetPool_ : nullptr};
   sim::Scheduler scheduler_;
   phy::Channel channel_;
   stats::MetricsCollector metrics_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "sim/inline_fn.hpp"
 #include "util/assert.hpp"
 
 namespace manet::mac {
@@ -66,7 +67,7 @@ DcfMac::TxId DcfMac::enqueueUnicast(net::NodeId dest, net::PacketPtr packet,
   MANET_EXPECTS(dest != net::kInvalidNode);
   MANET_EXPECTS(dest != self_);
   // The MAC owns the addressing fields: copy the payload and stamp them.
-  auto stamped = std::make_shared<net::Packet>(*packet);
+  auto stamped = net::makePacket(*packet);
   stamped->sender = self_;
   stamped->dest = dest;
   stamped->macSeq = nextMacSeq_++;
@@ -175,7 +176,7 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
         return;
       }
       {
-        auto cts = std::make_shared<net::Packet>();
+        auto cts = net::makePacket();
         cts->type = net::PacketType::kCts;
         cts->sender = self_;
         cts->dest = packet.sender;
@@ -217,7 +218,7 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
       // Unicast data: acknowledge (even duplicates — the sender's ACK may
       // have been lost) and deliver once.
       if (!responsePending_ && !transmitting_) {
-        auto ack = std::make_shared<net::Packet>();
+        auto ack = net::makePacket();
         ack->type = net::PacketType::kAck;
         ack->sender = self_;
         ack->dest = packet.sender;
@@ -234,20 +235,24 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
 void DcfMac::scheduleResponse(net::PacketPtr response, std::size_t bytes) {
   responsePending_ = true;
   timer_.cancel();  // a SIFS response preempts any contention activity
-  responseTimer_ =
-      scheduler_.scheduleAfter(params_.sifs, [this, response, bytes] {
-        MANET_ASSERT(!transmitting_);
-        transmitting_ = true;
-        onAir_ = response->type == net::PacketType::kCts ? OnAir::kCts
-                                                         : OnAir::kAck;
-        MANET_AUDIT_HOOK(audit_.onAirTransition(
-            onAir_ == OnAir::kCts ? audit::DcfAudit::Air::kCts
-                                  : audit::DcfAudit::Air::kAck,
-            scheduler_.now()));
-        onAirPacket_ = response;
-        ++framesSent_;
-        channel_.transmit(self_, response, bytes);
-      });
+  auto responseCb = [this, response, bytes] {
+    MANET_ASSERT(!transmitting_);
+    transmitting_ = true;
+    onAir_ = response->type == net::PacketType::kCts ? OnAir::kCts
+                                                     : OnAir::kAck;
+    MANET_AUDIT_HOOK(audit_.onAirTransition(
+        onAir_ == OnAir::kCts ? audit::DcfAudit::Air::kCts
+                              : audit::DcfAudit::Air::kAck,
+        scheduler_.now()));
+    onAirPacket_ = response;
+    ++framesSent_;
+    channel_.transmit(self_, response, bytes);
+  };
+  static_assert(sim::InlineFn::storesInline<decltype(responseCb)>(),
+                "SIFS-response capture (this + PacketPtr + size) must fit "
+                "the event node");
+  responseTimer_ = scheduler_.scheduleAfter(params_.sifs,
+                                            std::move(responseCb));
 }
 
 void DcfMac::onTxComplete() {
@@ -408,7 +413,7 @@ void DcfMac::startTransmission() {
   hasCurrent_ = true;
   current_ = std::move(head);
   if (usesRts(current_)) {
-    auto rts = std::make_shared<net::Packet>();
+    auto rts = net::makePacket();
     rts->type = net::PacketType::kRts;
     rts->sender = self_;
     rts->dest = current_.dest;

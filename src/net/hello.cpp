@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "sim/inline_fn.hpp"
 #include "util/assert.hpp"
 
 namespace manet::net {
@@ -49,7 +50,7 @@ void HelloAgent::sendHello() {
     currentInterval_ = config_.interval;
   }
 
-  auto packet = std::make_shared<Packet>();
+  auto packet = makePacket();
   packet->type = PacketType::kHello;
   packet->sender = mac_.self();
   packet->helloInterval = currentInterval_;
@@ -68,7 +69,10 @@ void HelloAgent::sendHello() {
     next -= static_cast<sim::Time>(shrink * static_cast<double>(next));
     if (next < 1) next = 1;
   }
-  timer_ = scheduler_.scheduleAfter(next, [this] { sendHello(); });
+  auto beaconCb = [this] { sendHello(); };
+  static_assert(sim::InlineFn::storesInline<decltype(beaconCb)>(),
+                "HELLO beacon capture must fit the event node");
+  timer_ = scheduler_.scheduleAfter(next, std::move(beaconCb));
 }
 
 }  // namespace manet::net

@@ -79,9 +79,18 @@ inline constexpr std::size_t kAckBytes = 14;
 inline constexpr std::size_t kRtsBytes = 20;
 inline constexpr std::size_t kCtsBytes = 14;
 
+/// Allocates a mutable packet for the caller to fill, drawn from the
+/// thread's current PacketPool when one is installed (each World installs
+/// its own for its lifetime, DESIGN.md §11) and from the plain heap
+/// otherwise. Implemented in net/packet_pool.cpp.
+std::shared_ptr<Packet> makePacket();
+/// Copy flavour: a pooled copy of `proto` (the MAC's stamp-and-forward and
+/// the routing layer's modify-and-relay pattern).
+std::shared_ptr<Packet> makePacket(const Packet& proto);
+
 /// Makes an immutable data-broadcast packet.
 inline PacketPtr makeDataPacket(BroadcastId bid, NodeId sender) {
-  auto p = std::make_shared<Packet>();
+  auto p = makePacket();
   p->type = PacketType::kData;
   p->sender = sender;
   p->bid = bid;

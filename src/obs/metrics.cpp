@@ -39,6 +39,15 @@ const char* name(Counter counter) {
     case Counter::kHelloRx: return "net.hello.rx";
     case Counter::kNeighborJoins: return "net.neighbor.joins";
     case Counter::kNeighborLeaves: return "net.neighbor.leaves";
+    case Counter::kEngineAllocEventSlabs: return "engine.alloc.event.slabs";
+    case Counter::kEngineAllocEventReused: return "engine.alloc.event.reused";
+    case Counter::kEngineAllocCallbackInline:
+      return "engine.alloc.callback.inline";
+    case Counter::kEngineAllocCallbackHeap:
+      return "engine.alloc.callback.heap";
+    case Counter::kEngineAllocPacketFresh: return "engine.alloc.packet.fresh";
+    case Counter::kEngineAllocPacketReused:
+      return "engine.alloc.packet.reused";
     case Counter::kCount: break;
   }
   return "?";

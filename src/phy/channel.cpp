@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "sim/inline_fn.hpp"
 #include "util/assert.hpp"
 
 namespace manet::phy {
@@ -447,18 +448,26 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
     if (params_.carrierSenseDelay <= 0) {
       raiseBusy(rx);
     } else {
-      scheduler_.scheduleAfter(params_.carrierSenseDelay,
-                               [this, id, epoch = rx.epoch] {
-                                 Node& n = node(id);
-                                 if (n.epoch == epoch) raiseBusy(n);
-                               });
+      auto senseCb = [this, id, epoch = rx.epoch] {
+        Node& n = node(id);
+        if (n.epoch == epoch) raiseBusy(n);
+      };
+      static_assert(sim::InlineFn::storesInline<decltype(senseCb)>(),
+                    "carrier-sense capture must fit the event node");
+      scheduler_.scheduleAfter(params_.carrierSenseDelay, std::move(senseCb));
     }
-    scheduler_.schedule(end, [this, id, rec] { finishReception(id, rec); });
+    auto rxDoneCb = [this, id, rec] { finishReception(id, rec); };
+    static_assert(sim::InlineFn::storesInline<decltype(rxDoneCb)>(),
+                  "reception-completion capture must fit the event node");
+    scheduler_.schedule(end, std::move(rxDoneCb));
   }
 
-  scheduler_.schedule(end, [this, src, epoch = tx.epoch] {
+  auto txDoneCb = [this, src, epoch = tx.epoch] {
     finishTransmission(src, epoch);
-  });
+  };
+  static_assert(sim::InlineFn::storesInline<decltype(txDoneCb)>(),
+                "transmission-completion capture must fit the event node");
+  scheduler_.schedule(end, std::move(txDoneCb));
   scratch_ = std::move(receivers);
   return end;
 }

@@ -85,7 +85,7 @@ void RelbcAgent::attemptRepair(net::BroadcastId missing,
         0, static_cast<std::int64_t>(neighbors.size()) - 1))];
   }
 
-  auto request = std::make_shared<net::Packet>();
+  auto request = net::makePacket();
   request->type = net::PacketType::kData;
   request->appKind = net::Packet::AppKind::kRepairRequest;
   request->bid = missing;
@@ -101,7 +101,7 @@ void RelbcAgent::onUnicastDelivered(experiment::Host& host,
   switch (packet.appKind) {
     case net::Packet::AppKind::kRepairRequest: {
       if (!hasBroadcast(packet.bid)) return;  // can't help
-      auto repair = std::make_shared<net::Packet>();
+      auto repair = net::makePacket();
       repair->type = net::PacketType::kData;
       repair->appKind = net::Packet::AppKind::kRepairData;
       repair->bid = packet.bid;

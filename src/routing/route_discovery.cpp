@@ -23,7 +23,7 @@ void RouteDiscoveryAgent::onBroadcastDelivered(experiment::Host& host,
   path.push_back(host.id());
   MANET_ASSERT(path.size() >= 2);
 
-  auto reply = std::make_shared<net::Packet>();
+  auto reply = net::makePacket();
   reply->type = net::PacketType::kData;
   reply->appKind = net::Packet::AppKind::kRouteReply;
   reply->appTarget = path.front();  // the requester consumes the reply
@@ -48,7 +48,7 @@ void RouteDiscoveryAgent::onUnicastDelivered(experiment::Host& host,
   const auto self = std::find(path.begin(), path.end(), host.id());
   if (self == path.end() || self == path.begin()) return;  // not on route
   const net::NodeId prevHop = *(self - 1);
-  auto copy = std::make_shared<net::Packet>(packet);
+  auto copy = net::makePacket(packet);
   host.sendUnicast(prevHop, std::move(copy),
                    RoutingHarness::replyBytes(path.size()));
 }

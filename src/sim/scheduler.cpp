@@ -7,48 +7,56 @@
 
 namespace manet::sim {
 
-struct Scheduler::Handle::Node {
-  Callback fn;
-  bool cancelled = false;
-  bool fired = false;
-  Scheduler* owner = nullptr;
-#if MANET_AUDIT_ENABLED
-  Time at = 0;  // scheduled fire time, for cancellation-race checks
-#endif
-};
-
 void Scheduler::Handle::cancel() {
-  if (!node_ || node_->fired || node_->cancelled) return;
-  node_->cancelled = true;
-  node_->fn = nullptr;  // release captured state promptly
-  if (node_->owner != nullptr) {
-    MANET_ASSERT(node_->owner->live_ > 0);
-    --node_->owner->live_;
-    obs::add(obs::Counter::kSchedulerCancelled);
-    MANET_AUDIT_HOOK(
-        node_->owner->audit_.onCancel(node_->at, node_->owner->now_));
-  }
+  if (owner_ == nullptr) return;
+  owner_->cancelSlot(slot_, gen_);
 }
 
 bool Scheduler::Handle::pending() const {
-  return node_ && !node_->fired && !node_->cancelled;
+  return owner_ != nullptr && owner_->slotPending(slot_, gen_);
+}
+
+std::uint32_t Scheduler::acquireSlot() {
+  if (freeHead_ != kNullIndex) {
+    const std::uint32_t slot = freeHead_;
+    Node& n = node(slot);
+    freeHead_ = n.nextFree;
+    n.nextFree = kNullIndex;
+    obs::add(obs::Counter::kEngineAllocEventReused);
+    return slot;
+  }
+  if (slotCount_ % kSlabNodes == 0) {
+    slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
+    obs::add(obs::Counter::kEngineAllocEventSlabs);
+  }
+  return slotCount_++;
+}
+
+void Scheduler::releaseSlot(std::uint32_t slot) {
+  Node& n = node(slot);
+  ++n.gen;  // invalidate every outstanding handle to this slot
+  n.heapIndex = kNullIndex;
+  n.nextFree = freeHead_;
+  freeHead_ = slot;
 }
 
 Scheduler::Handle Scheduler::schedule(Time at, Callback fn) {
   MANET_EXPECTS(at >= now_);
-  MANET_EXPECTS(fn != nullptr);
-  auto node = std::make_shared<Handle::Node>();
-  node->fn = std::move(fn);
-  node->owner = this;
-#if MANET_AUDIT_ENABLED
-  node->at = at;
-#endif
+  MANET_EXPECTS(static_cast<bool>(fn));
+  const std::uint32_t slot = acquireSlot();
+  Node& n = node(slot);
+  n.fn = std::move(fn);
+  n.at = at;
+  const std::uint64_t seq = nextSeq_++;
+  n.seq = seq;
   MANET_AUDIT_HOOK(audit_.onSchedule(at, now_));
-  heap_.push(HeapItem{at, nextSeq_++, node});
+  n.heapIndex = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{at, seq, slot});
+  siftUp(heap_.size() - 1);
   ++live_;
   obs::add(obs::Counter::kSchedulerScheduled);
   obs::gaugeMax(obs::Gauge::kSchedulerQueueDepth, live_);
-  return Handle(std::move(node));
+  return Handle(this, slot, n.gen);
 }
 
 Scheduler::Handle Scheduler::scheduleAfter(Time delay, Callback fn) {
@@ -56,33 +64,43 @@ Scheduler::Handle Scheduler::scheduleAfter(Time delay, Callback fn) {
   return schedule(now_ + delay, std::move(fn));
 }
 
-bool Scheduler::skipDead() {
-  while (!heap_.empty() && heap_.top().node->cancelled) {
-    heap_.pop();
-  }
-  return !heap_.empty();
+void Scheduler::cancelSlot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slotPending(slot, gen)) return;  // stale handle: fired or cancelled
+  Node& n = node(slot);
+  MANET_ASSERT(n.heapIndex != kNullIndex);
+  MANET_ASSERT(live_ > 0);
+  MANET_AUDIT_HOOK(audit_.onCancel(n.at, now_));
+  heapRemove(n.heapIndex);
+  n.fn.reset();  // release captured state promptly
+  releaseSlot(slot);
+  --live_;
+  obs::add(obs::Counter::kSchedulerCancelled);
+  MANET_ASSERT(live_ == heap_.size());
+  MANET_AUDIT_HOOK(audit_.onCount(live_, heap_.size(), now_));
 }
 
 bool Scheduler::runOne() {
-  if (!skipDead()) return false;
-  HeapItem item = heap_.top();
-  heap_.pop();
-  MANET_ASSERT(item.at >= now_);
-  MANET_AUDIT_HOOK(audit_.onPop(item.at));
-  now_ = item.at;
-  item.node->fired = true;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot;
+  Node& n = node(slot);
+  MANET_ASSERT(n.at >= now_);
+  MANET_AUDIT_HOOK(audit_.onPop(n.at));
+  now_ = n.at;
+  Callback fn = std::move(n.fn);
+  heapRemove(0);
+  releaseSlot(slot);
   MANET_ASSERT(live_ > 0);
   --live_;
   obs::add(obs::Counter::kSchedulerExecuted);
-  Callback fn = std::move(item.node->fn);
-  item.node->fn = nullptr;
-  fn();
+  MANET_ASSERT(live_ == heap_.size());
+  MANET_AUDIT_HOOK(audit_.onCount(live_, heap_.size(), now_));
+  fn();  // may schedule/cancel freely: the slot is already released
   return true;
 }
 
 std::size_t Scheduler::runUntil(Time until) {
   std::size_t executed = 0;
-  while (skipDead() && heap_.top().at <= until) {
+  while (!heap_.empty() && heap_[0].at <= until) {
     runOne();
     ++executed;
   }
@@ -94,6 +112,59 @@ std::size_t Scheduler::runAll(std::size_t maxEvents) {
   std::size_t executed = 0;
   while (executed < maxEvents && runOne()) ++executed;
   return executed;
+}
+
+// --- indexed 4-ary min-heap ------------------------------------------------
+//
+// 4-ary rather than binary: one level shallower per 2 bits of queue size,
+// and sibling entries are adjacent in the contiguous entry array, so the
+// four-way min scan in siftDown stays inside at most two cache lines.
+// Every move updates the moved node's heapIndex so cancel() can remove an
+// arbitrary entry eagerly.
+
+void Scheduler::siftUp(std::size_t i) {
+  const HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    node(heap_[i].slot).heapIndex = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = moving;
+  node(moving.slot).heapIndex = static_cast<std::uint32_t>(i);
+}
+
+void Scheduler::siftDown(std::size_t i) {
+  const HeapEntry moving = heap_[i];
+  const std::size_t size = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= size) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < size ? first + 4 : size;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    node(heap_[i].slot).heapIndex = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = moving;
+  node(moving.slot).heapIndex = static_cast<std::uint32_t>(i);
+}
+
+void Scheduler::heapRemove(std::size_t i) {
+  MANET_ASSERT(i < heap_.size());
+  node(heap_[i].slot).heapIndex = kNullIndex;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (i == heap_.size()) return;  // removed the tail entry
+  heap_[i] = last;
+  node(last.slot).heapIndex = static_cast<std::uint32_t>(i);
+  siftDown(i);
+  siftUp(node(last.slot).heapIndex);
 }
 
 }  // namespace manet::sim

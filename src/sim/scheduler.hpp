@@ -1,15 +1,26 @@
 // Discrete-event scheduler: the "event-driven engine" at the center of the
 // paper's simulator (§4). Single-threaded, deterministic: events at equal
-// timestamps run in scheduling (FIFO) order.
+// timestamps run in scheduling (FIFO) order — the heap orders by (at, seq)
+// where seq is the global schedule counter, a total order, so the execution
+// sequence is independent of heap arity or memory layout.
+//
+// Memory layout (DESIGN.md §11): event nodes live in slab-allocated pools
+// and are recycled through a free list, so a steady-state run performs no
+// per-event allocations. Handles are generation-counted (slot, gen) pairs —
+// plain values, no shared_ptr — and a handle outliving its event is detected
+// by generation mismatch, which keeps cancel()/pending() safe on recycled
+// slots. The priority queue is an indexed 4-ary min-heap with eager removal
+// on cancel: no dead items accumulate, pendingCount() is O(1), and the
+// audit's live-count == heap-resident-count invariant holds after every
+// pop/cancel.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 #if MANET_AUDIT_ENABLED
@@ -18,17 +29,20 @@
 
 namespace manet::sim {
 
-/// Priority-queue event scheduler with cancellable events.
+/// Pooled-slab event scheduler with cancellable events.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFn;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Cancellable reference to a scheduled event. Default-constructed handles
-  /// are inert. Handles are cheap to copy (shared ownership of a small node).
+  /// Cancellable reference to a scheduled event: the owning scheduler plus
+  /// an 8-byte (slot, generation) id into its node pool. Default-constructed
+  /// handles are inert. Handles are trivially copyable values; a stale
+  /// handle (its event fired or was cancelled, even if the slot has since
+  /// been recycled) is detected by generation mismatch and ignored.
   class Handle {
    public:
     Handle() = default;
@@ -41,9 +55,11 @@ class Scheduler {
 
    private:
     friend class Scheduler;
-    struct Node;
-    explicit Handle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
-    std::shared_ptr<Node> node_;
+    Handle(Scheduler* owner, std::uint32_t slot, std::uint32_t gen)
+        : owner_(owner), slot_(slot), gen_(gen) {}
+    Scheduler* owner_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
 
   /// Schedules `fn` to run at absolute time `at` (must be >= now()).
@@ -55,8 +71,9 @@ class Scheduler {
   /// Current simulation time (time of the most recently fired event).
   Time now() const { return now_; }
 
-  /// Number of live (non-cancelled) events still queued.
-  std::size_t pendingCount() const { return live_; }
+  /// Number of live (non-cancelled) events still queued. O(1); cancelled
+  /// events are removed from the heap eagerly, so this is the heap size.
+  std::size_t pendingCount() const { return heap_.size(); }
 
   /// Runs the next live event; returns false when the queue is empty.
   bool runOne();
@@ -71,23 +88,63 @@ class Scheduler {
   std::size_t runAll(std::size_t maxEvents = SIZE_MAX);
 
  private:
-  struct HeapItem {
-    Time at;
-    std::uint64_t seq;
-    std::shared_ptr<Handle::Node> node;
-    friend bool operator>(const HeapItem& a, const HeapItem& b) {
-      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
-    }
+  static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+  /// Nodes per slab. One slab covers a small scenario entirely; big runs
+  /// amortize one allocation per kSlabNodes concurrent events.
+  static constexpr std::uint32_t kSlabNodes = 256;
+
+  /// One pooled event. `gen` increments every time the slot is released
+  /// (fire or cancel), invalidating all outstanding handles to it.
+  struct Node {
+    Callback fn;
+    Time at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t heapIndex = kNullIndex;  // kNullIndex while not queued
+    std::uint32_t nextFree = kNullIndex;   // free-list link while released
   };
 
-  /// Pops until the heap top is a live event; returns false if drained.
-  bool skipDead();
+  /// Heap entries carry the (at, seq) sort key inline so sift comparisons
+  /// stay within the contiguous heap array and never dereference nodes —
+  /// the node is only touched once per move, to update its heapIndex.
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  Node& node(std::uint32_t slot) {
+    return slabs_[slot / kSlabNodes][slot % kSlabNodes];
+  }
+  const Node& node(std::uint32_t slot) const {
+    return slabs_[slot / kSlabNodes][slot % kSlabNodes];
+  }
+
+  std::uint32_t acquireSlot();
+  void releaseSlot(std::uint32_t slot);
+  void cancelSlot(std::uint32_t slot, std::uint32_t gen);
+  bool slotPending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slotCount_ && node(slot).gen == gen;
+  }
+
+  /// Heap order: earliest (at, seq) at the root — exact FIFO tie-break.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  /// Removes the heap entry at position `i`, restoring the heap property.
+  void heapRemove(std::size_t i);
 
   Time now_ = 0;
   std::uint64_t nextSeq_ = 0;
+  /// Redundant live-event counter, cross-checked against heap_.size() after
+  /// every pop/cancel (the scheduler.count-drift audit invariant).
   std::size_t live_ = 0;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
-      heap_;
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  std::uint32_t slotCount_ = 0;          // slots ever carved from slabs
+  std::uint32_t freeHead_ = kNullIndex;  // released-slot free list
+  std::vector<HeapEntry> heap_;          // 4-ary min-heap, keys inline
 #if MANET_AUDIT_ENABLED
   audit::SchedulerAudit audit_;
 #endif

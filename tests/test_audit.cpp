@@ -82,6 +82,26 @@ TEST(SchedulerAuditTest, CancelOfPastEventFires) {
   EXPECT_STREQ(sink.last().invariant, "scheduler.cancel-past-event");
 }
 
+TEST(SchedulerAuditTest, MatchingLiveAndResidentCountsAreSilent) {
+  ScopedCountingSink sink;
+  SchedulerAudit audit;
+  audit.onCount(0, 0, 10);
+  audit.onCount(17, 17, 20);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(SchedulerAuditTest, CountDriftFires) {
+  // The slab scheduler's cross-check: the redundant live counter must equal
+  // the heap-resident count after every pop and cancel. Drift means a dead
+  // entry survived in the heap (or a live one was dropped).
+  ScopedCountingSink sink;
+  SchedulerAudit audit;
+  audit.onCount(3, 4, 55);
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_STREQ(sink.last().invariant, "scheduler.count-drift");
+  EXPECT_EQ(sink.last().at, 55);
+}
+
 // --- channel ----------------------------------------------------------------
 
 TEST(ChannelAuditTest, BalancedTrafficIsSilent) {

@@ -361,6 +361,30 @@ TEST(Differential, CollectedCountersAgreeWithChannelAccounting) {
   EXPECT_EQ(m.scopes().at("scenario.run").calls, 1U);
 }
 
+TEST(Differential, EngineAllocCountersShowSteadyStateReuse) {
+  // The engine.alloc.* family (DESIGN.md §11): a hello-driven run must reuse
+  // event slots (slab count stays tiny), keep every hot-path callback inside
+  // InlineFn's buffer, and recycle packet blocks through the world's arena.
+  ForcedCollection forced;
+  const experiment::RunResult r = experiment::runScenario(helloScenario());
+  ASSERT_NE(r.metrics, nullptr);
+  const obs::Registry& m = *r.metrics;
+
+  const auto slabs = m.counter(obs::Counter::kEngineAllocEventSlabs);
+  const auto reused = m.counter(obs::Counter::kEngineAllocEventReused);
+  EXPECT_GT(slabs, 0U);
+  EXPECT_GT(reused, 100U * slabs) << "event slots are not being recycled";
+
+  // The capture-size audit in MAC/PHY/net holds at runtime too: no callback
+  // scheduled by the engine's hot paths spilled to the heap.
+  EXPECT_GT(m.counter(obs::Counter::kEngineAllocCallbackInline), 0U);
+  EXPECT_EQ(m.counter(obs::Counter::kEngineAllocCallbackHeap), 0U);
+
+  // HELLO beacons die after their table update, so their blocks recycle.
+  EXPECT_GT(m.counter(obs::Counter::kEngineAllocPacketFresh), 0U);
+  EXPECT_GT(m.counter(obs::Counter::kEngineAllocPacketReused), 0U);
+}
+
 // --- thread-count invariance of the merged registry ---
 
 TEST(ThreadInvariance, MergedRegistryJsonIsByteIdenticalAcrossThreadCounts) {

@@ -4,11 +4,13 @@
 
 #include <atomic>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "experiment/parallel.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
+#include "net/packet_pool.hpp"
 
 namespace manet::experiment {
 namespace {
@@ -175,6 +177,35 @@ TEST(ParallelSweep, FaultSweepIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serialOut.str(), parallelOut.str());
   // The fault columns actually appear for fault-enabled sweeps.
   EXPECT_NE(serialOut.str().find("lost"), std::string::npos);
+}
+
+/// Packet pooling is a pure allocator swap (DESIGN.md §11): with the arena
+/// forced off, the same sweep must render byte-identical tables at every
+/// thread count. Guards against the pool ever leaking into simulation
+/// behaviour (e.g. address-dependent iteration or reuse-order coupling).
+TEST(ParallelSweep, PacketPoolingDoesNotChangeSweepBytes) {
+  const ScenarioConfig base = tinyBase();
+  const auto axes = threeAxes();
+
+  struct PoolGuard {
+    ~PoolGuard() { net::PacketPool::setEnabled(true); }
+  } guard;
+
+  std::string table[2][2];  // [pooled][threads index]
+  for (const bool pooled : {false, true}) {
+    net::PacketPool::setEnabled(pooled);
+    for (const int threads : {1, 4}) {
+      const auto cells = runSweep(base, axes, /*repetitions=*/2, threads);
+      std::ostringstream out;
+      sweepTable(axes, cells).print(out);
+      table[pooled ? 1 : 0][threads == 1 ? 0 : 1] = out.str();
+    }
+  }
+
+  EXPECT_EQ(table[0][0], table[1][0]) << "pooling changed serial output";
+  EXPECT_EQ(table[0][1], table[1][1]) << "pooling changed parallel output";
+  EXPECT_EQ(table[0][0], table[0][1]) << "unpooled sweep thread-dependent";
+  EXPECT_EQ(table[1][0], table[1][1]) << "pooled sweep thread-dependent";
 }
 
 TEST(PooledCounts, SingleRunSummaryCountsAreConsistent) {

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace manet::sim {
@@ -160,6 +165,199 @@ TEST(SchedulerDeath, RejectsSchedulingInThePast) {
   s.schedule(10, [] {});
   s.runAll();
   EXPECT_DEATH(s.schedule(5, [] {}), "Precondition");
+}
+
+// --- slot recycling and generation counters (DESIGN.md §11) ---
+
+TEST(Scheduler, StaleHandleOnRecycledSlotIsNoOp) {
+  Scheduler s;
+  int firstFired = 0;
+  int secondFired = 0;
+  auto stale = s.schedule(10, [&] { ++firstFired; });
+  s.runAll();  // fires and releases the slot
+  // The freed slot is recycled immediately for the next event.
+  auto fresh = s.schedule(20, [&] { ++secondFired; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  stale.cancel();  // generation mismatch: must not kill the new occupant
+  EXPECT_TRUE(fresh.pending());
+  s.runAll();
+  EXPECT_EQ(firstFired, 1);
+  EXPECT_EQ(secondFired, 1);
+}
+
+TEST(Scheduler, StaleHandleAfterCancelOnRecycledSlotIsNoOp) {
+  Scheduler s;
+  bool fired = false;
+  auto stale = s.schedule(10, [] {});
+  stale.cancel();  // releases the slot
+  auto fresh = s.schedule(10, [&] { fired = true; });
+  stale.cancel();  // stale: slot recycled, generation differs
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  s.runAll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, SlotReuseSurvivesHeavyChurn) {
+  // Thousands of schedule/cancel/fire rounds across a handful of slots:
+  // every event must fire exactly once, stale handles never interfere.
+  Scheduler s;
+  int fired = 0;
+  std::vector<Scheduler::Handle> old;
+  for (int round = 0; round < 1000; ++round) {
+    auto keep = s.scheduleAfter(1, [&] { ++fired; });
+    auto kill = s.scheduleAfter(2, [&] { ++fired; });
+    kill.cancel();
+    for (auto& h : old) h.cancel();  // all stale: no effect
+    old.push_back(keep);
+    s.runUntil(s.now() + 3);
+  }
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(s.pendingCount(), 0u);
+}
+
+TEST(Scheduler, FifoTieOrderSurvivesInterleavedCancels) {
+  // Golden tie-order: equal-timestamp events fire in scheduling order even
+  // when cancels punch holes in the middle of the tie group (eager heap
+  // removal must not disturb the (at, seq) order of the survivors).
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<Scheduler::Handle> handles;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(s.schedule(5, [&order, i] { order.push_back(i); }));
+  }
+  for (int i : {1, 2, 5, 7, 11, 13, 14}) {
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  s.runAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 4, 6, 8, 9, 10, 12, 15}));
+}
+
+TEST(Scheduler, TieOrderSpansMixedTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(20, [&] { order.push_back(20); });
+  s.schedule(10, [&] { order.push_back(101); });
+  s.schedule(10, [&] { order.push_back(102); });
+  auto h = s.schedule(10, [&] { order.push_back(103); });
+  s.schedule(10, [&] { order.push_back(104); });
+  h.cancel();
+  s.schedule(10, [&] { order.push_back(105); });
+  s.runAll();
+  EXPECT_EQ(order, (std::vector<int>{101, 102, 104, 105, 20}));
+}
+
+TEST(Scheduler, CallbackDestroyedPromptlyOnCancel) {
+  // Cancelling must release captured state immediately (not at slot reuse):
+  // the MAC parks packets in timer captures and the arena wants them back.
+  Scheduler s;
+  auto token = std::make_shared<int>(7);
+  auto h = s.schedule(10, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Scheduler, CallbackDestroyedAfterFire) {
+  Scheduler s;
+  auto token = std::make_shared<int>(7);
+  s.schedule(10, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  s.runAll();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// --- InlineFn small-buffer behaviour ---
+
+TEST(InlineFn, SmallCaptureStoresInline) {
+  int x = 0;
+  auto small = [&x] { ++x; };
+  static_assert(InlineFn::storesInline<decltype(small)>());
+  InlineFn fn(small);
+  EXPECT_FALSE(fn.heapAllocated());
+  fn();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeap) {
+  std::array<long, 16> big{};  // 128 bytes: over kInlineCapacity
+  big[3] = 42;
+  long out = 0;
+  auto fat = [big, &out] { out = big[3]; };
+  static_assert(!InlineFn::storesInline<decltype(fat)>());
+  InlineFn fn(std::move(fat));
+  EXPECT_TRUE(fn.heapAllocated());
+  fn();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(InlineFn, InlineAndHeapBehaveIdentically) {
+  // Differential: the same logic through both storage paths.
+  int inlineHits = 0;
+  int heapHits = 0;
+  std::array<char, InlineFn::kInlineCapacity + 1> pad{};
+  InlineFn small([&inlineHits] { ++inlineHits; });
+  InlineFn large([&heapHits, pad] {
+    ++heapHits;
+    (void)pad;
+  });
+  ASSERT_FALSE(small.heapAllocated());
+  ASSERT_TRUE(large.heapAllocated());
+  for (int i = 0; i < 3; ++i) {
+    small();
+    large();
+  }
+  EXPECT_EQ(inlineHits, 3);
+  EXPECT_EQ(heapHits, 3);
+}
+
+TEST(InlineFn, MovePreservesCallableBothPaths) {
+  int hits = 0;
+  std::array<char, 64> pad{};
+  InlineFn small([&hits] { ++hits; });
+  InlineFn large([&hits, pad] {
+    ++hits;
+    (void)pad;
+  });
+  InlineFn small2(std::move(small));
+  InlineFn large2(std::move(large));
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(static_cast<bool>(large));  // NOLINT(bugprone-use-after-move)
+  small2();
+  large2();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MoveOnlyCapturesWork) {
+  // std::function could not hold this capture at all.
+  auto owned = std::make_unique<int>(9);
+  int out = 0;
+  InlineFn fn([p = std::move(owned), &out] { out = *p; });
+  fn();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(InlineFn, ResetReleasesCapturedState) {
+  auto token = std::make_shared<int>(1);
+  InlineFn fn([token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  fn.reset();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, HotPathCapturesFitTheBuffer) {
+  // The audit the engine relies on: this + refcounted packet + a size —
+  // the largest capture the MAC/PHY/net hot paths schedule — stays inline.
+  struct Host;
+  [[maybe_unused]] auto macLike = [](Host* self, std::shared_ptr<int> pkt,
+                                     std::size_t bytes) {
+    return [self, pkt, bytes] { (void)self; (void)bytes; };
+  };
+  using MacCapture = decltype(macLike(nullptr, nullptr, 0));
+  static_assert(InlineFn::storesInline<MacCapture>());
+  static_assert(sizeof(MacCapture) <= InlineFn::kInlineCapacity);
 }
 
 }  // namespace

@@ -149,6 +149,32 @@ def compare_metrics(base_row: dict, cand_row: dict, label: str,
                 f"row {label!r}: metric name(s) retired from {section} "
                 f"without a schema bump: {', '.join(sorted(gone))}"
             )
+    compare_alloc_counters(base_m, cand_m, label, cmp)
+
+
+def compare_alloc_counters(base_m: dict, cand_m: dict, label: str,
+                           cmp: Comparison) -> None:
+    """The engine.alloc.* family tracks the engine's allocation discipline
+    (DESIGN.md §11): slab carving, InlineFn heap spills, packet-arena reuse.
+    The counts are deterministic for a fixed scenario, so drift means a
+    capture outgrew the inline buffer, a call site bypassed the packet
+    arena, or pooling behaviour changed — warn with the exact counters so
+    the regression is diagnosable from the CI log alone (name shape is
+    enforced by the retired-name hard fail above)."""
+    base_alloc = {k: v for k, v in base_m.get("counters", {}).items()
+                  if k.startswith("engine.alloc.")}
+    cand_c = cand_m.get("counters", {})
+    drifted = [
+        f"{name} {value!r} -> {cand_c.get(name)!r}"
+        for name, value in sorted(base_alloc.items())
+        if name in cand_c and cand_c.get(name) != value
+    ]
+    if drifted:
+        cmp.warn(
+            f"row {label!r}: engine.alloc.* counters drifted (allocation "
+            f"discipline changed; refresh the baseline if intentional): "
+            f"{'; '.join(drifted)}"
+        )
 
 
 def compare_values(base_row: dict, cand_row: dict, label: str,

@@ -22,6 +22,12 @@ contract in DES codebases:
                          omp_get_thread_num outside src/experiment/parallel*
                          (the sweep runner may partition by thread; results
                          must not)
+  H5  address order:     std::map/std::set (and their unordered cousins)
+                         keyed on raw pointers — the iteration order (for
+                         ordered) or bucket layout (for unordered) follows
+                         the allocator's address assignment, which varies
+                         run to run under ASLR and changed with the §11
+                         slab/arena work; key on stable ids instead
 
 Escape hatch: a site that is genuinely order-insensitive (e.g. cancelling
 timers, erasing from the same container) carries
@@ -86,6 +92,18 @@ H3_INLINE_ENGINE = re.compile(
 H4_THREAD_ID = re.compile(
     r"std::this_thread::get_id|pthread_self\s*\(|omp_get_thread_num\s*\("
 )
+# A map/set whose FIRST template argument is a pointer type (`T*`,
+# `const T*`, including template-ids like `Foo<int>*`). Matching stops at
+# the first comma so pointer-valued maps (`map<Id, Node*>`) stay legal —
+# values never drive iteration order.
+H5_PTR_KEYED = re.compile(
+    r"(?<![\w:])(?:std::)?(?:unordered_)?(?:map|set|multimap|multiset)\s*<"
+    r"\s*(?:const\s+)?[\w:]+(?:<[^<>,]*>)?\s*(?:const\s*)?\*"
+)
+# Homes sanctioned to key on addresses (must prove order-insensitivity some
+# other way). Deliberately empty: src currently has none, and a new one
+# should be a reviewed NOLINT-determinism site, not a silent list entry.
+PTR_KEY_ALLOWED: tuple[str, ...] = ()
 
 
 def allowed(rel: str, prefixes: tuple[str, ...]) -> bool:
@@ -165,6 +183,12 @@ def lint_file(path: Path, rel: str) -> list[tuple[int, str]]:
                    "a sim::Rng stream)")
         if H4_THREAD_ID.search(code) and not allowed(rel, THREAD_ALLOWED):
             report("H4 thread-identity-dependent logic")
+        if H5_PTR_KEYED.search(code) and not allowed(rel, PTR_KEY_ALLOWED):
+            report(
+                "H5 pointer-keyed map/set (iteration follows address-space "
+                "layout; key on a stable id, or justify with "
+                "NOLINT-determinism)"
+            )
 
     return findings
 
