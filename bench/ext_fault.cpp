@@ -106,17 +106,24 @@ experiment::SweepAxis churnAxis() {
 
 void printPanel(const char* title, const experiment::ScenarioConfig& base,
                 const std::vector<experiment::SweepAxis>& axes,
-                const experiment::BenchScale& scale) {
+                const experiment::BenchScale& scale, bench::Report& report,
+                const std::string& labelPrefix) {
   std::cout << "--- " << title << " ---\n";
   const auto cells =
       experiment::runSweep(base, axes, scale.repetitions, /*threads=*/0);
+  for (const auto& cell : cells) {
+    std::string label = labelPrefix;
+    for (const auto& coordinate : cell.coordinates) label += "/" + coordinate;
+    report.add(label, cell.result);
+  }
   experiment::sweepTable(axes, cells).print(std::cout);
   std::cout << "\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "ext_fault");
   const auto scale = experiment::benchScale(20);
   bench::banner(
       "Extension - fault injection (link loss + host churn)",
@@ -128,11 +135,12 @@ int main() {
   {
     std::vector<experiment::SweepAxis> axes{
         perAxis({0.0, 0.05, 0.1, 0.2, 0.4}), schemePanel()};
-    printPanel("i.i.d. link loss", base, axes, scale);
+    printPanel("i.i.d. link loss", base, axes, scale, report, "iid");
   }
   {
     std::vector<experiment::SweepAxis> axes{burstAxis(), schemePanel()};
-    printPanel("bursty (Gilbert-Elliott) vs i.i.d. loss", base, axes, scale);
+    printPanel("bursty (Gilbert-Elliott) vs i.i.d. loss", base, axes, scale,
+               report, "burst");
   }
   {
     experiment::ScenarioConfig churnBase = base;
@@ -141,7 +149,8 @@ int main() {
     churnBase.neighborSource = experiment::NeighborSource::kHello;
     churnBase.hello.enabled = true;
     std::vector<experiment::SweepAxis> axes{churnAxis(), schemePanel()};
-    printPanel("host churn (HELLO neighborhoods)", churnBase, axes, scale);
+    printPanel("host churn (HELLO neighborhoods)", churnBase, axes, scale,
+               report, "churn");
   }
   return 0;
 }

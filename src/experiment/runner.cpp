@@ -32,9 +32,31 @@ RunResult runScenario(const ScenarioConfig& config) {
   }
 
   obs::ProfileScope profileCollect("scenario.collect");
+  // Per-broadcast delivery accounting (DESIGN.md §12): fold the run's
+  // per-broadcast records into the traffic.* metric family. This happens on
+  // the run's thread with its private registry installed, in broadcast
+  // order, so merged registries stay byte-identical for any MANET_THREADS.
+  if (obs::Registry* registry = obs::current()) {
+    for (const stats::PerBroadcast& b : world->metrics().broadcasts()) {
+      registry->add(obs::Counter::kTrafficCompleted);
+      registry->add(obs::Counter::kTrafficDeliveredCopies,
+                    static_cast<std::uint64_t>(b.received));
+      registry->add(obs::Counter::kTrafficReachableSum,
+                    static_cast<std::uint64_t>(b.reachable));
+      registry->observe(obs::Hist::kTrafficLatencyUs,
+                        static_cast<double>(b.lastFinal - b.start));
+      registry->observe(obs::Hist::kTrafficDeliveryPct,
+                        100.0 * b.reachability());
+    }
+  }
   RunResult out;
   out.seed = config.seed;
   out.summary = world->metrics().summarize();
+  out.offeredBroadcasts = world->workloadSchedule().size();
+  if (!world->workloadSchedule().empty()) {
+    out.offeredWindowSeconds = sim::toSeconds(
+        world->workloadSchedule().back().at - world->config().warmup);
+  }
   out.schemeName = config.scheme.name();
   out.simulatedSeconds = sim::toSeconds(world->scheduler().now());
   out.framesTransmitted = world->channel().framesTransmitted();
@@ -75,6 +97,8 @@ RunResult poolRuns(const std::vector<RunResult>& runs) {
     pooled.summary.totalReceived += r.summary.totalReceived;
     pooled.summary.totalRebroadcast += r.summary.totalRebroadcast;
     pooled.summary.totalReachable += r.summary.totalReachable;
+    pooled.offeredBroadcasts += r.offeredBroadcasts;
+    pooled.offeredWindowSeconds += r.offeredWindowSeconds;
     pooled.framesTransmitted += r.framesTransmitted;
     pooled.framesDelivered += r.framesDelivered;
     pooled.framesCorrupted += r.framesCorrupted;
@@ -128,6 +152,7 @@ obs::RunSample toRunSample(std::string label, const RunResult& result) {
   s.latencySeconds = result.latency();
   s.hellosPerHostPerSecond = result.hellosPerHostPerSecond;
   s.broadcasts = result.summary.broadcasts;
+  s.offeredBroadcasts = result.offeredBroadcasts;
   s.framesTransmitted = result.framesTransmitted;
   s.framesDelivered = result.framesDelivered;
   s.framesCorrupted = result.framesCorrupted;

@@ -23,6 +23,14 @@ struct RunResult {
   /// HELLO traffic rate, packets per host per simulated second (Fig. 12b's
   /// y-axis up to a normalization).
   double hellosPerHostPerSecond = 0.0;
+  /// Broadcast requests the traffic generator scheduled (DESIGN.md §12).
+  /// Under churn this can exceed summary.broadcasts: a request whose source
+  /// was down at fire time is offered load that never completed.
+  std::uint64_t offeredBroadcasts = 0;
+  /// Injection window: simulated seconds from workload start (end of warmup)
+  /// to the last scheduled request — the denominator of the offered rate
+  /// (the run's total simulatedSeconds also counts warmup and drain).
+  double offeredWindowSeconds = 0.0;
   /// Channel-level accounting over the whole run.
   std::uint64_t framesTransmitted = 0;
   std::uint64_t framesDelivered = 0;
@@ -61,6 +69,14 @@ struct RunResult {
                ? static_cast<double>(summary.totalReceived -
                                      summary.totalRebroadcast) /
                      static_cast<double>(summary.totalReceived)
+               : 0.0;
+  }
+
+  /// Offered load in requests per simulated second over the injection
+  /// window (the ext_load x-axis).
+  double offeredPerSecond() const {
+    return offeredWindowSeconds > 0.0
+               ? static_cast<double>(offeredBroadcasts) / offeredWindowSeconds
                : 0.0;
   }
 

@@ -12,6 +12,7 @@
 #include "net/hello.hpp"
 #include "phy/params.hpp"
 #include "sim/time.hpp"
+#include "traffic/config.hpp"
 
 namespace manet::experiment {
 
@@ -54,6 +55,12 @@ struct ScenarioConfig {
   // --- workload ---
   int numBroadcasts = 100;                       // paper: 10,000
   sim::Time interarrivalMax = 2 * sim::kSecond;  // U(0, 2 s) between requests
+  /// Workload generation (DESIGN.md §12): arrival process x source model.
+  /// The default (Uniform arrivals from uniform sources) is bit-identical to
+  /// the paper's single workload; interarrivalMax above parameterizes it.
+  /// The world additionally applies MANET_TRAFFIC_* environment overrides at
+  /// construction. kReplay forces numBroadcasts to the script size.
+  traffic::TrafficConfig traffic{};
   /// Simulated time before the first broadcast (lets HELLO tables fill).
   /// < 0 selects an automatic value (2 hello intervals + 1 s, or 100 ms when
   /// hellos are off).

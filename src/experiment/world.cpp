@@ -5,7 +5,9 @@
 #include "mobility/group.hpp"
 #include "mobility/random_roam.hpp"
 #include "mobility/waypoint.hpp"
+#include "obs/metrics.hpp"
 #include "stats/connectivity.hpp"
+#include "traffic/generator.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
 
@@ -42,6 +44,7 @@ World::World(const ScenarioConfig& config)
   // Fault injection. Dedicated RNG streams (0xFA01 loss, 0xC4 churn) mean
   // enabling faults never shifts the draws of mobility, hosts, or workload.
   config_.fault = config_.fault.withEnvOverrides();
+  config_.traffic = config_.traffic.withEnvOverrides();
   lossModel_ =
       fault::makeLossModel(config_.fault, sim::Rng(config_.seed).fork(0xFA01));
   if (lossModel_ != nullptr) {
@@ -192,19 +195,40 @@ std::vector<net::NodeId> World::oracleNeighbors(net::NodeId id) const {
 }
 
 void World::scheduleWorkload() {
-  sim::Time at = config_.warmup;
-  for (int i = 0; i < config_.numBroadcasts; ++i) {
-    at += workloadRng_.uniformTime(0, config_.interarrivalMax);
-    const auto source = static_cast<net::NodeId>(
-        workloadRng_.uniformInt(0, config_.numHosts - 1));
-    scheduler_.schedule(at, [this, source] {
+  // The kZone source model partitions hosts by their t=0 position; other
+  // models never touch mobility, keeping the default path draw-identical to
+  // the pre-subsystem inline loop.
+  std::vector<geom::Vec2> initialPositions;
+  if (config_.traffic.sources == traffic::TrafficConfig::Sources::kZone) {
+    initialPositions.reserve(hosts_.size());
+    for (const auto& host : hosts_) {
+      initialPositions.push_back(host->mobility().positionAt(0));
+    }
+  }
+  const traffic::Generator generator(config_.traffic, config_.numHosts,
+                                     config_.interarrivalMax,
+                                     std::move(initialPositions),
+                                     config_.mapMeters());
+  workloadSchedule_ =
+      generator.schedule(config_.numBroadcasts, config_.warmup, workloadRng_);
+  obs::add(obs::Counter::kTrafficOffered, workloadSchedule_.size());
+  sim::Time last = config_.warmup;
+  for (const traffic::Request& request : workloadSchedule_) {
+    last = request.at;  // the schedule is time-ordered
+    const net::NodeId source = request.source;
+    scheduler_.schedule(request.at, [this, source] {
       // A crashed host cannot originate traffic; its request is simply lost
-      // (the draw still happens, so churn never shifts the workload stream).
-      if (!hosts_[source]->up()) return;
+      // (the draw already happened, so churn never shifts the workload
+      // stream).
+      if (!hosts_[source]->up()) {
+        obs::add(obs::Counter::kTrafficBlockedHostDown);
+        return;
+      }
+      obs::add(obs::Counter::kTrafficInjected);
       hosts_[source]->originateBroadcast();
     });
   }
-  horizon_ = at + config_.drain;
+  horizon_ = last + config_.drain;
 }
 
 void World::scheduleChurn() {

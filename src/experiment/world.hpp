@@ -16,6 +16,7 @@
 #include "sim/scheduler.hpp"
 #include "stats/metrics.hpp"
 #include "trace/event.hpp"
+#include "traffic/config.hpp"
 
 namespace manet::experiment {
 
@@ -27,9 +28,10 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  /// Runs the full workload: warmup, `numBroadcasts` requests with U(0,
-  /// interarrivalMax) spacing from uniformly chosen sources, then the drain
-  /// period. May be called once.
+  /// Runs the full workload: warmup, the traffic generator's request
+  /// schedule (default: `numBroadcasts` requests with U(0, interarrivalMax)
+  /// spacing from uniformly chosen sources — the paper's workload), then the
+  /// drain period. May be called once.
   void run();
 
   /// Starts the periodic agents (HELLO) without scheduling any workload;
@@ -74,6 +76,14 @@ class World {
   int oracleNeighborCount(net::NodeId id) const;
   std::vector<net::NodeId> oracleNeighbors(net::NodeId id) const;
 
+  // --- traffic workload (DESIGN.md §12) ---
+  /// The (time, source, seq) request schedule the run injects, built by the
+  /// traffic generator in run(); empty before that. Request seq values are
+  /// the per-broadcast sequence ids of the workload stream.
+  const std::vector<traffic::Request>& workloadSchedule() const {
+    return workloadSchedule_;
+  }
+
   /// Installs an event trace sink (observational only: enabling tracing
   /// never changes the run). Must outlive the world. Pass nullptr to stop.
   void setTraceSink(trace::TraceSink* sink) { traceSink_ = sink; }
@@ -112,7 +122,7 @@ class World {
   AuditBridge auditBridge_{*this};
 #endif
 
-  ScenarioConfig config_;  // resolved, MANET_FAULT_* overrides applied
+  ScenarioConfig config_;  // resolved, MANET_FAULT_*/_TRAFFIC_* applied
   /// Packet arena + its thread-install scope. Declared before every
   /// component that allocates packets; the scope uninstalls first on
   /// destruction, and outstanding packets keep the arena state refcounted.
@@ -131,6 +141,7 @@ class World {
 
   std::unique_ptr<fault::LossModel> lossModel_;
   std::vector<fault::ChurnEvent> churnTimeline_;
+  std::vector<traffic::Request> workloadSchedule_;
   std::vector<sim::Time> downSince_;   // per host; -1 when up
   std::vector<sim::Time> downAccum_;   // per host; completed down intervals
 };

@@ -48,6 +48,12 @@ const char* name(Counter counter) {
     case Counter::kEngineAllocPacketFresh: return "engine.alloc.packet.fresh";
     case Counter::kEngineAllocPacketReused:
       return "engine.alloc.packet.reused";
+    case Counter::kTrafficOffered: return "traffic.offered";
+    case Counter::kTrafficInjected: return "traffic.injected";
+    case Counter::kTrafficBlockedHostDown: return "traffic.blocked.host_down";
+    case Counter::kTrafficCompleted: return "traffic.completed";
+    case Counter::kTrafficDeliveredCopies: return "traffic.delivered.copies";
+    case Counter::kTrafficReachableSum: return "traffic.reachable.sum";
     case Counter::kCount: break;
   }
   return "?";
@@ -68,6 +74,8 @@ const char* name(Hist hist) {
     case Hist::kMacContentionWindow: return "mac.cw";
     case Hist::kGridCellOccupancy: return "phy.grid.cell_occupancy";
     case Hist::kNeighborTableSize: return "net.neighbor.table_size";
+    case Hist::kTrafficLatencyUs: return "traffic.latency_us";
+    case Hist::kTrafficDeliveryPct: return "traffic.delivery_ratio_pct";
     case Hist::kCount: break;
   }
   return "?";

@@ -66,6 +66,17 @@ enum class Counter : std::size_t {
   kEngineAllocCallbackHeap,    // engine.alloc.callback.heap
   kEngineAllocPacketFresh,     // engine.alloc.packet.fresh
   kEngineAllocPacketReused,    // engine.alloc.packet.reused
+  // Traffic workload accounting (DESIGN.md §12): offered vs completed load.
+  // offered = requests the generator scheduled; injected = requests whose
+  // source was alive at fire time; blocked = requests lost to a crashed
+  // source; completed = broadcasts that produced a per-broadcast record;
+  // delivered/reachable are the summed r and e of those records.
+  kTrafficOffered,             // traffic.offered
+  kTrafficInjected,            // traffic.injected
+  kTrafficBlockedHostDown,     // traffic.blocked.host_down
+  kTrafficCompleted,           // traffic.completed
+  kTrafficDeliveredCopies,     // traffic.delivered.copies
+  kTrafficReachableSum,        // traffic.reachable.sum
   kCount,
 };
 
@@ -82,6 +93,8 @@ enum class Hist : std::size_t {
   kMacContentionWindow,  // mac.cw
   kGridCellOccupancy,  // phy.grid.cell_occupancy
   kNeighborTableSize,  // net.neighbor.table_size
+  kTrafficLatencyUs,   // traffic.latency_us (per-broadcast end-to-end)
+  kTrafficDeliveryPct, // traffic.delivery_ratio_pct (per-broadcast 100*r/e)
   kCount,
 };
 

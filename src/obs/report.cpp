@@ -154,6 +154,7 @@ void writeReport(std::ostream& out, const std::string& bench,
     w.field("latencySeconds", s.latencySeconds);
     w.field("hellosPerHostPerSecond", s.hellosPerHostPerSecond);
     w.field("broadcasts", s.broadcasts);
+    w.field("offeredBroadcasts", s.offeredBroadcasts);
     w.field("framesTransmitted", s.framesTransmitted);
     w.field("framesDelivered", s.framesDelivered);
     w.field("framesCorrupted", s.framesCorrupted);

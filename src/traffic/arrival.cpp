@@ -1,0 +1,75 @@
+#include "traffic/arrival.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace manet::traffic {
+
+namespace {
+
+/// Exponential draw with the given mean, rounded to whole microseconds.
+/// uniform() is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+sim::Time exponentialTime(sim::Time mean, sim::Rng& rng) {
+  const double u = rng.uniform();
+  const double gap = -std::log(1.0 - u) * static_cast<double>(mean);
+  return static_cast<sim::Time>(gap + 0.5);
+}
+
+}  // namespace
+
+PoissonArrival::PoissonArrival(double ratePerSecond)
+    : ratePerSecond_(ratePerSecond) {
+  MANET_EXPECTS(ratePerSecond > 0.0);
+}
+
+sim::Time PoissonArrival::nextGap(sim::Rng& rng) {
+  return exponentialTime(
+      static_cast<sim::Time>(static_cast<double>(sim::kSecond) /
+                                 ratePerSecond_ +
+                             0.5),
+      rng);
+}
+
+PeriodicArrival::PeriodicArrival(sim::Time period) : period_(period) {
+  MANET_EXPECTS(period > 0);
+}
+
+BurstArrival::BurstArrival(int length, sim::Time gapMax, sim::Time idleMean)
+    : length_(length), gapMax_(gapMax), idleMean_(idleMean) {
+  MANET_EXPECTS(length >= 1);
+  MANET_EXPECTS(gapMax >= 0);
+  MANET_EXPECTS(idleMean > 0);
+}
+
+sim::Time BurstArrival::nextGap(sim::Rng& rng) {
+  if (remainingInBurst_ > 0) {
+    --remainingInBurst_;
+    return rng.uniformTime(0, gapMax_);
+  }
+  // This request opens a new burst; the remaining length-1 requests follow
+  // at intra-burst spacing.
+  remainingInBurst_ = length_ - 1;
+  return exponentialTime(idleMean_, rng);
+}
+
+std::unique_ptr<ArrivalProcess> makeArrival(const TrafficConfig& config,
+                                            sim::Time uniformMax) {
+  switch (config.arrival) {
+    case TrafficConfig::Arrival::kUniform:
+      return std::make_unique<UniformArrival>(uniformMax);
+    case TrafficConfig::Arrival::kPoisson:
+      return std::make_unique<PoissonArrival>(config.poissonRatePerSecond);
+    case TrafficConfig::Arrival::kPeriodic:
+      return std::make_unique<PeriodicArrival>(config.period);
+    case TrafficConfig::Arrival::kBurst:
+      return std::make_unique<BurstArrival>(
+          config.burstLength, config.burstGapMax, config.burstIdleMean);
+    case TrafficConfig::Arrival::kReplay:
+      break;
+  }
+  MANET_ASSERT(!"kReplay has no arrival process");
+  return nullptr;
+}
+
+}  // namespace manet::traffic

@@ -1,0 +1,95 @@
+#include "traffic/config.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace manet::traffic {
+
+namespace {
+
+/// Parses "x0,y0,x1,y1" (map-side fractions). Returns false — leaving the
+/// zone untouched — unless exactly four comma-separated doubles parse.
+bool parseZone(const std::string& spec, TrafficConfig& out) {
+  std::istringstream in(spec);
+  double v[4];
+  char sep = ',';
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && (!(in >> sep) || sep != ',')) return false;
+    if (!(in >> v[i])) return false;
+  }
+  out.zoneX0 = v[0];
+  out.zoneY0 = v[1];
+  out.zoneX1 = v[2];
+  out.zoneY1 = v[3];
+  return true;
+}
+
+}  // namespace
+
+TrafficConfig TrafficConfig::withEnvOverrides() const {
+  TrafficConfig out = *this;
+
+  const auto arrivalName = util::envString("MANET_TRAFFIC_ARRIVAL");
+  if (arrivalName) {
+    if (*arrivalName == "uniform") {
+      out.arrival = Arrival::kUniform;
+    } else if (*arrivalName == "poisson") {
+      out.arrival = Arrival::kPoisson;
+    } else if (*arrivalName == "cbr" || *arrivalName == "periodic") {
+      out.arrival = Arrival::kPeriodic;
+    } else if (*arrivalName == "burst") {
+      out.arrival = Arrival::kBurst;
+    }
+  }
+  if (util::envString("MANET_TRAFFIC_RATE")) {
+    out.poissonRatePerSecond =
+        util::envDouble("MANET_TRAFFIC_RATE", out.poissonRatePerSecond);
+    // A bare rate means Poisson arrivals unless the process was named.
+    if (!arrivalName && out.arrival == Arrival::kUniform) {
+      out.arrival = Arrival::kPoisson;
+    }
+  }
+  if (util::envString("MANET_TRAFFIC_PERIOD_S")) {
+    out.period = static_cast<sim::Time>(
+        util::envDouble("MANET_TRAFFIC_PERIOD_S",
+                        sim::toSeconds(out.period)) *
+        sim::kSecond);
+    if (!arrivalName && out.arrival == Arrival::kUniform) {
+      out.arrival = Arrival::kPeriodic;
+    }
+  }
+  out.burstLength = static_cast<int>(
+      util::envInt("MANET_TRAFFIC_BURST_LEN", out.burstLength));
+  if (util::envString("MANET_TRAFFIC_BURST_GAP_S")) {
+    out.burstGapMax = static_cast<sim::Time>(
+        util::envDouble("MANET_TRAFFIC_BURST_GAP_S",
+                        sim::toSeconds(out.burstGapMax)) *
+        sim::kSecond);
+  }
+  if (util::envString("MANET_TRAFFIC_IDLE_S")) {
+    out.burstIdleMean = static_cast<sim::Time>(
+        util::envDouble("MANET_TRAFFIC_IDLE_S",
+                        sim::toSeconds(out.burstIdleMean)) *
+        sim::kSecond);
+  }
+
+  if (const auto sourcesName = util::envString("MANET_TRAFFIC_SOURCES")) {
+    if (*sourcesName == "uniform") {
+      out.sources = Sources::kUniform;
+    } else if (*sourcesName == "hotspot") {
+      out.sources = Sources::kHotspot;
+    } else if (*sourcesName == "zone") {
+      out.sources = Sources::kZone;
+    }
+  }
+  out.hotspotCount = static_cast<int>(
+      util::envInt("MANET_TRAFFIC_HOTSPOT_K", out.hotspotCount));
+  if (const auto zone = util::envString("MANET_TRAFFIC_ZONE")) {
+    parseZone(*zone, out);
+  }
+  return out;
+}
+
+}  // namespace manet::traffic

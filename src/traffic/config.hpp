@@ -1,0 +1,102 @@
+// Traffic workload configuration (DESIGN.md §12): which arrival process
+// produces the broadcast-request stream, and which source model picks the
+// originating host for each request. The two compose independently, so a
+// Poisson stream can come from uniform sources while a CBR stream hammers a
+// hotspot. Everything defaults to the paper's single workload — U(0,
+// interarrivalMax) gaps from uniformly random sources — and that default is
+// bit-identical to the pre-subsystem inline loop: the generator consumes the
+// same sim::Rng stream with the same draw order (gap, then source, per
+// request).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace manet::traffic {
+
+/// One broadcast request of the workload stream. `at` is absolute simulation
+/// time in generator output; in a TrafficConfig::replay script it is relative
+/// to the workload start (end of warmup). `seq` numbers requests in stream
+/// order — the per-broadcast sequence id delivery accounting joins on.
+struct Request {
+  sim::Time at = 0;
+  net::NodeId source = 0;
+  std::uint32_t seq = 0;
+};
+
+struct TrafficConfig {
+  // --- arrival process -----------------------------------------------------
+  enum class Arrival {
+    kUniform,   // gaps ~ U(0, interarrivalMax) — the paper's workload (§4)
+    kPoisson,   // exponential gaps at `poissonRatePerSecond`
+    kPeriodic,  // constant-bit-rate: one request every `period`
+    kBurst,     // on/off: bursts of `burstLength` closely spaced requests
+                // separated by exponential idle gaps (MMPP-style)
+    kReplay,    // explicit (time, source) script from `replay`
+  };
+  Arrival arrival = Arrival::kUniform;
+
+  /// kPoisson: mean request rate (requests per simulated second, > 0).
+  double poissonRatePerSecond = 1.0;
+
+  /// kPeriodic: fixed gap between consecutive requests (> 0).
+  sim::Time period = sim::kSecond;
+
+  /// kBurst: requests per burst (>= 1), max intra-burst gap (gaps are
+  /// U(0, burstGapMax)), and the mean of the exponential idle gap that
+  /// precedes each burst.
+  int burstLength = 8;
+  sim::Time burstGapMax = 50 * sim::kMillisecond;
+  sim::Time burstIdleMean = 4 * sim::kSecond;
+
+  /// kReplay: the exact request script. Entries may be given in any order;
+  /// the generator stable-sorts by time and renumbers `seq`. The scenario's
+  /// numBroadcasts is forced to the script size.
+  std::vector<Request> replay;
+
+  // --- source model --------------------------------------------------------
+  enum class Sources {
+    kUniform,  // every host equally likely (the paper's model)
+    kHotspot,  // requests come only from a k-host hotspot set
+    kZone,     // requests come from hosts whose initial position lies in a
+               // map-relative rectangle (falls back to all hosts when empty)
+  };
+  Sources sources = Sources::kUniform;
+
+  /// kHotspot: size of the hotspot set — hosts 0..k-1 unless `hotspotIds`
+  /// names the set explicitly.
+  int hotspotCount = 3;
+  std::vector<net::NodeId> hotspotIds;
+
+  /// kZone: the source rectangle as fractions of the map side, so the same
+  /// config works at every map scale. Defaults to the lower-left quadrant.
+  double zoneX0 = 0.0;
+  double zoneY0 = 0.0;
+  double zoneX1 = 0.5;
+  double zoneY1 = 0.5;
+
+  /// True when this is the paper's workload (the bit-identical default).
+  bool isDefault() const {
+    return arrival == Arrival::kUniform && sources == Sources::kUniform;
+  }
+
+  /// Returns a copy with the `MANET_TRAFFIC_*` environment overrides applied
+  /// (same pattern as MANET_FAULT_* — rerun a built binary under a different
+  /// workload without touching code):
+  ///   MANET_TRAFFIC_ARRIVAL = uniform | poisson | cbr | burst
+  ///   MANET_TRAFFIC_RATE    = <double requests/s>  (implies poisson when
+  ///                           MANET_TRAFFIC_ARRIVAL is unset)
+  ///   MANET_TRAFFIC_PERIOD_S = <double seconds>    (implies cbr when
+  ///                           MANET_TRAFFIC_ARRIVAL is unset)
+  ///   MANET_TRAFFIC_BURST_LEN / _BURST_GAP_S / _IDLE_S
+  ///   MANET_TRAFFIC_SOURCES = uniform | hotspot | zone
+  ///   MANET_TRAFFIC_HOTSPOT_K = <int>
+  ///   MANET_TRAFFIC_ZONE = "x0,y0,x1,y1"           (map-side fractions)
+  /// Replay scripts are programmatic-only — there is no env spelling.
+  TrafficConfig withEnvOverrides() const;
+};
+
+}  // namespace manet::traffic

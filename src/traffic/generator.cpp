@@ -1,0 +1,61 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "traffic/arrival.hpp"
+#include "traffic/source_model.hpp"
+#include "util/assert.hpp"
+
+namespace manet::traffic {
+
+Generator::Generator(const TrafficConfig& config, int numHosts,
+                     sim::Time uniformMax,
+                     std::vector<geom::Vec2> initialPositions,
+                     double mapMeters)
+    : config_(config),
+      numHosts_(numHosts),
+      uniformMax_(uniformMax),
+      initialPositions_(std::move(initialPositions)),
+      mapMeters_(mapMeters) {
+  MANET_EXPECTS(numHosts >= 1);
+  MANET_EXPECTS(uniformMax >= 0);
+}
+
+std::vector<Request> Generator::schedule(int count, sim::Time start,
+                                         sim::Rng& rng) const {
+  std::vector<Request> out;
+
+  if (config_.arrival == TrafficConfig::Arrival::kReplay) {
+    out = config_.replay;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.at < b.at;
+                     });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      MANET_EXPECTS(out[i].at >= 0);
+      MANET_EXPECTS(out[i].source < static_cast<net::NodeId>(numHosts_));
+      out[i].at += start;
+      out[i].seq = static_cast<std::uint32_t>(i);
+    }
+    return out;
+  }
+
+  MANET_EXPECTS(count >= 0);
+  const auto arrival = makeArrival(config_, uniformMax_);
+  const auto sources =
+      makeSourceModel(config_, numHosts_, initialPositions_, mapMeters_);
+  out.reserve(static_cast<std::size_t>(count));
+  sim::Time at = start;
+  for (int i = 0; i < count; ++i) {
+    at += arrival->nextGap(rng);
+    Request req;
+    req.at = at;
+    req.source = sources->pick(rng);
+    req.seq = static_cast<std::uint32_t>(i);
+    out.push_back(req);
+  }
+  return out;
+}
+
+}  // namespace manet::traffic

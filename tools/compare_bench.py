@@ -45,9 +45,9 @@ SCHEMA = "manet.bench-report"
 # Result-row keys whose absence in a candidate row is a shape error.
 REQUIRED_ROW_KEYS = (
     "label", "scheme", "seed", "re", "srb", "latencySeconds",
-    "hellosPerHostPerSecond", "broadcasts", "framesTransmitted",
-    "framesDelivered", "framesCorrupted", "simulatedSeconds",
-    "wallSeconds", "framesPerWallSecond",
+    "hellosPerHostPerSecond", "broadcasts", "offeredBroadcasts",
+    "framesTransmitted", "framesDelivered", "framesCorrupted",
+    "simulatedSeconds", "wallSeconds", "framesPerWallSecond",
 )
 
 # Deterministic per-row values: identical platform => identical bits. Drift
@@ -55,7 +55,8 @@ REQUIRED_ROW_KEYS = (
 # behaviour change that should come with a baseline refresh).
 DETERMINISTIC_KEYS = (
     "seed", "re", "srb", "latencySeconds", "broadcasts",
-    "framesTransmitted", "framesDelivered", "framesCorrupted",
+    "offeredBroadcasts", "framesTransmitted", "framesDelivered",
+    "framesCorrupted",
 )
 
 
@@ -149,31 +150,41 @@ def compare_metrics(base_row: dict, cand_row: dict, label: str,
                 f"row {label!r}: metric name(s) retired from {section} "
                 f"without a schema bump: {', '.join(sorted(gone))}"
             )
-    compare_alloc_counters(base_m, cand_m, label, cmp)
+    for prefix, meaning in TRACKED_COUNTER_FAMILIES:
+        compare_counter_family(base_m, cand_m, label, prefix, meaning, cmp)
 
 
-def compare_alloc_counters(base_m: dict, cand_m: dict, label: str,
+# Counter families whose per-row values are deterministic for a fixed
+# scenario, so any drift is a behaviour change worth a warning with the
+# exact counters (name shape is enforced by the retired-name hard fail in
+# compare_metrics):
+#   engine.alloc.* — allocation discipline (DESIGN.md §11): slab carving,
+#       InlineFn heap spills, packet-arena reuse. Drift means a capture
+#       outgrew the inline buffer or a call site bypassed the arena.
+#   traffic.*      — workload accounting (DESIGN.md §12): offered/injected/
+#       completed requests and delivered copies. Drift means the generator's
+#       draw sequence or the delivery accounting changed.
+TRACKED_COUNTER_FAMILIES = (
+    ("engine.alloc.", "allocation discipline changed"),
+    ("traffic.", "workload generation or delivery accounting changed"),
+)
+
+
+def compare_counter_family(base_m: dict, cand_m: dict, label: str,
+                           prefix: str, meaning: str,
                            cmp: Comparison) -> None:
-    """The engine.alloc.* family tracks the engine's allocation discipline
-    (DESIGN.md §11): slab carving, InlineFn heap spills, packet-arena reuse.
-    The counts are deterministic for a fixed scenario, so drift means a
-    capture outgrew the inline buffer, a call site bypassed the packet
-    arena, or pooling behaviour changed — warn with the exact counters so
-    the regression is diagnosable from the CI log alone (name shape is
-    enforced by the retired-name hard fail above)."""
-    base_alloc = {k: v for k, v in base_m.get("counters", {}).items()
-                  if k.startswith("engine.alloc.")}
+    base_family = {k: v for k, v in base_m.get("counters", {}).items()
+                   if k.startswith(prefix)}
     cand_c = cand_m.get("counters", {})
     drifted = [
         f"{name} {value!r} -> {cand_c.get(name)!r}"
-        for name, value in sorted(base_alloc.items())
+        for name, value in sorted(base_family.items())
         if name in cand_c and cand_c.get(name) != value
     ]
     if drifted:
         cmp.warn(
-            f"row {label!r}: engine.alloc.* counters drifted (allocation "
-            f"discipline changed; refresh the baseline if intentional): "
-            f"{'; '.join(drifted)}"
+            f"row {label!r}: {prefix}* counters drifted ({meaning}; refresh "
+            f"the baseline if intentional): {'; '.join(drifted)}"
         )
 
 

@@ -28,6 +28,16 @@ contract in DES codebases:
                          the allocator's address assignment, which varies
                          run to run under ASLR and changed with the §11
                          slab/arena work; key on stable ids instead
+  H6  stdlib randomness: <random> engines and distributions
+                         (std::mt19937, std::uniform_int_distribution,
+                         std::exponential_distribution, ...) outside
+                         src/sim/random. Distribution output is
+                         implementation-defined — the standard pins the
+                         engine sequences but not the distribution
+                         algorithms, so draws differ across stdlibs. All
+                         subsystem randomness (traffic arrivals included)
+                         goes through sim::Rng, whose transforms are owned
+                         by this repo.
 
 Escape hatch: a site that is genuinely order-insensitive (e.g. cancelling
 timers, erasing from the same container) carries
@@ -104,6 +114,17 @@ H5_PTR_KEYED = re.compile(
 # other way). Deliberately empty: src currently has none, and a new one
 # should be a reviewed NOLINT-determinism site, not a silent list entry.
 PTR_KEY_ALLOWED: tuple[str, ...] = ()
+# <random> engines and distributions (H6). The engine names overlap H3's
+# inline-shuffle check; H6 bans them anywhere outside the RNG seam, shuffled
+# or not.
+H6_STD_RANDOM = re.compile(
+    r"(?<![\w:])(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|"
+    r"ranlux(?:24|48)(?:_base)?|knuth_b|default_random_engine|"
+    r"(?:uniform_(?:int|real)|normal|lognormal|exponential|poisson|"
+    r"bernoulli|binomial|geometric|gamma|weibull|cauchy|chi_squared|"
+    r"student_t|fisher_f|discrete|piecewise_(?:constant|linear))"
+    r"_distribution)\s*[<({]"
+)
 
 
 def allowed(rel: str, prefixes: tuple[str, ...]) -> bool:
@@ -188,6 +209,11 @@ def lint_file(path: Path, rel: str) -> list[tuple[int, str]]:
                 "H5 pointer-keyed map/set (iteration follows address-space "
                 "layout; key on a stable id, or justify with "
                 "NOLINT-determinism)"
+            )
+        if H6_STD_RANDOM.search(code) and not allowed(rel, ENTROPY_ALLOWED):
+            report(
+                "H6 <random> engine/distribution (implementation-defined "
+                "output; draw through sim::Rng instead)"
             )
 
     return findings
