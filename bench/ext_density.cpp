@@ -51,9 +51,9 @@ int main() {
     meanReachable /= static_cast<double>(positions.size());
 
     // Cluster backbone on the snapshot.
-    std::vector<std::vector<net::NodeId>> adjacency(positions.size());
-    for (net::NodeId i = 0; i < positions.size(); ++i) {
-      adjacency[i] = world.channel().nodesInRange(i);
+    std::vector<std::vector<net::HostId>> adjacency(positions.size());
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+      adjacency[i] = world.channel().nodesInRange(net::HostId{i});
     }
     const auto roles = cluster::assignRoles(adjacency);
     int heads = 0;

@@ -89,8 +89,7 @@ experiment::SweepAxis burstinessAxis() {
          c.traffic.arrival = traffic::TrafficConfig::Arrival::kBurst;
          c.traffic.burstLength = 8;
          c.traffic.burstGapMax = 50 * sim::kMillisecond;
-         c.traffic.burstIdleMean =
-             static_cast<sim::Time>(7.8 * sim::kSecond);
+         c.traffic.burstIdleMean = sim::scaleTrunc(sim::kSecond, 7.8);
        }});
   return axis;
 }

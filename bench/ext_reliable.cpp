@@ -39,14 +39,14 @@ Row run(const experiment::SchemeSpec& scheme, int mapUnits, int broadcasts,
   // so the workload concentrates on a few publishers.
   constexpr int kPublishers = 4;
   sim::Rng pick(seed ^ 0xBEEF);
-  sim::Time at = 100 * sim::kMillisecond;
+  sim::TimePoint at = sim::kTimeZero + 100 * sim::kMillisecond;
   for (int i = 0; i < broadcasts; ++i) {
-    const auto src =
-        static_cast<net::NodeId>(pick.uniformInt(0, kPublishers - 1));
+    const net::HostId src{
+        static_cast<std::uint32_t>(pick.uniformInt(0, kPublishers - 1))};
     world.scheduler().schedule(at, [&world, src] {
       world.host(src).originateBroadcast();
     });
-    at += pick.uniformTime(0, 2 * sim::kSecond);
+    at += pick.uniformDuration(sim::Duration{}, 2 * sim::kSecond);
   }
   world.scheduler().runUntil(at + 15 * sim::kSecond);
 

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
                 "maps",
                 scale);
 
-  const std::vector<sim::Time> intervals{
+  const std::vector<sim::Duration> intervals{
       1 * sim::kSecond, 5 * sim::kSecond, 10 * sim::kSecond,
       20 * sim::kSecond, 30 * sim::kSecond};
   const std::vector<double> speeds{20.0, 40.0, 60.0, 80.0};
@@ -28,13 +28,13 @@ int main(int argc, char** argv) {
   for (int units : {5, 7, 9, 11}) {
     std::cout << "--- " << bench::mapLabel(units) << " map: RE ---\n";
     std::vector<std::string> header{"speed(km/h)"};
-    for (sim::Time hi : intervals) {
+    for (sim::Duration hi : intervals) {
       header.push_back("hi=" + std::to_string(hi / sim::kSecond) + "s");
     }
     util::Table table(header);
     for (double speed : speeds) {
       std::vector<std::string> row{util::fmt(speed, 0)};
-      for (sim::Time hi : intervals) {
+      for (sim::Duration hi : intervals) {
         experiment::ScenarioConfig config;
         config.mapUnits = units;
         config.maxSpeedKmh = speed;

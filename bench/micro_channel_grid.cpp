@@ -48,13 +48,13 @@ struct MobileChannel {
       models.push_back(std::make_unique<mobility::RandomRoam>(
           map, map.uniformPoint(rng), roam, rng.fork(0xA0)));
       mobility::MobilityModel* model = models.back().get();
-      channel->attach(static_cast<net::NodeId>(i), &listener,
+      channel->attach(net::HostId{static_cast<std::uint32_t>(i)}, &listener,
                       [this, model] { return model->positionAt(scheduler.now()); });
     }
   }
 
   /// Moves simulation time forward so the next query sees a fresh epoch.
-  void advance(sim::Time dt) {
+  void advance(sim::Duration dt) {
     scheduler.schedule(scheduler.now() + dt, [] {});
     scheduler.runAll();
   }
@@ -71,7 +71,7 @@ void BM_NeighborResolution(benchmark::State& state, bool grid) {
   const int hosts = static_cast<int>(state.range(0));
   const int mapUnits = static_cast<int>(state.range(1));
   MobileChannel mc(hosts, mapUnits, grid);
-  std::vector<net::NodeId> receivers;  // reused like transmit()'s scratch
+  std::vector<net::HostId> receivers;  // reused like transmit()'s scratch
   for (auto _ : state) {
     // 1 ms epochs: the spacing of back-to-back frames during a storm, so
     // per-epoch costs (mobility integration, grid rebuild) weigh as they
@@ -79,7 +79,7 @@ void BM_NeighborResolution(benchmark::State& state, bool grid) {
     mc.advance(1 * sim::kMillisecond);
     std::size_t neighbors = 0;
     for (int i = 0; i < hosts; ++i) {
-      mc.channel->nodesInRange(static_cast<net::NodeId>(i), receivers);
+      mc.channel->nodesInRange(net::HostId{static_cast<std::uint32_t>(i)}, receivers);
       neighbors += receivers.size();
     }
     benchmark::DoNotOptimize(neighbors);
@@ -109,7 +109,7 @@ void BM_OracleNeighborCount(benchmark::State& state, bool grid) {
     mc.advance(1 * sim::kMillisecond);
     std::size_t total = 0;
     for (int i = 0; i < hosts; ++i) {
-      total += mc.channel->inRangeCount(static_cast<net::NodeId>(i));
+      total += mc.channel->inRangeCount(net::HostId{static_cast<std::uint32_t>(i)});
     }
     benchmark::DoNotOptimize(total);
   }
@@ -131,7 +131,7 @@ void BM_EpochFloor(benchmark::State& state, bool grid) {
   MobileChannel mc(100, 1, grid);
   for (auto _ : state) {
     mc.advance(1 * sim::kMillisecond);
-    benchmark::DoNotOptimize(mc.channel->inRangeCount(0));
+    benchmark::DoNotOptimize(mc.channel->inRangeCount(net::HostId{0}));
   }
 }
 void BM_EpochFloorGrid(benchmark::State& state) { BM_EpochFloor(state, true); }
@@ -150,8 +150,8 @@ void BM_TransmitDrain(benchmark::State& state, bool grid) {
   int src = 0;
   for (auto _ : state) {
     mc.advance(1 * sim::kMillisecond);
-    const auto id = static_cast<net::NodeId>(src);
-    mc.channel->transmit(id, net::makeDataPacket({id, 0}, id), 280);
+    const net::HostId id{static_cast<std::uint32_t>(src)};
+    mc.channel->transmit(id, net::makeDataPacket({id, net::BroadcastSeq{0}}, id), 280);
     mc.scheduler.runAll();
     src = (src + 1) % hosts;
   }

@@ -22,7 +22,7 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
     sim::Scheduler s;
     long sink = 0;
     for (int i = 0; i < batch; ++i) {
-      s.schedule(i % 977, [&sink] { ++sink; });
+      s.schedule(sim::TimePoint{i % 977}, [&sink] { ++sink; });
     }
     s.runAll();
     benchmark::DoNotOptimize(sink);
@@ -41,7 +41,7 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
     handles.reserve(static_cast<std::size_t>(batch));
     long sink = 0;
     for (int i = 0; i < batch; ++i) {
-      handles.push_back(s.schedule(i, [&sink] { ++sink; }));
+      handles.push_back(s.schedule(sim::TimePoint{i}, [&sink] { ++sink; }));
     }
     for (int i = 0; i < batch; i += 2) {
       handles[static_cast<std::size_t>(i)].cancel();

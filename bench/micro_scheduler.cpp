@@ -62,7 +62,7 @@ namespace {
 void BM_SchedulerChurn(benchmark::State& state) {
   const int cancelPct = static_cast<int>(state.range(0));
   constexpr int kBatch = 256;
-  constexpr sim::Time kMaxDelay = 977;
+  constexpr sim::Duration kMaxDelay{977};
 
   sim::Scheduler s;
   sim::Rng rng(42);
@@ -73,7 +73,7 @@ void BM_SchedulerChurn(benchmark::State& state) {
   // Warm the node pool so the (bounded) slab carving happens off-clock.
   for (int i = 0; i < kBatch; ++i) {
     handles[static_cast<std::size_t>(i)] =
-        s.scheduleAfter(1 + rng.uniformTime(0, kMaxDelay),
+        s.scheduleAfter(sim::kMicrosecond + rng.uniformDuration(sim::Duration{}, kMaxDelay),
                         [&sink, packet, i] { sink += i; });
   }
   s.runUntil(s.now() + 2 * kMaxDelay);
@@ -82,7 +82,7 @@ void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
     for (int i = 0; i < kBatch; ++i) {
       handles[static_cast<std::size_t>(i)] =
-          s.scheduleAfter(1 + rng.uniformTime(0, kMaxDelay),
+          s.scheduleAfter(sim::kMicrosecond + rng.uniformDuration(sim::Duration{}, kMaxDelay),
                           [&sink, packet, i] { sink += i; });
     }
     for (int i = 0; i < kBatch; ++i) {
@@ -116,8 +116,8 @@ void BM_PacketChurn(benchmark::State& state) {
   for (auto _ : state) {
     auto p = net::makePacket();
     p->type = net::PacketType::kAck;
-    p->sender = 1;
-    p->dest = 2;
+    p->sender = net::HostId{1};
+    p->dest = net::HostId{2};
     benchmark::DoNotOptimize(p);
   }
   const auto items = static_cast<double>(state.iterations());
@@ -140,7 +140,8 @@ void BM_SchedulerCancelAll(benchmark::State& state) {
   for (auto _ : state) {
     for (int i = 0; i < batch; ++i) {
       handles[static_cast<std::size_t>(i)] =
-          s.scheduleAfter(1 + rng.uniformTime(0, 997), [&sink] { ++sink; });
+          s.scheduleAfter(sim::kMicrosecond + rng.uniformDuration(sim::Duration{}, sim::Duration{997}),
+                          [&sink] { ++sink; });
     }
     // Cancel in a shuffled order so removals hit interior heap positions.
     for (int i = batch - 1; i > 0; --i) {

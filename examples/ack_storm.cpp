@@ -30,7 +30,7 @@ namespace {
 class ConfirmingHost : public mac::DcfMac::Upper {
  public:
   ConfirmingHost(sim::Scheduler& scheduler, phy::Channel& channel,
-                 net::NodeId id, geom::Vec2 pos, std::uint64_t seed)
+                 net::HostId id, geom::Vec2 pos, std::uint64_t seed)
       : mac_(scheduler, channel, id, [pos] { return pos; }, sim::Rng(seed),
              mac::MacParams{}, this) {}
 
@@ -38,7 +38,7 @@ class ConfirmingHost : public mac::DcfMac::Upper {
   void onTxFinished(mac::DcfMac::TxId, const net::Packet&) override {}
   void onReceive(const phy::Frame& frame) override {
     const net::Packet& p = *frame.packet;
-    if (p.type == net::PacketType::kData && p.dest == net::kInvalidNode) {
+    if (p.type == net::PacketType::kData && p.dest == net::kInvalidHost) {
       // Application-level confirmation: a tiny unicast packet to the source.
       auto confirm = net::makeDataPacket(p.bid, mac_.self());
       mac_.enqueueUnicast(p.sender, std::move(confirm), 32);
@@ -57,7 +57,7 @@ class SourceHost : public mac::DcfMac::Upper {
   SourceHost(sim::Scheduler& scheduler, phy::Channel& channel,
              geom::Vec2 pos)
       : scheduler_(scheduler),
-        mac_(scheduler, channel, 0, [pos] { return pos; }, sim::Rng(99),
+        mac_(scheduler, channel, net::HostId{0}, [pos] { return pos; }, sim::Rng(99),
              mac::MacParams{}, this) {}
 
   void onTxStarted(mac::DcfMac::TxId, const net::Packet&) override {}
@@ -71,13 +71,13 @@ class SourceHost : public mac::DcfMac::Upper {
 
   mac::DcfMac& mac() { return mac_; }
   int confirmations() const { return confirmations_; }
-  sim::Time lastConfirmation() const { return lastConfirmation_; }
+  sim::TimePoint lastConfirmation() const { return lastConfirmation_; }
 
  private:
   sim::Scheduler& scheduler_;
   mac::DcfMac mac_;
   int confirmations_ = 0;
-  sim::Time lastConfirmation_ = 0;
+  sim::TimePoint lastConfirmation_{};
 };
 
 struct StormResult {
@@ -100,14 +100,16 @@ StormResult runStorm(int receivers) {
     const double r = 450.0 * std::sqrt(rng.uniform());
     const double angle = rng.uniform(0.0, 2.0 * geom::kPi);
     hosts.push_back(std::make_unique<ConfirmingHost>(
-        scheduler, channel, static_cast<net::NodeId>(i + 1),
+        scheduler, channel, net::HostId{static_cast<std::uint32_t>(i + 1)},
         geom::Vec2{0, 0} + r * geom::unitVector(angle),
         static_cast<std::uint64_t>(i + 1)));
   }
 
-  scheduler.runUntil(10'000);
-  const sim::Time start = scheduler.now();
-  source.mac().enqueue(net::makeDataPacket({0, 0}, 0), 280);
+  scheduler.runUntil(sim::TimePoint{10'000});
+  const sim::TimePoint start = scheduler.now();
+  source.mac().enqueue(
+      net::makeDataPacket({net::HostId{0}, net::BroadcastSeq{0}}, net::HostId{0}),
+      280);
   scheduler.runUntil(start + 30 * sim::kSecond);
 
   StormResult out;

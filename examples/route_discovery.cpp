@@ -43,19 +43,20 @@ DiscoveryStats discoverRoutes(experiment::SchemeSpec scheme, int mapUnits,
   routing::RoutingHarness routing(world);
 
   sim::Rng pick(1234);
-  sim::Time at = 100 * sim::kMillisecond;
+  sim::TimePoint at = sim::kTimeZero + 100 * sim::kMillisecond;
   for (int i = 0; i < requests; ++i) {
-    const auto source = static_cast<net::NodeId>(
-        pick.uniformInt(0, config.numHosts - 1));
-    auto target = static_cast<net::NodeId>(
-        pick.uniformInt(0, config.numHosts - 1));
+    const net::HostId source{
+        static_cast<std::uint32_t>(pick.uniformInt(0, config.numHosts - 1))};
+    net::HostId target{
+        static_cast<std::uint32_t>(pick.uniformInt(0, config.numHosts - 1))};
     if (target == source) {
-      target = (target + 1) % static_cast<net::NodeId>(config.numHosts);
+      target = net::HostId{(target.value() + 1) %
+                           static_cast<std::uint32_t>(config.numHosts)};
     }
     world.scheduler().schedule(at, [&routing, source, target] {
       routing.discover(source, target);
     });
-    at += pick.uniformTime(200 * sim::kMillisecond, 1 * sim::kSecond);
+    at += pick.uniformDuration(200 * sim::kMillisecond, 1 * sim::kSecond);
   }
   world.scheduler().runUntil(at + 10 * sim::kSecond);
 

@@ -16,8 +16,8 @@ class AbortSink final : public Sink {
     std::fprintf(stderr,
                  "audit: invariant '%s' violated at t=%" PRId64 "us node=%u: "
                  "%s\n",
-                 v.invariant, static_cast<std::int64_t>(v.at),
-                 static_cast<unsigned>(v.node), v.detail.c_str());
+                 v.invariant, v.at.ticks(),
+                 static_cast<unsigned>(v.node.value()), v.detail.c_str());
     std::abort();
   }
 };

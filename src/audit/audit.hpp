@@ -55,9 +55,9 @@ struct Violation {
   /// Stable dotted identifier, e.g. "scheduler.monotonic-pop".
   const char* invariant = "";
   /// Simulation time the violation was detected at.
-  sim::Time at = 0;
-  /// The host/node involved, or net::kInvalidNode when not applicable.
-  net::NodeId node = net::kInvalidNode;
+  sim::TimePoint at{};
+  /// The host/node involved, or net::kInvalidHost when not applicable.
+  net::HostId node = net::kInvalidHost;
   /// Human-readable specifics (observed vs. expected values).
   std::string detail;
 };

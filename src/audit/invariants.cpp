@@ -6,45 +6,45 @@ namespace manet::audit {
 
 namespace {
 
-std::string timesDetail(const char* what, sim::Time observed,
-                        const char* bound, sim::Time limit) {
-  return std::string(what) + "=" + std::to_string(observed) + " " + bound +
-         "=" + std::to_string(limit);
+std::string timesDetail(const char* what, sim::TimePoint observed,
+                        const char* bound, sim::TimePoint limit) {
+  return std::string(what) + "=" + std::to_string(observed.ticks()) + " " +
+         bound + "=" + std::to_string(limit.ticks());
 }
 
 }  // namespace
 
 // --- SchedulerAudit ---------------------------------------------------------
 
-void SchedulerAudit::onSchedule(sim::Time at, sim::Time now) {
+void SchedulerAudit::onSchedule(sim::TimePoint at, sim::TimePoint now) {
   if (at < now) {
-    report({"scheduler.schedule-in-past", now, net::kInvalidNode,
+    report({"scheduler.schedule-in-past", now, net::kInvalidHost,
             timesDetail("eventAt", at, "now", now)});
   }
 }
 
-void SchedulerAudit::onPop(sim::Time at) {
+void SchedulerAudit::onPop(sim::TimePoint at) {
   if (at < lastPop_) {
-    report({"scheduler.monotonic-pop", at, net::kInvalidNode,
+    report({"scheduler.monotonic-pop", at, net::kInvalidHost,
             timesDetail("poppedAt", at, "lastPop", lastPop_)});
   }
   lastPop_ = at;
 }
 
-void SchedulerAudit::onCancel(sim::Time eventAt, sim::Time now) {
+void SchedulerAudit::onCancel(sim::TimePoint eventAt, sim::TimePoint now) {
   // Cancelling an event due exactly now is legal (same-timestamp inhibition,
   // the paper's step S5); an event strictly in the past can only still be
   // live if the pop loop skipped it — a race with the clock.
   if (eventAt < now) {
-    report({"scheduler.cancel-past-event", now, net::kInvalidNode,
+    report({"scheduler.cancel-past-event", now, net::kInvalidHost,
             timesDetail("eventAt", eventAt, "now", now)});
   }
 }
 
 void SchedulerAudit::onCount(std::size_t live, std::size_t resident,
-                             sim::Time now) {
+                             sim::TimePoint now) {
   if (live != resident) {
-    report({"scheduler.count-drift", now, net::kInvalidNode,
+    report({"scheduler.count-drift", now, net::kInvalidHost,
             "live=" + std::to_string(live) +
                 " heapResident=" + std::to_string(resident)});
   }
@@ -52,18 +52,18 @@ void SchedulerAudit::onCount(std::size_t live, std::size_t resident,
 
 // --- ChannelAudit -----------------------------------------------------------
 
-ChannelAudit::PerNode& ChannelAudit::node(net::NodeId id) {
-  if (id >= nodes_.size()) nodes_.resize(id + 1);
-  return nodes_[id];
+ChannelAudit::PerNode& ChannelAudit::node(net::HostId id) {
+  if (id.value() >= nodes_.size()) nodes_.resize(id.value() + 1);
+  return nodes_[id.value()];
 }
 
-void ChannelAudit::onBeginReception(net::NodeId rx, sim::Time at) {
+void ChannelAudit::onBeginReception(net::HostId rx, sim::TimePoint at) {
   (void)at;
   ++node(rx).active;
   ++begins_;
 }
 
-void ChannelAudit::onEndReception(net::NodeId rx, sim::Time at) {
+void ChannelAudit::onEndReception(net::HostId rx, sim::TimePoint at) {
   PerNode& n = node(rx);
   if (n.active <= 0) {
     report({"channel.reception-underflow", at, rx,
@@ -74,12 +74,12 @@ void ChannelAudit::onEndReception(net::NodeId rx, sim::Time at) {
   ++ends_;
 }
 
-void ChannelAudit::onEnergyRaise(net::NodeId rx, sim::Time at) {
+void ChannelAudit::onEnergyRaise(net::HostId rx, sim::TimePoint at) {
   (void)at;
   ++node(rx).energy;
 }
 
-void ChannelAudit::onEnergyLower(net::NodeId rx, sim::Time at) {
+void ChannelAudit::onEnergyLower(net::HostId rx, sim::TimePoint at) {
   PerNode& n = node(rx);
   if (n.energy <= 0) {
     report({"channel.energy-underflow", at, rx,
@@ -89,8 +89,8 @@ void ChannelAudit::onEnergyLower(net::NodeId rx, sim::Time at) {
   --n.energy;
 }
 
-void ChannelAudit::onHostDown(net::NodeId rx, std::size_t flushed,
-                              sim::Time at) {
+void ChannelAudit::onHostDown(net::HostId rx, std::size_t flushed,
+                              sim::TimePoint at) {
   PerNode& n = node(rx);
   if (n.active != static_cast<std::int64_t>(flushed)) {
     report({"channel.flush-mismatch", at, rx,
@@ -102,14 +102,14 @@ void ChannelAudit::onHostDown(net::NodeId rx, std::size_t flushed,
   n.energy = 0;
 }
 
-void ChannelAudit::onDeliveryWhileDown(net::NodeId rx, sim::Time at) {
+void ChannelAudit::onDeliveryWhileDown(net::HostId rx, sim::TimePoint at) {
   report({"channel.down-node-delivery", at, rx,
           "reception completed at a churned-down node"});
 }
 
-void ChannelAudit::atTeardown(std::uint64_t inFlight, sim::Time at) {
+void ChannelAudit::atTeardown(std::uint64_t inFlight, sim::TimePoint at) {
   if (begins_ != ends_ + flushes_ + inFlight) {
-    report({"channel.teardown-balance", at, net::kInvalidNode,
+    report({"channel.teardown-balance", at, net::kInvalidHost,
             "begins=" + std::to_string(begins_) +
                 " ends=" + std::to_string(ends_) +
                 " flushes=" + std::to_string(flushes_) +
@@ -119,7 +119,7 @@ void ChannelAudit::atTeardown(std::uint64_t inFlight, sim::Time at) {
 
 // --- DcfAudit ---------------------------------------------------------------
 
-void DcfAudit::onAirTransition(Air to, sim::Time at) {
+void DcfAudit::onAirTransition(Air to, sim::TimePoint at) {
   if (to != Air::kNone && air_ != Air::kNone) {
     report({"mac.onair-overlap", at, self_,
             "frame kind " + std::to_string(static_cast<int>(to)) +
@@ -132,7 +132,7 @@ void DcfAudit::onAirTransition(Air to, sim::Time at) {
   air_ = to;
 }
 
-void DcfAudit::onExchangeTransition(Exchange to, sim::Time at) {
+void DcfAudit::onExchangeTransition(Exchange to, sim::TimePoint at) {
   // Legal steps: kNone -> kAwaitCts (RTS sent), kNone -> kAwaitAck (DATA
   // sent), anything -> kNone (response arrived, timeout, or abort). Awaiting
   // two responses at once is not a state the DCF has.
@@ -152,7 +152,7 @@ void DcfAudit::onReset() {
 
 // --- NeighborAudit ----------------------------------------------------------
 
-void NeighborAudit::onPurge(sim::Time now) {
+void NeighborAudit::onPurge(sim::TimePoint now) {
   if (now < lastPurge_) {
     report({"neighbor.purge-order", now, self_,
             timesDetail("now", now, "lastPurge", lastPurge_)});
@@ -160,7 +160,7 @@ void NeighborAudit::onPurge(sim::Time now) {
   lastPurge_ = now;
 }
 
-void NeighborAudit::onExpire(sim::Time expiry, sim::Time now) {
+void NeighborAudit::onExpire(sim::TimePoint expiry, sim::TimePoint now) {
   // The table deletes h when no HELLO arrived for two intervals, i.e. only
   // once its deadline lies strictly in the past.
   if (expiry >= now) {
@@ -170,14 +170,14 @@ void NeighborAudit::onExpire(sim::Time expiry, sim::Time now) {
 }
 
 void NeighborAudit::onClear() {
-  lastPurge_ = std::numeric_limits<sim::Time>::min();
+  lastPurge_ = sim::TimePoint{std::numeric_limits<std::int64_t>::min()};
 }
 
 // --- ChurnAudit -------------------------------------------------------------
 
-void ChurnAudit::onCrashReset(net::NodeId node, bool macQuiescent,
+void ChurnAudit::onCrashReset(net::HostId node, bool macQuiescent,
                               bool statesFlushed, bool tableCleared,
-                              sim::Time at) {
+                              sim::TimePoint at) {
   if (macQuiescent && statesFlushed && tableCleared) return;
   std::string detail = "residue after crash reset:";
   if (!macQuiescent) detail += " mac-not-quiescent";

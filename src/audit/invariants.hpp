@@ -40,38 +40,38 @@ namespace manet::audit {
 class SchedulerAudit {
  public:
   /// A new event was scheduled for `at` while the clock reads `now`.
-  void onSchedule(sim::Time at, sim::Time now);
+  void onSchedule(sim::TimePoint at, sim::TimePoint now);
   /// The next live event, timestamped `at`, is about to run.
-  void onPop(sim::Time at);
+  void onPop(sim::TimePoint at);
   /// A still-pending event scheduled for `eventAt` was cancelled at `now`.
-  void onCancel(sim::Time eventAt, sim::Time now);
+  void onCancel(sim::TimePoint eventAt, sim::TimePoint now);
   /// After every pop/cancel the scheduler reports its redundant live-event
   /// counter and the heap's resident size; with eager cancel removal the
   /// two must always agree, so any drift is a pool/heap bookkeeping bug.
-  void onCount(std::size_t live, std::size_t resident, sim::Time now);
+  void onCount(std::size_t live, std::size_t resident, sim::TimePoint now);
 
-  sim::Time lastPopTime() const { return lastPop_; }
+  sim::TimePoint lastPopTime() const { return lastPop_; }
 
  private:
-  sim::Time lastPop_ = std::numeric_limits<sim::Time>::min();
+  sim::TimePoint lastPop_ = sim::TimePoint{std::numeric_limits<std::int64_t>::min()};
 };
 
 /// Channel invariants: per-node reception balance, carrier-energy
 /// accounting, and churn flush consistency.
 class ChannelAudit {
  public:
-  void onBeginReception(net::NodeId rx, sim::Time at);
-  void onEndReception(net::NodeId rx, sim::Time at);
-  void onEnergyRaise(net::NodeId rx, sim::Time at);
-  void onEnergyLower(net::NodeId rx, sim::Time at);
+  void onBeginReception(net::HostId rx, sim::TimePoint at);
+  void onEndReception(net::HostId rx, sim::TimePoint at);
+  void onEnergyRaise(net::HostId rx, sim::TimePoint at);
+  void onEnergyLower(net::HostId rx, sim::TimePoint at);
   /// Node `rx` churned down; `flushed` receptions were returned. Must equal
   /// the mirror's in-flight count; both ledgers reset to zero.
-  void onHostDown(net::NodeId rx, std::size_t flushed, sim::Time at);
+  void onHostDown(net::HostId rx, std::size_t flushed, sim::TimePoint at);
   /// A reception completion reached a node that is churned down.
-  void onDeliveryWhileDown(net::NodeId rx, sim::Time at);
+  void onDeliveryWhileDown(net::HostId rx, sim::TimePoint at);
   /// End-of-life balance check. `inFlight` is the channel's own count of
   /// receptions still on the air (legitimate when the run stops mid-frame).
-  void atTeardown(std::uint64_t inFlight, sim::Time at);
+  void atTeardown(std::uint64_t inFlight, sim::TimePoint at);
 
   std::uint64_t begins() const { return begins_; }
   std::uint64_t ends() const { return ends_; }
@@ -82,7 +82,7 @@ class ChannelAudit {
     std::int64_t active = 0;  // receptions in flight
     std::int64_t energy = 0;  // carrier-sense busy count
   };
-  PerNode& node(net::NodeId id);
+  PerNode& node(net::HostId id);
 
   std::vector<PerNode> nodes_;
   std::uint64_t begins_ = 0;
@@ -98,14 +98,14 @@ class DcfAudit {
   enum class Air { kNone, kBroadcast, kData, kRts, kCts, kAck };
   enum class Exchange { kNone, kAwaitCts, kAwaitAck };
 
-  explicit DcfAudit(net::NodeId self = net::kInvalidNode) : self_(self) {}
+  explicit DcfAudit(net::HostId self = net::kInvalidHost) : self_(self) {}
 
   /// A frame of kind `to` starts transmitting (to != kNone), or the frame on
   /// the air ends (to == kNone).
-  void onAirTransition(Air to, sim::Time at);
+  void onAirTransition(Air to, sim::TimePoint at);
   /// The initiator starts awaiting `to` (kAwaitCts after RTS, kAwaitAck
   /// after DATA), or resolves the wait (kNone).
-  void onExchangeTransition(Exchange to, sim::Time at);
+  void onExchangeTransition(Exchange to, sim::TimePoint at);
   /// Crash reset: forces both machines to idle; always legal.
   void onReset();
 
@@ -113,7 +113,7 @@ class DcfAudit {
   Exchange exchange() const { return exchange_; }
 
  private:
-  net::NodeId self_;
+  net::HostId self_;
   Air air_ = Air::kNone;
   Exchange exchange_ = Exchange::kNone;
 };
@@ -122,18 +122,18 @@ class DcfAudit {
 /// only remove entries whose deadline has truly passed.
 class NeighborAudit {
  public:
-  explicit NeighborAudit(net::NodeId self = net::kInvalidNode)
+  explicit NeighborAudit(net::HostId self = net::kInvalidHost)
       : self_(self) {}
 
-  void onPurge(sim::Time now);
+  void onPurge(sim::TimePoint now);
   /// An entry with deadline `expiry` is being removed at `now`.
-  void onExpire(sim::Time expiry, sim::Time now);
+  void onExpire(sim::TimePoint expiry, sim::TimePoint now);
   /// Crash reset forgets all entries and the purge clock.
   void onClear();
 
  private:
-  net::NodeId self_;
-  sim::Time lastPurge_ = std::numeric_limits<sim::Time>::min();
+  net::HostId self_;
+  sim::TimePoint lastPurge_ = sim::TimePoint{std::numeric_limits<std::int64_t>::min()};
 };
 
 /// Host churn consistency: a crash reset must leave no protocol residue.
@@ -141,8 +141,8 @@ class ChurnAudit {
  public:
   /// Called after a host finished its crash reset. Every flag reports one
   /// flushed subsystem; any false is a violation.
-  void onCrashReset(net::NodeId node, bool macQuiescent, bool statesFlushed,
-                    bool tableCleared, sim::Time at);
+  void onCrashReset(net::HostId node, bool macQuiescent, bool statesFlushed,
+                    bool tableCleared, sim::TimePoint at);
 };
 
 }  // namespace manet::audit

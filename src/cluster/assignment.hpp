@@ -32,13 +32,13 @@ enum class Role { kHead, kGateway, kMember };
 
 struct RoleInfo {
   Role role = Role::kMember;
-  net::NodeId head = net::kInvalidNode;  // own id when role == kHead
+  net::HostId head = net::kInvalidHost;  // own id when role == kHead
 };
 
 /// Converged lowest-ID clustering over a dense-id adjacency list
 /// (adjacency[i] = neighbor ids of node i; must be symmetric).
 std::vector<RoleInfo> assignRoles(
-    const std::vector<std::vector<net::NodeId>>& adjacency);
+    const std::vector<std::vector<net::HostId>>& adjacency);
 
 /// Role of `host` computed on its 2-hop ego network (neighbors + their
 /// advertised neighbor sets), using sparse global ids.

@@ -172,7 +172,7 @@ class NeighborCoverageDecider final : public PacketDecider {
 
   bool shouldProceed(HostView& host) override {
     // T = N_x - N_{x,h} - {h}
-    for (net::NodeId id : host.neighborIds()) pending_.insert(id);
+    for (net::HostId id : host.neighborIds()) pending_.insert(id);
     subtractCoveredBy(host, first_.from);
     return !pending_.empty();
   }
@@ -184,15 +184,15 @@ class NeighborCoverageDecider final : public PacketDecider {
   }
 
  private:
-  void subtractCoveredBy(HostView& host, net::NodeId h) {
+  void subtractCoveredBy(HostView& host, net::HostId h) {
     pending_.erase(h);
     if (auto theirs = host.neighborsOf(h)) {
-      for (net::NodeId id : *theirs) pending_.erase(id);
+      for (net::HostId id : *theirs) pending_.erase(id);
     }
   }
 
   Reception first_;
-  std::unordered_set<net::NodeId> pending_;  // T: neighbors still uncovered
+  std::unordered_set<net::HostId> pending_;  // T: neighbors still uncovered
 };
 
 }  // namespace

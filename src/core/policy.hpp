@@ -34,11 +34,11 @@ namespace manet::core {
 
 /// One reception of the broadcast packet, as seen by the scheme.
 struct Reception {
-  net::NodeId from = net::kInvalidNode;
+  net::HostId from = net::kInvalidHost;
   /// Sender position (the GPS coordinate the location-based schemes assume
   /// is carried in the packet header).
   geom::Vec2 fromPos{};
-  sim::Time at = 0;
+  sim::TimePoint at{};
 };
 
 /// What a policy may observe about its host. Implemented by the host; in
@@ -49,18 +49,18 @@ class HostView {
  public:
   virtual ~HostView() = default;
 
-  virtual net::NodeId id() const = 0;
+  virtual net::HostId id() const = 0;
 
   /// |N_x|: current number of one-hop neighbors.
   virtual int neighborCount() const = 0;
 
   /// N_x: current one-hop neighbor ids.
-  virtual std::vector<net::NodeId> neighborIds() const = 0;
+  virtual std::vector<net::HostId> neighborIds() const = 0;
 
   /// N_{x,h}: the one-hop set of neighbor `h` as known to this host, or
   /// nullopt when nothing is known about `h`.
-  virtual std::optional<std::vector<net::NodeId>> neighborsOf(
-      net::NodeId h) const = 0;
+  virtual std::optional<std::vector<net::HostId>> neighborsOf(
+      net::HostId h) const = 0;
 
   /// This host's own position (its "GPS reading").
   virtual geom::Vec2 position() const = 0;
@@ -71,7 +71,7 @@ class HostView {
   /// Per-host deterministic RNG stream for scheme-internal randomness.
   virtual sim::Rng& rng() = 0;
 
-  virtual sim::Time now() const = 0;
+  virtual sim::TimePoint now() const = 0;
 };
 
 /// Per-packet decision state (steps S1/S4 for one broadcast at one host).

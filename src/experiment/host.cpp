@@ -13,7 +13,7 @@
 
 namespace manet::experiment {
 
-Host::Host(World& world, net::NodeId id,
+Host::Host(World& world, net::HostId id,
            std::unique_ptr<mobility::MobilityModel> mobility, sim::Rng rng)
     : world_(world),
       id_(id),
@@ -61,7 +61,8 @@ net::BroadcastId Host::originateBroadcast() {
 
 net::BroadcastId Host::originateBroadcast(
     const std::function<void(net::Packet&)>& mutate) {
-  const net::BroadcastId bid{id_, nextSeq_++};
+  const net::BroadcastId bid{id_, nextSeq_};
+  nextSeq_ = nextSeq_.next();
   MANET_ASSERT(!states_.contains(bid));
   BroadcastState& state = states_[bid];
   state.phase = PacketPhase::kSource;
@@ -78,7 +79,7 @@ net::BroadcastId Host::originateBroadcast(
   return bid;
 }
 
-mac::DcfMac::TxId Host::sendUnicast(net::NodeId dest, net::PacketPtr packet,
+mac::DcfMac::TxId Host::sendUnicast(net::HostId dest, net::PacketPtr packet,
                                     std::size_t bytes) {
   return mac_->enqueueUnicast(dest, std::move(packet), bytes);
 }
@@ -106,7 +107,7 @@ void Host::onReceive(const phy::Frame& frame) {
 
 void Host::handleData(const phy::Frame& frame) {
   const net::Packet& packet = *frame.packet;
-  if (packet.dest != net::kInvalidNode) {
+  if (packet.dest != net::kInvalidHost) {
     // Unicast data is application traffic, not a propagating broadcast: it
     // bypasses the suppression state machine entirely.
     if (app_ != nullptr) app_->onUnicastDelivered(*this, packet);
@@ -147,8 +148,11 @@ void Host::handleFirstReception(net::BroadcastId bid,
   }
   // S2: wait a random number (0..jitterSlots) of slots, then hand to the MAC.
   state.phase = PacketPhase::kJitter;
-  const sim::Time jitter =
-      jitterRng_.uniformTime(0, world_.config().jitterSlots) *
+  // The draw is a dimensionless slot count (0..jitterSlots), scaled by the
+  // slot duration — uniformInt keeps the draw stream identical to the old
+  // uniformTime call, which was the same raw draw mislabeled as a time.
+  const sim::Duration jitter =
+      jitterRng_.uniformInt(0, world_.config().jitterSlots) *
       world_.config().mac.slot;
   auto jitterCb = [this, bid] { submitToMac(bid); };
   static_assert(sim::InlineFn::storesInline<decltype(jitterCb)>(),
@@ -206,7 +210,7 @@ void Host::inhibit(BroadcastState& state, net::BroadcastId bid) {
 
 void Host::onTxStarted(mac::DcfMac::TxId, const net::Packet& packet) {
   if (packet.type != net::PacketType::kData) return;
-  if (packet.dest != net::kInvalidNode) return;  // app unicast, not a flood
+  if (packet.dest != net::kInvalidHost) return;  // app unicast, not a flood
   emitTrace(trace::EventKind::kTxStarted, packet.bid);
   auto it = states_.find(packet.bid);
   MANET_ASSERT(it != states_.end());
@@ -226,7 +230,7 @@ void Host::onTxFinished(mac::DcfMac::TxId, const net::Packet& packet) {
     emitTrace(trace::EventKind::kHelloSent, net::BroadcastId{});
     return;
   }
-  if (packet.dest != net::kInvalidNode) return;  // app unicast
+  if (packet.dest != net::kInvalidHost) return;  // app unicast
   world_.metrics().onFinalized(packet.bid, id_, now());
   emitTrace(trace::EventKind::kTxFinished, packet.bid);
 }
@@ -246,7 +250,7 @@ void Host::onCorruptedFrame(const phy::Frame& frame, phy::DropReason reason) {
 }
 
 void Host::emitTrace(trace::EventKind kind, net::BroadcastId bid,
-                     net::NodeId from, phy::DropReason drop) {
+                     net::HostId from, phy::DropReason drop) {
   trace::TraceSink* sink = world_.traceSink();
   if (sink == nullptr) return;
   trace::Event event;
@@ -267,15 +271,15 @@ int Host::neighborCount() const {
   return table_.neighborCount(now());
 }
 
-std::vector<net::NodeId> Host::neighborIds() const {
+std::vector<net::HostId> Host::neighborIds() const {
   if (world_.config().neighborSource == NeighborSource::kOracle) {
     return world_.oracleNeighbors(id_);
   }
   return table_.neighborIds(now());
 }
 
-std::optional<std::vector<net::NodeId>> Host::neighborsOf(
-    net::NodeId h) const {
+std::optional<std::vector<net::HostId>> Host::neighborsOf(
+    net::HostId h) const {
   if (world_.config().neighborSource == NeighborSource::kOracle) {
     return world_.oracleNeighbors(h);
   }
@@ -286,7 +290,7 @@ geom::Vec2 Host::position() const { return mobility_->positionAt(now()); }
 
 double Host::radius() const { return world_.config().phy.radiusMeters; }
 
-sim::Time Host::now() const { return world_.scheduler().now(); }
+sim::TimePoint Host::now() const { return world_.scheduler().now(); }
 
 sim::Scheduler& Host::scheduler() { return world_.scheduler(); }
 

@@ -52,7 +52,7 @@ class HostApp {
 
 class Host final : public mac::DcfMac::Upper, public core::HostView {
  public:
-  Host(World& world, net::NodeId id,
+  Host(World& world, net::HostId id,
        std::unique_ptr<mobility::MobilityModel> mobility, sim::Rng rng);
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -80,7 +80,7 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
       const std::function<void(net::Packet&)>& mutate);
 
   /// Sends a unicast data packet (acknowledged/retried by the MAC).
-  mac::DcfMac::TxId sendUnicast(net::NodeId dest, net::PacketPtr packet,
+  mac::DcfMac::TxId sendUnicast(net::HostId dest, net::PacketPtr packet,
                                 std::size_t bytes);
 
   /// Attaches an application (not owned; may be null to detach).
@@ -108,15 +108,15 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
                         bool delivered) override;
 
   // --- core::HostView ---
-  net::NodeId id() const override { return id_; }
+  net::HostId id() const override { return id_; }
   int neighborCount() const override;
-  std::vector<net::NodeId> neighborIds() const override;
-  std::optional<std::vector<net::NodeId>> neighborsOf(
-      net::NodeId h) const override;
+  std::vector<net::HostId> neighborIds() const override;
+  std::optional<std::vector<net::HostId>> neighborsOf(
+      net::HostId h) const override;
   geom::Vec2 position() const override;
   double radius() const override;
   sim::Rng& rng() override { return schemeRng_; }
-  sim::Time now() const override;
+  sim::TimePoint now() const override;
 
  private:
   struct BroadcastState {
@@ -135,11 +135,11 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   void submitToMac(net::BroadcastId bid);
   void inhibit(BroadcastState& state, net::BroadcastId bid);
   void emitTrace(trace::EventKind kind, net::BroadcastId bid,
-                 net::NodeId from = net::kInvalidNode,
+                 net::HostId from = net::kInvalidHost,
                  phy::DropReason drop = phy::DropReason::kNone);
 
   World& world_;
-  net::NodeId id_;
+  net::HostId id_;
   std::unique_ptr<mobility::MobilityModel> mobility_;
   sim::Rng schemeRng_;
   sim::Rng jitterRng_;
@@ -148,7 +148,7 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   mutable net::NeighborTable table_;
   std::unique_ptr<mac::DcfMac> mac_;
   std::unique_ptr<net::HelloAgent> hello_;
-  std::uint32_t nextSeq_ = 0;  // survives crashes: bids stay unique
+  net::BroadcastSeq nextSeq_{};  // survives crashes: bids stay unique
   bool up_ = true;
   HostApp* app_ = nullptr;
   std::unordered_map<net::BroadcastId, BroadcastState, net::BroadcastIdHash>

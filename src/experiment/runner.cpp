@@ -43,8 +43,10 @@ RunResult runScenario(const ScenarioConfig& config) {
                     static_cast<std::uint64_t>(b.received));
       registry->add(obs::Counter::kTrafficReachableSum,
                     static_cast<std::uint64_t>(b.reachable));
-      registry->observe(obs::Hist::kTrafficLatencyUs,
-                        static_cast<double>(b.lastFinal - b.start));
+      registry->observe(
+          obs::Hist::kTrafficLatencyUs,
+          static_cast<double>(
+              (b.lastFinal - b.start).ticks()));  // NOLINT-units(metric sample in raw microseconds)
       registry->observe(obs::Hist::kTrafficDeliveryPct,
                         100.0 * b.reachability());
     }

@@ -31,9 +31,9 @@ ScenarioConfig ScenarioConfig::resolved() const {
     if (out.scheme.needsTwoHopInfo()) out.hello.piggybackNeighbors = true;
   }
 
-  if (out.warmup < 0) {
+  if (out.warmup < sim::Duration{}) {
     if (out.hello.enabled) {
-      const sim::Time interval =
+      const sim::Duration interval =
           out.hello.dynamic ? out.hello.intervalMax : out.hello.interval;
       out.warmup = 2 * interval + 1 * sim::kSecond;
     } else {

@@ -54,7 +54,8 @@ struct ScenarioConfig {
 
   // --- workload ---
   int numBroadcasts = 100;                       // paper: 10,000
-  sim::Time interarrivalMax = 2 * sim::kSecond;  // U(0, 2 s) between requests
+  sim::Duration interarrivalMax =
+      2 * sim::kSecond;  // U(0, 2 s) between requests
   /// Workload generation (DESIGN.md §12): arrival process x source model.
   /// The default (Uniform arrivals from uniform sources) is bit-identical to
   /// the paper's single workload; interarrivalMax above parameterizes it.
@@ -64,9 +65,9 @@ struct ScenarioConfig {
   /// Simulated time before the first broadcast (lets HELLO tables fill).
   /// < 0 selects an automatic value (2 hello intervals + 1 s, or 100 ms when
   /// hellos are off).
-  sim::Time warmup = -1;
+  sim::Duration warmup{-1};
   /// Simulated time after the last request before the run is cut off.
-  sim::Time drain = 10 * sim::kSecond;
+  sim::Duration drain = 10 * sim::kSecond;
 
   // --- protocol details ---
   phy::PhyParams phy{};

@@ -48,12 +48,13 @@ World::World(const ScenarioConfig& config)
   lossModel_ =
       fault::makeLossModel(config_.fault, sim::Rng(config_.seed).fork(0xFA01));
   if (lossModel_ != nullptr) {
-    channel_.setLossFn([this](net::NodeId src, net::NodeId dst) {
+    channel_.setLossFn([this](net::HostId src, net::HostId dst) {
       return lossModel_->shouldDrop(src, dst);
     });
   }
-  downSince_.assign(static_cast<std::size_t>(config_.numHosts), -1);
-  downAccum_.assign(static_cast<std::size_t>(config_.numHosts), 0);
+  downSince_.assign(static_cast<std::size_t>(config_.numHosts), sim::kNever);
+  downAccum_.assign(static_cast<std::size_t>(config_.numHosts),
+                    sim::Duration{});
 
   const mobility::MapSpec map =
       mobility::MapSpec::square(config_.mapUnits, config_.unitMeters);
@@ -65,7 +66,7 @@ World::World(const ScenarioConfig& config)
   for (int i = 0; i < config_.numHosts; ++i) {
     sim::Rng hostRng = master.fork(static_cast<std::uint64_t>(i) + 1);
     hosts_.push_back(std::make_unique<Host>(
-        *this, static_cast<net::NodeId>(i),
+        *this, net::HostId{static_cast<std::uint32_t>(i)},
         std::move(models[static_cast<std::size_t>(i)]), hostRng.fork(0xB0)));
   }
 }
@@ -126,7 +127,7 @@ void World::startAgents() {
   for (auto& host : hosts_) host->start();
 }
 
-int World::reachableFrom(net::NodeId source) const {
+int World::reachableFrom(net::HostId source) const {
   // Crashed hosts sit at Vec2{} in the snapshot; mask them out of the BFS
   // whenever any host is actually down (churn config or manual setHostUp).
   bool anyDown = false;
@@ -137,23 +138,23 @@ int World::reachableFrom(net::NodeId source) const {
   }
   if (!anyDown) {
     return stats::reachableCount(channel_.snapshotPositions(),
-                                 config_.phy.radiusMeters, source);
+                                 config_.phy.radiusMeters, source.value());
   }
   return stats::reachableCount(channel_.snapshotPositions(), alive,
-                               config_.phy.radiusMeters, source);
+                               config_.phy.radiusMeters, source.value());
 }
 
-void World::setHostUp(net::NodeId id, bool up) {
-  Host& host = *hosts_[id];
+void World::setHostUp(net::HostId id, bool up) {
+  Host& host = *hosts_[id.value()];
   if (host.up() == up) return;
   const std::vector<phy::Frame> flushed = channel_.setNodeUp(id, up);
   if (!up) {
     host.onCrash();
-    downSince_[id] = scheduler_.now();
+    downSince_[id.value()] = scheduler_.now();
   } else {
     host.onRecover();
-    downAccum_[id] += scheduler_.now() - downSince_[id];
-    downSince_[id] = -1;
+    downAccum_[id.value()] += scheduler_.now() - downSince_[id.value()];
+    downSince_[id.value()] = sim::kNever;
   }
   if (traceSink_ == nullptr) return;
   trace::Event event;
@@ -178,19 +179,21 @@ void World::setHostUp(net::NodeId id, bool up) {
 }
 
 double World::hostDownSeconds() const {
-  sim::Time total = 0;
+  sim::Duration total{};
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     total += downAccum_[i];
-    if (downSince_[i] >= 0) total += scheduler_.now() - downSince_[i];
+    if (downSince_[i] != sim::kNever) {
+      total += scheduler_.now() - downSince_[i];
+    }
   }
   return sim::toSeconds(total);
 }
 
-int World::oracleNeighborCount(net::NodeId id) const {
+int World::oracleNeighborCount(net::HostId id) const {
   return static_cast<int>(channel_.inRangeCount(id));
 }
 
-std::vector<net::NodeId> World::oracleNeighbors(net::NodeId id) const {
+std::vector<net::HostId> World::oracleNeighbors(net::HostId id) const {
   return channel_.nodesInRange(id);
 }
 
@@ -202,30 +205,31 @@ void World::scheduleWorkload() {
   if (config_.traffic.sources == traffic::TrafficConfig::Sources::kZone) {
     initialPositions.reserve(hosts_.size());
     for (const auto& host : hosts_) {
-      initialPositions.push_back(host->mobility().positionAt(0));
+      initialPositions.push_back(host->mobility().positionAt(sim::kTimeZero));
     }
   }
   const traffic::Generator generator(config_.traffic, config_.numHosts,
                                      config_.interarrivalMax,
                                      std::move(initialPositions),
                                      config_.mapMeters());
-  workloadSchedule_ =
-      generator.schedule(config_.numBroadcasts, config_.warmup, workloadRng_);
+  const sim::TimePoint workloadStart = sim::kTimeZero + config_.warmup;
+  workloadSchedule_ = generator.schedule(config_.numBroadcasts, workloadStart,
+                                         workloadRng_);
   obs::add(obs::Counter::kTrafficOffered, workloadSchedule_.size());
-  sim::Time last = config_.warmup;
+  sim::TimePoint last = workloadStart;
   for (const traffic::Request& request : workloadSchedule_) {
     last = request.at;  // the schedule is time-ordered
-    const net::NodeId source = request.source;
+    const net::HostId source = request.source;
     scheduler_.schedule(request.at, [this, source] {
       // A crashed host cannot originate traffic; its request is simply lost
       // (the draw already happened, so churn never shifts the workload
       // stream).
-      if (!hosts_[source]->up()) {
+      if (!hosts_[source.value()]->up()) {
         obs::add(obs::Counter::kTrafficBlockedHostDown);
         return;
       }
       obs::add(obs::Counter::kTrafficInjected);
-      hosts_[source]->originateBroadcast();
+      hosts_[source.value()]->originateBroadcast();
     });
   }
   horizon_ = last + config_.drain;

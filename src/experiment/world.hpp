@@ -44,20 +44,20 @@ class World {
   stats::MetricsCollector& metrics() { return metrics_; }
   const ScenarioConfig& config() const { return config_; }
   const core::RebroadcastPolicy& policy() const { return *policy_; }
-  Host& host(net::NodeId id) { return *hosts_[id]; }
+  Host& host(net::HostId id) { return *hosts_[id.value()]; }
   std::size_t hostCount() const { return hosts_.size(); }
 
   /// e for a broadcast starting now at `source` (unit-disk BFS snapshot).
   /// Crashed hosts neither count nor relay.
-  int reachableFrom(net::NodeId source) const;
+  int reachableFrom(net::HostId source) const;
 
   // --- fault injection (DESIGN.md §8) ---
   /// Crashes (`up = false`) or recovers (`up = true`) a host mid-run:
   /// detaches/reattaches it on the channel, resets its MAC and neighbor
   /// state, and emits kHostDown/kHostUp (plus per-flushed-frame kDrop)
   /// trace events. No-op when the host is already in the requested state.
-  void setHostUp(net::NodeId id, bool up);
-  bool hostUp(net::NodeId id) const { return hosts_[id]->up(); }
+  void setHostUp(net::HostId id, bool up);
+  bool hostUp(net::HostId id) const { return hosts_[id.value()]->up(); }
 
   /// Total host-seconds spent crashed so far (hosts still down accrue up to
   /// the current simulation time).
@@ -73,8 +73,8 @@ class World {
   }
 
   /// Oracle neighborhood queries (true geometry at the current instant).
-  int oracleNeighborCount(net::NodeId id) const;
-  std::vector<net::NodeId> oracleNeighbors(net::NodeId id) const;
+  int oracleNeighborCount(net::HostId id) const;
+  std::vector<net::HostId> oracleNeighbors(net::HostId id) const;
 
   // --- traffic workload (DESIGN.md §12) ---
   /// The (time, source, seq) request schedule the run injects, built by the
@@ -135,15 +135,15 @@ class World {
   std::unique_ptr<core::RebroadcastPolicy> policy_;
   std::vector<std::unique_ptr<Host>> hosts_;
   sim::Rng workloadRng_;
-  sim::Time horizon_ = 0;
+  sim::TimePoint horizon_{};
   bool ran_ = false;
   trace::TraceSink* traceSink_ = nullptr;
 
   std::unique_ptr<fault::LossModel> lossModel_;
   std::vector<fault::ChurnEvent> churnTimeline_;
   std::vector<traffic::Request> workloadSchedule_;
-  std::vector<sim::Time> downSince_;   // per host; -1 when up
-  std::vector<sim::Time> downAccum_;   // per host; completed down intervals
+  std::vector<sim::TimePoint> downSince_;  // per host; kNever when up
+  std::vector<sim::Duration> downAccum_;  // per host; completed down spans
 };
 
 }  // namespace manet::experiment

@@ -8,21 +8,20 @@ namespace {
 
 /// Exponentially distributed duration with the given mean, floored at one
 /// microsecond so consecutive events never coincide on a host.
-sim::Time exponential(sim::Rng& rng, sim::Time mean) {
+sim::Duration exponential(sim::Rng& rng, sim::Duration mean) {
   const double u = rng.uniform();
-  const double draw = -static_cast<double>(mean) * std::log(1.0 - u);
-  return std::max<sim::Time>(1, static_cast<sim::Time>(draw));
+  return std::max(sim::kMicrosecond, sim::scaleTrunc(mean, -std::log(1.0 - u)));
 }
 
 }  // namespace
 
 std::vector<ChurnEvent> buildChurnTimeline(const FaultConfig& config,
-                                           int numHosts, sim::Time horizon,
+                                           int numHosts, sim::TimePoint horizon,
                                            sim::Rng rng) {
   std::vector<ChurnEvent> timeline;
   if (!config.script.empty()) {
     for (const ChurnEvent& ev : config.script) {
-      if (ev.at < horizon && ev.node < static_cast<net::NodeId>(numHosts)) {
+      if (ev.at < horizon && ev.node.value() < static_cast<std::uint32_t>(numHosts)) {
         timeline.push_back(ev);
       }
     }
@@ -34,11 +33,11 @@ std::vector<ChurnEvent> buildChurnTimeline(const FaultConfig& config,
       if (!hostRng.bernoulli(config.churnFraction)) continue;
       // Start mid-cycle so crashes are spread over the run instead of
       // clustering near t = 0.
-      sim::Time t = exponential(hostRng, config.meanUpTime);
+      sim::TimePoint t = sim::kTimeZero + exponential(hostRng, config.meanUpTime);
       bool up = false;  // next transition takes the host down
       while (t < horizon) {
         timeline.push_back(
-            ChurnEvent{static_cast<net::NodeId>(i), t, up});
+            ChurnEvent{net::HostId{static_cast<std::uint32_t>(i)}, t, up});
         t += exponential(hostRng,
                          up ? config.meanUpTime : config.meanDownTime);
         up = !up;

@@ -16,7 +16,7 @@ namespace manet::fault {
 /// horizon events are dropped. The result is sorted by (at, node) and all
 /// draws come from `rng`, a stream dedicated to churn.
 std::vector<ChurnEvent> buildChurnTimeline(const FaultConfig& config,
-                                           int numHosts, sim::Time horizon,
+                                           int numHosts, sim::TimePoint horizon,
                                            sim::Rng rng);
 
 }  // namespace manet::fault

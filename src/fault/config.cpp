@@ -33,13 +33,13 @@ FaultConfig FaultConfig::withEnvOverrides() const {
       util::envDouble("MANET_FAULT_CHURN_FRACTION", out.churnFraction);
   if (auto up = util::envString("MANET_FAULT_UP_S")) {
     (void)up;
-    out.meanUpTime = static_cast<sim::Time>(
-        util::envDouble("MANET_FAULT_UP_S", 0) * sim::kSecond);
+    out.meanUpTime =
+        sim::scaleTrunc(sim::kSecond, util::envDouble("MANET_FAULT_UP_S", 0));
   }
   if (auto down = util::envString("MANET_FAULT_DOWN_S")) {
     (void)down;
-    out.meanDownTime = static_cast<sim::Time>(
-        util::envDouble("MANET_FAULT_DOWN_S", 0) * sim::kSecond);
+    out.meanDownTime = sim::scaleTrunc(
+        sim::kSecond, util::envDouble("MANET_FAULT_DOWN_S", 0));
   }
   return out;
 }

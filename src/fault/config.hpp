@@ -15,8 +15,8 @@ namespace manet::fault {
 /// One scripted churn transition: `node` goes down (`up = false`) or comes
 /// back up at absolute simulation time `at`.
 struct ChurnEvent {
-  net::NodeId node = net::kInvalidNode;
-  sim::Time at = 0;
+  net::HostId node = net::kInvalidHost;
+  sim::TimePoint at{};
   bool up = false;
 };
 
@@ -48,8 +48,8 @@ struct FaultConfig {
   /// distributed up/down dwell times.
   bool churn = false;
   double churnFraction = 0.3;
-  sim::Time meanUpTime = 20 * sim::kSecond;
-  sim::Time meanDownTime = 5 * sim::kSecond;
+  sim::Duration meanUpTime = 20 * sim::kSecond;
+  sim::Duration meanDownTime = 5 * sim::kSecond;
 
   /// Explicit crash/recover timeline; when non-empty it replaces the random
   /// schedule (and `churn` need not be set). Events may be given in any

@@ -4,16 +4,17 @@
 
 namespace manet::fault {
 
-bool IidLoss::shouldDrop(net::NodeId src, net::NodeId dst) {
+bool IidLoss::shouldDrop(net::HostId src, net::HostId dst) {
   (void)src;
   (void)dst;
   return rng_.bernoulli(per_);
 }
 
-GilbertElliottLoss::LinkState& GilbertElliottLoss::link(net::NodeId src,
-                                                        net::NodeId dst) {
+GilbertElliottLoss::LinkState& GilbertElliottLoss::link(net::HostId src,
+                                                        net::HostId dst) {
   const std::uint64_t key =
-      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+      (static_cast<std::uint64_t>(src.value()) << 32) |
+      static_cast<std::uint64_t>(dst.value());
   auto it = links_.find(key);
   if (it == links_.end()) {
     // Key-derived fork: the same (src, dst) pair always gets the same
@@ -23,7 +24,7 @@ GilbertElliottLoss::LinkState& GilbertElliottLoss::link(net::NodeId src,
   return it->second;
 }
 
-bool GilbertElliottLoss::shouldDrop(net::NodeId src, net::NodeId dst) {
+bool GilbertElliottLoss::shouldDrop(net::HostId src, net::HostId dst) {
   LinkState& state = link(src, dst);
   const double lossP =
       state.bad ? config_.geLossBad : config_.geLossGood;
@@ -33,9 +34,10 @@ bool GilbertElliottLoss::shouldDrop(net::NodeId src, net::NodeId dst) {
   return drop;
 }
 
-bool GilbertElliottLoss::linkBad(net::NodeId src, net::NodeId dst) const {
+bool GilbertElliottLoss::linkBad(net::HostId src, net::HostId dst) const {
   const std::uint64_t key =
-      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+      (static_cast<std::uint64_t>(src.value()) << 32) |
+      static_cast<std::uint64_t>(dst.value());
   auto it = links_.find(key);
   return it != links_.end() && it->second.bad;
 }

@@ -24,7 +24,7 @@ class LossModel {
  public:
   virtual ~LossModel() = default;
   /// True when the frame from `src` arriving at `dst` should be corrupted.
-  virtual bool shouldDrop(net::NodeId src, net::NodeId dst) = 0;
+  virtual bool shouldDrop(net::HostId src, net::HostId dst) = 0;
   virtual const char* name() const = 0;
 };
 
@@ -33,7 +33,7 @@ class LossModel {
 class IidLoss final : public LossModel {
  public:
   IidLoss(double per, sim::Rng rng) : per_(per), rng_(rng) {}
-  bool shouldDrop(net::NodeId src, net::NodeId dst) override;
+  bool shouldDrop(net::HostId src, net::HostId dst) override;
   const char* name() const override { return "iid"; }
 
  private:
@@ -49,18 +49,18 @@ class GilbertElliottLoss final : public LossModel {
  public:
   GilbertElliottLoss(const FaultConfig& config, sim::Rng rng)
       : config_(config), rng_(rng) {}
-  bool shouldDrop(net::NodeId src, net::NodeId dst) override;
+  bool shouldDrop(net::HostId src, net::HostId dst) override;
   const char* name() const override { return "gilbert_elliott"; }
 
   /// True when the link's chain is currently in the Bad state (test hook).
-  bool linkBad(net::NodeId src, net::NodeId dst) const;
+  bool linkBad(net::HostId src, net::HostId dst) const;
 
  private:
   struct LinkState {
     bool bad = false;
     sim::Rng rng;
   };
-  LinkState& link(net::NodeId src, net::NodeId dst);
+  LinkState& link(net::HostId src, net::HostId dst);
 
   FaultConfig config_;
   sim::Rng rng_;  // parent stream the per-link streams fork from

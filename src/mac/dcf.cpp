@@ -10,8 +10,8 @@
 namespace manet::mac {
 namespace {
 
-std::uint64_t dupKey(net::NodeId sender, std::uint16_t macSeq) {
-  return (static_cast<std::uint64_t>(sender) << 16) | macSeq;
+std::uint64_t dupKey(net::HostId sender, std::uint16_t macSeq) {
+  return (static_cast<std::uint64_t>(sender.value()) << 16) | macSeq;
 }
 
 /// Records one backoff draw: the window it was drawn from and the slot
@@ -26,7 +26,7 @@ int recordBackoffDraw(int cw, int slots) {
 }  // namespace
 
 DcfMac::DcfMac(sim::Scheduler& scheduler, phy::Channel& channel,
-               net::NodeId self, phy::Channel::PositionFn position,
+               net::HostId self, phy::Channel::PositionFn position,
                sim::Rng rng, MacParams params, Upper* upper)
     : scheduler_(scheduler),
       channel_(channel),
@@ -35,9 +35,9 @@ DcfMac::DcfMac(sim::Scheduler& scheduler, phy::Channel& channel,
       params_(params),
       upper_(upper) {
   MANET_EXPECTS(upper != nullptr);
-  MANET_EXPECTS(params_.slot > 0);
-  MANET_EXPECTS(params_.difs >= 0);
-  MANET_EXPECTS(params_.sifs >= 0);
+  MANET_EXPECTS(params_.slot > sim::Duration{});
+  MANET_EXPECTS(params_.difs >= sim::Duration{});
+  MANET_EXPECTS(params_.sifs >= sim::Duration{});
   MANET_EXPECTS(params_.cwBroadcast >= 0);
   MANET_EXPECTS(params_.cwMin >= 1);
   MANET_EXPECTS(params_.cwMax >= params_.cwMin);
@@ -46,7 +46,7 @@ DcfMac::DcfMac(sim::Scheduler& scheduler, phy::Channel& channel,
   channel_.attach(self_, this, std::move(position));
 }
 
-sim::Time DcfMac::controlAirtime(std::size_t bytes) const {
+sim::Duration DcfMac::controlAirtime(std::size_t bytes) const {
   return channel_.params().frameAirtime(bytes);
 }
 
@@ -60,11 +60,11 @@ DcfMac::TxId DcfMac::enqueue(net::PacketPtr packet, std::size_t bytes) {
   return id;
 }
 
-DcfMac::TxId DcfMac::enqueueUnicast(net::NodeId dest, net::PacketPtr packet,
+DcfMac::TxId DcfMac::enqueueUnicast(net::HostId dest, net::PacketPtr packet,
                                     std::size_t bytes) {
   MANET_EXPECTS(packet != nullptr);
   MANET_EXPECTS(bytes > 0);
-  MANET_EXPECTS(dest != net::kInvalidNode);
+  MANET_EXPECTS(dest != net::kInvalidHost);
   MANET_EXPECTS(dest != self_);
   // The MAC owns the addressing fields: copy the payload and stamp them.
   auto stamped = net::makePacket(*packet);
@@ -72,7 +72,7 @@ DcfMac::TxId DcfMac::enqueueUnicast(net::NodeId dest, net::PacketPtr packet,
   stamped->dest = dest;
   stamped->macSeq = nextMacSeq_++;
   // NAV carried by the DATA frame: the ACK that will follow.
-  stamped->durationUs = params_.sifs + controlAirtime(net::kAckBytes);
+  stamped->navDuration = params_.sifs + controlAirtime(net::kAckBytes);
 
   const TxId id = nextTxId_++;
   Pending p{id, std::move(stamped), bytes};
@@ -123,7 +123,7 @@ void DcfMac::reset() {
   current_ = Pending{};
   exchange_ = Exchange::kNone;
   responsePending_ = false;
-  navUntil_ = 0;
+  navUntil_ = sim::TimePoint{};
   // A rebooted station has no reception history: a retransmitted unicast it
   // saw before the crash will be delivered again (the cost of crashing).
   seenUnicast_.clear();
@@ -146,10 +146,10 @@ void DcfMac::onMediumIdle() {
   reschedule();
 }
 
-void DcfMac::applyNav(const net::Packet& packet, sim::Time frameEnd) {
-  if (packet.durationUs <= 0) return;
+void DcfMac::applyNav(const net::Packet& packet, sim::TimePoint frameEnd) {
+  if (packet.navDuration <= sim::Duration{}) return;
   if (packet.dest == self_) return;  // the reservation is for us
-  const sim::Time until = frameEnd + packet.durationUs;
+  const sim::TimePoint until = frameEnd + packet.navDuration;
   if (until <= navUntil_) return;
   navUntil_ = until;
   ensureBackoffIfBusy();
@@ -180,9 +180,9 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
         cts->type = net::PacketType::kCts;
         cts->sender = self_;
         cts->dest = packet.sender;
-        cts->durationUs = std::max<sim::Time>(
-            0, packet.durationUs - params_.sifs -
-                   controlAirtime(net::kCtsBytes));
+        cts->navDuration = std::max(
+            sim::Duration{}, packet.navDuration - params_.sifs -
+                                 controlAirtime(net::kCtsBytes));
         scheduleResponse(std::move(cts), net::kCtsBytes);
       }
       return;
@@ -210,7 +210,7 @@ void DcfMac::onFrameReceived(const phy::Frame& frame, phy::DropReason drop) {
 
     case net::PacketType::kData:
     case net::PacketType::kHello:
-      if (packet.dest == net::kInvalidNode) {
+      if (packet.dest == net::kInvalidHost) {
         upper_->onReceive(frame);  // broadcast path: deliver as-is
         return;
       }
@@ -299,11 +299,11 @@ void DcfMac::armExchangeTimer(Exchange phase) {
                                    : audit::DcfAudit::Exchange::kAwaitAck,
       scheduler_.now()));
   exchange_ = phase;
-  const sim::Time response = phase == Exchange::kAwaitCts
-                                 ? controlAirtime(net::kCtsBytes)
-                                 : controlAirtime(net::kAckBytes);
+  const sim::Duration response = phase == Exchange::kAwaitCts
+                                     ? controlAirtime(net::kCtsBytes)
+                                     : controlAirtime(net::kAckBytes);
   // SIFS + response airtime + detection slack (CCA/propagation).
-  const sim::Time timeout = params_.sifs + response + 2 * params_.slot;
+  const sim::Duration timeout = params_.sifs + response + 2 * params_.slot;
   exchangeTimer_ =
       scheduler_.scheduleAfter(timeout, [this] { onExchangeTimeout(); });
 }
@@ -364,9 +364,9 @@ void DcfMac::reschedule() {
   }
   if (queue_.empty() && backoffRemaining_ < 0) return;
 
-  const sim::Time now = scheduler_.now();
-  const sim::Time idleStart = std::max(idleSince_, navUntil_);
-  const sim::Time difsEnd = idleStart + params_.difs;
+  const sim::TimePoint now = scheduler_.now();
+  const sim::TimePoint idleStart = std::max(idleSince_, navUntil_);
+  const sim::TimePoint difsEnd = idleStart + params_.difs;
   if (now < difsEnd) {
     timer_ = scheduler_.schedule(difsEnd, [this] { reschedule(); });
     return;
@@ -418,7 +418,7 @@ void DcfMac::startTransmission() {
     rts->sender = self_;
     rts->dest = current_.dest;
     // Duration: CTS + DATA + ACK and the three SIFS gaps between them.
-    rts->durationUs = 3 * params_.sifs + controlAirtime(net::kCtsBytes) +
+    rts->navDuration = 3 * params_.sifs + controlAirtime(net::kCtsBytes) +
                       channel_.params().frameAirtime(current_.bytes) +
                       controlAirtime(net::kAckBytes);
     transmitting_ = true;

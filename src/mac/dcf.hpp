@@ -50,9 +50,9 @@
 namespace manet::mac {
 
 struct MacParams {
-  sim::Time slot = 20;   // us
-  sim::Time sifs = 10;   // us
-  sim::Time difs = 50;   // us
+  sim::Duration slot{20};   // us
+  sim::Duration sifs{10};   // us
+  sim::Duration difs{50};   // us
   int cwBroadcast = 31;  // contention window for broadcast frames
   int cwMin = 31;        // unicast initial contention window
   int cwMax = 1023;      // unicast contention-window ceiling (§4)
@@ -101,7 +101,7 @@ class DcfMac final : public phy::Channel::Listener {
 
   /// Constructs the MAC and attaches it to `channel` as node `self` with the
   /// given position callback.
-  DcfMac(sim::Scheduler& scheduler, phy::Channel& channel, net::NodeId self,
+  DcfMac(sim::Scheduler& scheduler, phy::Channel& channel, net::HostId self,
          phy::Channel::PositionFn position, sim::Rng rng, MacParams params,
          Upper* upper);
 
@@ -114,7 +114,7 @@ class DcfMac final : public phy::Channel::Listener {
   /// Queues a unicast frame to `dest` (acknowledged, retried, and RTS/CTS-
   /// protected per MacParams). The packet's dest/macSeq/duration fields are
   /// managed by the MAC.
-  TxId enqueueUnicast(net::NodeId dest, net::PacketPtr packet,
+  TxId enqueueUnicast(net::HostId dest, net::PacketPtr packet,
                       std::size_t bytes);
 
   /// Removes a queued frame. Returns true if it was still waiting; false if
@@ -134,7 +134,7 @@ class DcfMac final : public phy::Channel::Listener {
   }
 
   std::size_t queueDepth() const { return queue_.size(); }
-  net::NodeId self() const { return self_; }
+  net::HostId self() const { return self_; }
 
   // --- statistics ---
   std::uint64_t framesSent() const { return framesSent_; }
@@ -160,13 +160,13 @@ class DcfMac final : public phy::Channel::Listener {
     TxId id;
     net::PacketPtr packet;
     std::size_t bytes;
-    net::NodeId dest = net::kInvalidNode;  // kInvalidNode: broadcast
+    net::HostId dest = net::kInvalidHost;  // kInvalidHost: broadcast
     int retries = 0;
     int cw = 0;  // unicast contention window (escalates on retry)
   };
 
   bool isUnicast(const Pending& p) const {
-    return p.dest != net::kInvalidNode;
+    return p.dest != net::kInvalidHost;
   }
   bool usesRts(const Pending& p) const {
     return isUnicast(p) && p.bytes > params_.rtsThresholdBytes;
@@ -185,12 +185,12 @@ class DcfMac final : public phy::Channel::Listener {
   void retryCurrent();
   void finishCurrent(bool delivered);
   void scheduleResponse(net::PacketPtr response, std::size_t bytes);
-  void applyNav(const net::Packet& packet, sim::Time frameEnd);
-  sim::Time controlAirtime(std::size_t bytes) const;
+  void applyNav(const net::Packet& packet, sim::TimePoint frameEnd);
+  sim::Duration controlAirtime(std::size_t bytes) const;
 
   sim::Scheduler& scheduler_;
   phy::Channel& channel_;
-  net::NodeId self_;
+  net::HostId self_;
   sim::Rng rng_;
   MacParams params_;
   Upper* upper_;
@@ -205,7 +205,7 @@ class DcfMac final : public phy::Channel::Listener {
   net::PacketPtr onAirPacket_;
 
   bool mediumBusy_ = false;
-  sim::Time idleSince_ = 0;
+  sim::TimePoint idleSince_{};
   int backoffRemaining_ = -1;  // -1: no backoff owed
   sim::Scheduler::Handle timer_;
 
@@ -220,7 +220,7 @@ class DcfMac final : public phy::Channel::Listener {
   sim::Scheduler::Handle responseTimer_;
 
   // Virtual carrier sense.
-  sim::Time navUntil_ = 0;
+  sim::TimePoint navUntil_{};
   sim::Scheduler::Handle navTimer_;
 
   // Duplicate filtering of retransmitted unicast data.

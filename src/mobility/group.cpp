@@ -16,7 +16,7 @@ GroupCenter::GroupCenter(MapSpec map, geom::Vec2 start, GroupParams params,
   MANET_EXPECTS(params_.localSpeedMps >= 0.0);
 }
 
-geom::Vec2 GroupCenter::positionAt(sim::Time t) { return roam_.positionAt(t); }
+geom::Vec2 GroupCenter::positionAt(sim::TimePoint t) { return roam_.positionAt(t); }
 
 GroupMember::GroupMember(std::shared_ptr<GroupCenter> center,
                          geom::Vec2 offset, sim::Rng rng)
@@ -35,7 +35,7 @@ GroupMember::GroupMember(std::shared_ptr<GroupCenter> center,
   MANET_EXPECTS(center_ != nullptr);
 }
 
-geom::Vec2 GroupMember::positionAt(sim::Time t) {
+geom::Vec2 GroupMember::positionAt(sim::TimePoint t) {
   const geom::Vec2 center = center_->positionAt(t);
   const double span = center_->params().spanMeters;
   geom::Vec2 dev{0.0, 0.0};

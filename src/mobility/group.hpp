@@ -34,7 +34,7 @@ class GroupCenter {
 
   /// Center position at time t (monotone t across ALL members' queries,
   /// which holds when driven by a single scheduler).
-  geom::Vec2 positionAt(sim::Time t);
+  geom::Vec2 positionAt(sim::TimePoint t);
 
   const MapSpec& map() const { return map_; }
   const GroupParams& params() const { return params_; }
@@ -52,7 +52,7 @@ class GroupMember final : public MobilityModel {
   GroupMember(std::shared_ptr<GroupCenter> center, geom::Vec2 offset,
               sim::Rng rng);
 
-  geom::Vec2 positionAt(sim::Time t) override;
+  geom::Vec2 positionAt(sim::TimePoint t) override;
 
  private:
   std::shared_ptr<GroupCenter> center_;

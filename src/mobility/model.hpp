@@ -13,14 +13,14 @@ class MobilityModel {
 
   /// Position at simulation time `t`. Requires t >= every previous query
   /// (models may advance internal state lazily).
-  virtual geom::Vec2 positionAt(sim::Time t) = 0;
+  virtual geom::Vec2 positionAt(sim::TimePoint t) = 0;
 };
 
 /// A host that never moves (dense-map baseline and unit tests).
 class Stationary final : public MobilityModel {
  public:
   explicit Stationary(geom::Vec2 position) : position_(position) {}
-  geom::Vec2 positionAt(sim::Time) override { return position_; }
+  geom::Vec2 positionAt(sim::TimePoint) override { return position_; }
 
  private:
   geom::Vec2 position_;

@@ -11,7 +11,7 @@ RandomRoam::RandomRoam(MapSpec map, geom::Vec2 start, RoamParams params,
                        sim::Rng rng)
     : map_(map), params_(params), rng_(rng), position_(map.clamp(start)) {
   MANET_EXPECTS(params_.maxSpeedMps >= 0.0);
-  MANET_EXPECTS(params_.minTurnDuration >= 1);
+  MANET_EXPECTS(params_.minTurnDuration >= sim::kMicrosecond);
   MANET_EXPECTS(params_.maxTurnDuration >= params_.minTurnDuration);
   beginTurn();
 }
@@ -20,12 +20,12 @@ void RandomRoam::beginTurn() {
   const double direction = rng_.uniform(0.0, 2.0 * geom::kPi);
   const double speed = rng_.uniform(0.0, params_.maxSpeedMps);
   velocity_ = speed * geom::unitVector(direction);
-  turnEnd_ = lastQuery_ +
-             rng_.uniformTime(params_.minTurnDuration, params_.maxTurnDuration);
+  turnEnd_ = lastQuery_ + rng_.uniformDuration(params_.minTurnDuration,
+                                               params_.maxTurnDuration);
 }
 
-void RandomRoam::advance(sim::Time dt) {
-  if (dt <= 0) return;
+void RandomRoam::advance(sim::Duration dt) {
+  if (dt <= sim::Duration{}) return;
   const double seconds = sim::toSeconds(dt);
   geom::Vec2 p = position_ + velocity_ * seconds;
   // Specular reflection: fold the coordinate back into [0, L] (possibly
@@ -49,7 +49,7 @@ void RandomRoam::advance(sim::Time dt) {
   position_ = map_.clamp(p);
 }
 
-geom::Vec2 RandomRoam::positionAt(sim::Time t) {
+geom::Vec2 RandomRoam::positionAt(sim::TimePoint t) {
   MANET_EXPECTS(t >= lastQuery_);
   while (t >= turnEnd_) {
     advance(turnEnd_ - lastQuery_);

@@ -17,15 +17,15 @@ namespace manet::mobility {
 
 struct RoamParams {
   double maxSpeedMps = kmhToMps(10.0);
-  sim::Time minTurnDuration = 1 * sim::kSecond;
-  sim::Time maxTurnDuration = 100 * sim::kSecond;
+  sim::Duration minTurnDuration = 1 * sim::kSecond;
+  sim::Duration maxTurnDuration = 100 * sim::kSecond;
 };
 
 class RandomRoam final : public MobilityModel {
  public:
   RandomRoam(MapSpec map, geom::Vec2 start, RoamParams params, sim::Rng rng);
 
-  geom::Vec2 positionAt(sim::Time t) override;
+  geom::Vec2 positionAt(sim::TimePoint t) override;
 
   /// Velocity of the current turn, in m/s (introspection for tests).
   geom::Vec2 currentVelocity() const { return velocity_; }
@@ -33,15 +33,15 @@ class RandomRoam final : public MobilityModel {
  private:
   void beginTurn();
   /// Advances `position_` along `velocity_` for `dt`, reflecting at edges.
-  void advance(sim::Time dt);
+  void advance(sim::Duration dt);
 
   MapSpec map_;
   RoamParams params_;
   sim::Rng rng_;
   geom::Vec2 position_;
   geom::Vec2 velocity_{0.0, 0.0};
-  sim::Time turnEnd_ = 0;   // absolute time the current turn finishes
-  sim::Time lastQuery_ = 0; // last time position_ was valid for
+  sim::TimePoint turnEnd_{};   // absolute time the current turn finishes
+  sim::TimePoint lastQuery_{}; // last time position_ was valid for
 };
 
 }  // namespace manet::mobility

@@ -11,9 +11,9 @@ RandomWaypoint::RandomWaypoint(MapSpec map, geom::Vec2 start,
     : map_(map), params_(params), rng_(rng), from_(map.clamp(start)) {
   MANET_EXPECTS(params_.minSpeedMps > 0.0);
   MANET_EXPECTS(params_.maxSpeedMps >= params_.minSpeedMps);
-  MANET_EXPECTS(params_.pause >= 0);
+  MANET_EXPECTS(params_.pause >= sim::Duration{});
   to_ = from_;
-  legStart_ = legEnd_ = pauseEnd_ = 0;
+  legStart_ = legEnd_ = pauseEnd_ = sim::TimePoint{};
   pickLeg();
 }
 
@@ -23,17 +23,19 @@ void RandomWaypoint::pickLeg() {
   const double speed = rng_.uniform(params_.minSpeedMps, params_.maxSpeedMps);
   const double dist = geom::distance(from_, to_);
   legStart_ = pauseEnd_;
-  legEnd_ = legStart_ + std::max<sim::Time>(1, sim::fromSeconds(dist / speed));
+  legEnd_ =
+      legStart_ + std::max(sim::kMicrosecond, sim::fromSeconds(dist / speed));
   pauseEnd_ = legEnd_ + params_.pause;
 }
 
-geom::Vec2 RandomWaypoint::positionAt(sim::Time t) {
+geom::Vec2 RandomWaypoint::positionAt(sim::TimePoint t) {
   MANET_EXPECTS(t >= lastQuery_);
   lastQuery_ = t;
   while (t >= pauseEnd_) pickLeg();
   if (t >= legEnd_) return to_;  // pausing at destination
-  const double progress = static_cast<double>(t - legStart_) /
-                          static_cast<double>(legEnd_ - legStart_);
+  // NOLINT-units(dimensionless leg-progress ratio)
+  const double progress = static_cast<double>((t - legStart_).ticks()) /
+                          static_cast<double>((legEnd_ - legStart_).ticks());  // NOLINT-units(dimensionless leg-progress ratio)
   return from_ + (to_ - from_) * progress;
 }
 

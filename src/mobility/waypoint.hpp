@@ -13,7 +13,7 @@ namespace manet::mobility {
 struct WaypointParams {
   double minSpeedMps = kmhToMps(1.0);
   double maxSpeedMps = kmhToMps(10.0);
-  sim::Time pause = 0;
+  sim::Duration pause{};
 };
 
 class RandomWaypoint final : public MobilityModel {
@@ -21,7 +21,7 @@ class RandomWaypoint final : public MobilityModel {
   RandomWaypoint(MapSpec map, geom::Vec2 start, WaypointParams params,
                  sim::Rng rng);
 
-  geom::Vec2 positionAt(sim::Time t) override;
+  geom::Vec2 positionAt(sim::TimePoint t) override;
 
  private:
   void pickLeg();
@@ -31,10 +31,10 @@ class RandomWaypoint final : public MobilityModel {
   sim::Rng rng_;
   geom::Vec2 from_;
   geom::Vec2 to_;
-  sim::Time legStart_ = 0;
-  sim::Time legEnd_ = 0;    // arrival time at `to_`
-  sim::Time pauseEnd_ = 0;  // end of post-arrival pause
-  sim::Time lastQuery_ = 0;
+  sim::TimePoint legStart_{};
+  sim::TimePoint legEnd_{};    // arrival time at `to_`
+  sim::TimePoint pauseEnd_{};  // end of post-arrival pause
+  sim::TimePoint lastQuery_{};
 };
 
 }  // namespace manet::mobility

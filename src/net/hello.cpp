@@ -16,33 +16,35 @@ HelloAgent::HelloAgent(sim::Scheduler& scheduler, mac::DcfMac& mac,
       config_(config),
       rng_(rng),
       currentInterval_(config.dynamic ? config.intervalMax : config.interval) {
-  MANET_EXPECTS(config_.interval > 0);
-  MANET_EXPECTS(config_.intervalMin > 0);
+  MANET_EXPECTS(config_.interval > sim::Duration{});
+  MANET_EXPECTS(config_.intervalMin > sim::Duration{});
   MANET_EXPECTS(config_.intervalMax >= config_.intervalMin);
   MANET_EXPECTS(config_.nvMax > 0.0);
   MANET_EXPECTS(config_.periodJitterFraction >= 0.0 &&
                 config_.periodJitterFraction < 1.0);
 }
 
-sim::Time HelloAgent::dynamicInterval(const HelloConfig& config, double nv) {
+sim::Duration HelloAgent::dynamicInterval(const HelloConfig& config,
+                                          double nv) {
   if (nv >= config.nvMax) return config.intervalMin;
-  const double scaled = (config.nvMax - nv) / config.nvMax *
-                        static_cast<double>(config.intervalMax);
-  const auto raw = static_cast<sim::Time>(scaled + 0.5);
+  const sim::Duration raw =
+      sim::scaleRound(config.intervalMax, (config.nvMax - nv) / config.nvMax);
   return std::clamp(raw, config.intervalMin, config.intervalMax);
 }
 
 void HelloAgent::start() {
   if (!config_.enabled) return;
-  const sim::Time jitter =
-      config_.startJitter > 0 ? rng_.uniformTime(0, config_.startJitter) : 0;
+  const sim::Duration jitter =
+      config_.startJitter > sim::Duration{}
+          ? rng_.uniformDuration(sim::Duration{}, config_.startJitter)
+          : sim::Duration{};
   timer_ = scheduler_.scheduleAfter(jitter, [this] { sendHello(); });
 }
 
 void HelloAgent::stop() { timer_.cancel(); }
 
 void HelloAgent::sendHello() {
-  const sim::Time now = scheduler_.now();
+  const sim::TimePoint now = scheduler_.now();
   if (config_.dynamic) {
     currentInterval_ =
         dynamicInterval(config_, table_.neighborhoodVariation(now));
@@ -63,11 +65,11 @@ void HelloAgent::sendHello() {
   ++hellosSent_;
   obs::add(obs::Counter::kHelloTx);
 
-  sim::Time next = currentInterval_;
+  sim::Duration next = currentInterval_;
   if (config_.periodJitterFraction > 0.0) {
     const double shrink = rng_.uniform(0.0, config_.periodJitterFraction);
-    next -= static_cast<sim::Time>(shrink * static_cast<double>(next));
-    if (next < 1) next = 1;
+    next -= sim::scaleTrunc(next, shrink);
+    if (next < sim::kMicrosecond) next = sim::kMicrosecond;
   }
   auto beaconCb = [this] { sendHello(); };
   static_assert(sim::InlineFn::storesInline<decltype(beaconCb)>(),

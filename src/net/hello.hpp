@@ -22,12 +22,12 @@ struct HelloConfig {
   bool enabled = true;
 
   /// Fixed interval used when `dynamic` is false.
-  sim::Time interval = 1 * sim::kSecond;
+  sim::Duration interval = 1 * sim::kSecond;
 
   /// Dynamic hello interval (the paper's DHI, §4.3).
   bool dynamic = false;
-  sim::Time intervalMin = 1 * sim::kSecond;    // hi_min
-  sim::Time intervalMax = 10 * sim::kSecond;   // hi_max
+  sim::Duration intervalMin = 1 * sim::kSecond;   // hi_min
+  sim::Duration intervalMax = 10 * sim::kSecond;  // hi_max
   double nvMax = 0.02;                         // nv_max
 
   /// Append the sender's one-hop set N_x (needed by neighbor coverage).
@@ -39,7 +39,7 @@ struct HelloConfig {
 
   /// Each host delays its first HELLO by U(0, startJitter) to avoid
   /// synchronized beacons at t = 0.
-  sim::Time startJitter = 1 * sim::kSecond;
+  sim::Duration startJitter = 1 * sim::kSecond;
 
   /// Every period is shortened by U(0, periodJitterFraction) of itself, so
   /// two hosts that happen to beacon in phase do not collide forever (the
@@ -59,13 +59,13 @@ class HelloAgent {
   void stop();
 
   /// The interval the next HELLO will be scheduled with.
-  sim::Time currentInterval() const { return currentInterval_; }
+  sim::Duration currentInterval() const { return currentInterval_; }
 
   std::uint64_t hellosSent() const { return hellosSent_; }
 
   /// Computes the dynamic interval for a given neighborhood variation
   /// (exposed for tests; pure function of the config).
-  static sim::Time dynamicInterval(const HelloConfig& config, double nv);
+  static sim::Duration dynamicInterval(const HelloConfig& config, double nv);
 
  private:
   void sendHello();
@@ -75,7 +75,7 @@ class HelloAgent {
   NeighborTable& table_;
   HelloConfig config_;
   sim::Rng rng_;
-  sim::Time currentInterval_;
+  sim::Duration currentInterval_;
   sim::Scheduler::Handle timer_;
   std::uint64_t hellosSent_ = 0;
 };

@@ -1,21 +1,29 @@
-// Node and broadcast identifiers shared by every layer.
+// Node and broadcast identifiers shared by every layer, as strong types
+// (util::TaggedId, DESIGN.md §13): a host id and a broadcast sequence number
+// are distinct families, so argument swaps and id-for-index confusion are
+// compile errors rather than silent wire bugs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
+#include "util/tagged_id.hpp"
+
 namespace manet::net {
 
 /// Dense host index (hosts are numbered 0..numHosts-1 by the world builder).
-using NodeId = std::uint32_t;
+using HostId = util::TaggedId<struct HostIdTag, std::uint32_t>;
 
-inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr HostId kInvalidHost{0xFFFFFFFFu};
+
+/// Per-source broadcast sequence number (the seq half of BroadcastId).
+using BroadcastSeq = util::TaggedId<struct BroadcastSeqTag, std::uint32_t>;
 
 /// Identity of one broadcast operation: (source ID, sequence number), the
 /// duplicate-detection tuple the paper adopts from DSR/AODV (§2.1).
 struct BroadcastId {
-  NodeId origin = kInvalidNode;
-  std::uint32_t seq = 0;
+  HostId origin = kInvalidHost;
+  BroadcastSeq seq{};
 
   friend bool operator==(const BroadcastId&, const BroadcastId&) = default;
 };
@@ -23,7 +31,8 @@ struct BroadcastId {
 struct BroadcastIdHash {
   std::size_t operator()(const BroadcastId& id) const {
     return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(id.origin) << 32) | id.seq);
+        (static_cast<std::uint64_t>(id.origin.value()) << 32) |
+        id.seq.value());
   }
 };
 

@@ -7,26 +7,28 @@
 
 namespace manet::net {
 
-NeighborTable::NeighborTable(sim::Time nvWindow, sim::Time fallbackInterval)
+NeighborTable::NeighborTable(sim::Duration nvWindow,
+                             sim::Duration fallbackInterval)
     : nvWindow_(nvWindow), fallbackInterval_(fallbackInterval) {
-  MANET_EXPECTS(nvWindow_ > 0);
-  MANET_EXPECTS(fallbackInterval_ > 0);
+  MANET_EXPECTS(nvWindow_ > sim::Duration{});
+  MANET_EXPECTS(fallbackInterval_ > sim::Duration{});
 }
 
-sim::Time NeighborTable::expiryOf(const Entry& e) const {
-  const sim::Time interval = e.interval > 0 ? e.interval : fallbackInterval_;
+sim::TimePoint NeighborTable::expiryOf(const Entry& e) const {
+  const sim::Duration interval =
+      e.interval > sim::Duration{} ? e.interval : fallbackInterval_;
   return e.lastHeard + 2 * interval;
 }
 
-void NeighborTable::recordChange(sim::Time now) { changes_.push_back(now); }
+void NeighborTable::recordChange(sim::TimePoint now) { changes_.push_back(now); }
 
-void NeighborTable::dropOldChanges(sim::Time now) {
+void NeighborTable::dropOldChanges(sim::TimePoint now) {
   while (!changes_.empty() && changes_.front() + nvWindow_ < now) {
     changes_.pop_front();
   }
 }
 
-void NeighborTable::onHello(NodeId from, const Packet& hello, sim::Time now) {
+void NeighborTable::onHello(HostId from, const Packet& hello, sim::TimePoint now) {
   MANET_EXPECTS(hello.type == PacketType::kHello);
   obs::add(obs::Counter::kHelloRx);
   purge(now);
@@ -43,7 +45,7 @@ void NeighborTable::onHello(NodeId from, const Packet& hello, sim::Time now) {
   obs::observe(obs::Hist::kNeighborTableSize, static_cast<double>(size));
 }
 
-void NeighborTable::purge(sim::Time now) {
+void NeighborTable::purge(sim::TimePoint now) {
   MANET_AUDIT_HOOK(audit_.onPurge(now));
   // NOLINT-determinism(erase-only scan; per-expiry leave count is order-insensitive)
   for (auto it = entries_.begin(); it != entries_.end();) {
@@ -59,14 +61,14 @@ void NeighborTable::purge(sim::Time now) {
   dropOldChanges(now);
 }
 
-int NeighborTable::neighborCount(sim::Time now) {
+int NeighborTable::neighborCount(sim::TimePoint now) {
   purge(now);
   return static_cast<int>(entries_.size());
 }
 
-std::vector<NodeId> NeighborTable::neighborIds(sim::Time now) {
+std::vector<HostId> NeighborTable::neighborIds(sim::TimePoint now) {
   purge(now);
-  std::vector<NodeId> ids;
+  std::vector<HostId> ids;
   ids.reserve(entries_.size());
   // NOLINT-determinism(collected unsorted, canonicalized below)
   for (const auto& [id, entry] : entries_) ids.push_back(id);
@@ -77,25 +79,25 @@ std::vector<NodeId> NeighborTable::neighborIds(sim::Time now) {
   return ids;
 }
 
-bool NeighborTable::contains(NodeId h, sim::Time now) {
+bool NeighborTable::contains(HostId h, sim::TimePoint now) {
   purge(now);
   return entries_.contains(h);
 }
 
-std::optional<std::vector<NodeId>> NeighborTable::neighborsOf(NodeId h,
-                                                              sim::Time now) {
+std::optional<std::vector<HostId>> NeighborTable::neighborsOf(HostId h,
+                                                              sim::TimePoint now) {
   purge(now);
   auto it = entries_.find(h);
   if (it == entries_.end()) return std::nullopt;
   return it->second.neighbors;
 }
 
-int NeighborTable::changeEventsInWindow(sim::Time now) {
+int NeighborTable::changeEventsInWindow(sim::TimePoint now) {
   purge(now);
   return static_cast<int>(changes_.size());
 }
 
-double NeighborTable::neighborhoodVariation(sim::Time now) {
+double NeighborTable::neighborhoodVariation(sim::TimePoint now) {
   purge(now);
   const double windowSeconds = sim::toSeconds(nvWindow_);
   const double denomHosts =

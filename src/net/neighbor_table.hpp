@@ -28,45 +28,45 @@ namespace manet::net {
 class NeighborTable {
  public:
   struct Entry {
-    sim::Time lastHeard = 0;
-    sim::Time interval = 0;          // sender-announced hello interval
-    std::vector<NodeId> neighbors;   // N_{x,h}: h's advertised one-hop set
+    sim::TimePoint lastHeard{};
+    sim::Duration interval{};        // sender-announced hello interval
+    std::vector<HostId> neighbors;   // N_{x,h}: h's advertised one-hop set
   };
 
   /// `nvWindow` is the sliding window for neighborhood variation (10 s in
   /// the paper); `fallbackInterval` ages entries whose HELLO did not
   /// announce an interval.
-  explicit NeighborTable(sim::Time nvWindow = 10 * sim::kSecond,
-                         sim::Time fallbackInterval = 1 * sim::kSecond);
+  explicit NeighborTable(sim::Duration nvWindow = 10 * sim::kSecond,
+                         sim::Duration fallbackInterval = 1 * sim::kSecond);
 
   /// Records a received HELLO. `now` is the reception time.
-  void onHello(NodeId from, const Packet& hello, sim::Time now);
+  void onHello(HostId from, const Packet& hello, sim::TimePoint now);
 
   /// Removes expired entries, recording leave events for nv. Call this (or
   /// any query, which calls it implicitly) with non-decreasing `now`.
-  void purge(sim::Time now);
+  void purge(sim::TimePoint now);
 
   /// |N_x| after purging.
-  int neighborCount(sim::Time now);
+  int neighborCount(sim::TimePoint now);
 
   /// Current one-hop neighbor ids (unsorted) after purging.
-  std::vector<NodeId> neighborIds(sim::Time now);
+  std::vector<HostId> neighborIds(sim::TimePoint now);
 
   /// True if `h` is currently a one-hop neighbor.
-  bool contains(NodeId h, sim::Time now);
+  bool contains(HostId h, sim::TimePoint now);
 
   /// N_{x,h}: the advertised neighbor set of one-hop neighbor `h`, or
   /// nullopt when `h` is unknown/expired.
-  std::optional<std::vector<NodeId>> neighborsOf(NodeId h, sim::Time now);
+  std::optional<std::vector<HostId>> neighborsOf(HostId h, sim::TimePoint now);
 
   /// nv_x = (# joins + # leaves within the past window) / (|N_x| * window_s).
   /// With an empty neighborhood the denominator is treated as 1 host, so a
   /// freshly-emptied neighborhood reports high variation (and thus a short
   /// hello interval) rather than dividing by zero.
-  double neighborhoodVariation(sim::Time now);
+  double neighborhoodVariation(sim::TimePoint now);
 
   /// Raw change-event count within the window (for tests/diagnostics).
-  int changeEventsInWindow(sim::Time now);
+  int changeEventsInWindow(sim::TimePoint now);
 
   /// Forgets all neighbors and nv history (host crash: the rebooted host
   /// relearns its neighborhood from scratch). No leave events are recorded.
@@ -77,14 +77,14 @@ class NeighborTable {
   }
 
  private:
-  sim::Time expiryOf(const Entry& e) const;
-  void recordChange(sim::Time now);
-  void dropOldChanges(sim::Time now);
+  sim::TimePoint expiryOf(const Entry& e) const;
+  void recordChange(sim::TimePoint now);
+  void dropOldChanges(sim::TimePoint now);
 
-  sim::Time nvWindow_;
-  sim::Time fallbackInterval_;
-  std::unordered_map<NodeId, Entry> entries_;
-  std::deque<sim::Time> changes_;  // join/leave timestamps, ascending
+  sim::Duration nvWindow_;
+  sim::Duration fallbackInterval_;
+  std::unordered_map<HostId, Entry> entries_;
+  std::deque<sim::TimePoint> changes_;  // join/leave timestamps, ascending
 #if MANET_AUDIT_ENABLED
   audit::NeighborAudit audit_;
 #endif

@@ -21,20 +21,20 @@ enum class PacketType {
 
 struct Packet {
   PacketType type = PacketType::kData;
-  NodeId sender = kInvalidNode;  // the (re)transmitting host
+  HostId sender = kInvalidHost;  // the (re)transmitting host
 
-  /// Unicast destination; kInvalidNode means broadcast. Broadcast frames
+  /// Unicast destination; kInvalidHost means broadcast. Broadcast frames
   /// are never acknowledged (§2.1); unicast frames get the full DCF
   /// treatment (ACK, retries, optional RTS/CTS).
-  NodeId dest = kInvalidNode;
+  HostId dest = kInvalidHost;
 
   /// MAC-level sequence number for unicast duplicate filtering across
   /// retransmissions.
   std::uint16_t macSeq = 0;
 
-  /// 802.11 Duration field in microseconds: how long the medium will stay
-  /// reserved after this frame (NAV). 0 on broadcast frames.
-  sim::Time durationUs = 0;
+  /// 802.11 Duration field: how long the medium will stay reserved after
+  /// this frame (NAV). Zero on broadcast frames.
+  sim::Duration navDuration{};
 
   /// Hops travelled from the broadcast origin (0 on the source's own
   /// transmission; each relay increments it).
@@ -53,20 +53,20 @@ struct Packet {
   };
   AppKind appKind = AppKind::kNone;
   /// Route-request target / route-reply consumer.
-  NodeId appTarget = kInvalidNode;
+  HostId appTarget = kInvalidHost;
   /// Source route accumulated hop by hop (route requests append each
   /// relaying host, the way DSR's route_request does — the paper's
   /// footnote 1 describes exactly this "same or modified packet" pattern).
-  std::vector<NodeId> appPath;
+  std::vector<HostId> appPath;
 
   // --- HELLO fields ---
   /// The sender's one-hop neighbor set N_h, piggybacked so receivers can
   /// build the two-hop sets N_{x,h} the neighbor-coverage scheme needs.
-  std::vector<NodeId> helloNeighbors;
+  std::vector<HostId> helloNeighbors;
   /// The sender's current hello interval; with the dynamic-hello-interval
   /// scheme each host announces its own interval so receivers can age the
   /// entry correctly (§4.3).
-  sim::Time helloInterval = 0;
+  sim::Duration helloInterval{};
 };
 
 using PacketPtr = std::shared_ptr<const Packet>;
@@ -89,7 +89,7 @@ std::shared_ptr<Packet> makePacket();
 std::shared_ptr<Packet> makePacket(const Packet& proto);
 
 /// Makes an immutable data-broadcast packet.
-inline PacketPtr makeDataPacket(BroadcastId bid, NodeId sender) {
+inline PacketPtr makeDataPacket(BroadcastId bid, HostId sender) {
   auto p = makePacket();
   p->type = PacketType::kData;
   p->sender = sender;

@@ -35,11 +35,11 @@ Channel::~Channel() {
   });
 }
 
-void Channel::attach(net::NodeId id, Listener* listener, PositionFn position) {
+void Channel::attach(net::HostId id, Listener* listener, PositionFn position) {
   MANET_EXPECTS(listener != nullptr);
   MANET_EXPECTS(position != nullptr);
-  if (id >= nodes_.size()) nodes_.resize(id + 1);
-  Node& n = nodes_[id];
+  if (id.value() >= nodes_.size()) nodes_.resize(id.value() + 1);
+  Node& n = nodes_[id.value()];
   MANET_EXPECTS(!n.attached);
   n.listener = listener;
   n.position = std::move(position);
@@ -47,38 +47,40 @@ void Channel::attach(net::NodeId id, Listener* listener, PositionFn position) {
   ++attachVersion_;
 }
 
-Channel::Node& Channel::node(net::NodeId id) {
-  MANET_EXPECTS(id < nodes_.size() && nodes_[id].attached);
-  return nodes_[id];
+Channel::Node& Channel::node(net::HostId id) {
+  MANET_EXPECTS(id.value() < nodes_.size() && nodes_[id.value()].attached);
+  return nodes_[id.value()];
 }
 
-const Channel::Node& Channel::node(net::NodeId id) const {
-  MANET_EXPECTS(id < nodes_.size() && nodes_[id].attached);
-  return nodes_[id];
+const Channel::Node& Channel::node(net::HostId id) const {
+  MANET_EXPECTS(id.value() < nodes_.size() && nodes_[id.value()].attached);
+  return nodes_[id.value()];
 }
 
 void Channel::raiseBusy(Node& n) {
   MANET_AUDIT_HOOK(audit_.onEnergyRaise(
-      static_cast<net::NodeId>(&n - nodes_.data()), scheduler_.now()));
+      net::HostId{static_cast<std::uint32_t>(&n - nodes_.data())},
+      scheduler_.now()));
   if (++n.busyCount == 1) n.listener->onMediumBusy();
 }
 
 void Channel::lowerBusy(Node& n) {
   MANET_AUDIT_HOOK(audit_.onEnergyLower(
-      static_cast<net::NodeId>(&n - nodes_.data()), scheduler_.now()));
+      net::HostId{static_cast<std::uint32_t>(&n - nodes_.data())},
+      scheduler_.now()));
   MANET_ASSERT(n.busyCount > 0);
   if (--n.busyCount == 0) n.listener->onMediumIdle();
 }
 
-geom::Vec2 Channel::positionOf(net::NodeId id) const {
+geom::Vec2 Channel::positionOf(net::HostId id) const {
   return node(id).position();
 }
 
-bool Channel::carrierBusy(net::NodeId id) const {
+bool Channel::carrierBusy(net::HostId id) const {
   return node(id).busyCount > 0;
 }
 
-bool Channel::isTransmitting(net::NodeId id) const {
+bool Channel::isTransmitting(net::HostId id) const {
   return node(id).transmitting;
 }
 
@@ -104,7 +106,7 @@ void Channel::ensureGrid() const {
     const geom::Vec2 p = nodes_[id].position();
     grid_.positions[id] = p;
     grid_.rankOf[id] = static_cast<int>(grid_.sortedIds.size());
-    grid_.sortedIds.push_back(static_cast<net::NodeId>(id));
+    grid_.sortedIds.push_back(net::HostId{static_cast<std::uint32_t>(id)});
     if (first) {
       lo = hi = p;
       first = false;
@@ -164,7 +166,7 @@ void Channel::ensureGrid() const {
     const auto cc = static_cast<std::size_t>(c);
     const auto slot = static_cast<std::size_t>(fill[cc]++);
     const geom::Vec2 p = grid_.positions[id];
-    grid_.cellNodes[slot] = static_cast<net::NodeId>(id);
+    grid_.cellNodes[slot] = net::HostId{static_cast<std::uint32_t>(id)};
     grid_.cellX[slot] = p.x;
     grid_.cellY[slot] = p.y;
     grid_.cellMinX[cc] = std::min(grid_.cellMinX[cc], p.x);
@@ -188,14 +190,15 @@ void Channel::ensureGrid() const {
   }
 }
 
-void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
-                             std::vector<net::NodeId>& out) const {
+void Channel::collectInRange(geom::Vec2 center, net::HostId exclude,
+                             std::vector<net::HostId>& out) const {
   const double r2 = params_.radiusMeters * params_.radiusMeters;
   if (!gridEnabled_) {
     obs::add(obs::Counter::kGridFallbackQueries);
-    for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-      if (id == exclude || !nodes_[id].attached || !nodes_[id].up) continue;
-      if (geom::distanceSquared(center, nodes_[id].position()) <= r2) {
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+      const net::HostId id{i};
+      if (id == exclude || !nodes_[i].attached || !nodes_[i].up) continue;
+      if (geom::distanceSquared(center, nodes_[i].position()) <= r2) {
         out.push_back(id);
       }
     }
@@ -214,15 +217,16 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
         std::max(center.y - grid_.origin.y, grid_.bboxMax.y - center.y);
     if (fx * fx + fy * fy <= r2) {
       obs::add(obs::Counter::kGridBboxFastPath);
-      const net::NodeId* b = grid_.sortedIds.data();
+      const net::HostId* b = grid_.sortedIds.data();
       const std::size_t total = grid_.sortedIds.size();
-      const bool excluded =
-          exclude < grid_.rankOf.size() && grid_.rankOf[exclude] >= 0;
+      const bool excluded = exclude.value() < grid_.rankOf.size() &&
+                            grid_.rankOf[exclude.value()] >= 0;
       const std::size_t k =
-          excluded ? static_cast<std::size_t>(grid_.rankOf[exclude]) : total;
+          excluded ? static_cast<std::size_t>(grid_.rankOf[exclude.value()])
+                   : total;
       const std::size_t at = out.size();
       out.resize(at + total - (excluded ? 1 : 0));
-      net::NodeId* w = out.data() + at;
+      net::HostId* w = out.data() + at;
       std::copy(b, b + k, w);
       std::copy(b + k + (excluded ? 1 : 0), b + total, w + k);
       return;
@@ -240,18 +244,18 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
   out.resize(before + grid_.sortedIds.size());
   const double* xs = grid_.cellX.data();
   const double* ys = grid_.cellY.data();
-  const net::NodeId* ids = grid_.cellNodes.data();
-  net::NodeId* dst = out.data() + before;
+  const net::HostId* ids = grid_.cellNodes.data();
+  net::HostId* dst = out.data() + before;
   std::size_t kept = 0;
   int cellsWithCandidates = 0;
   forEachNeighborCell(center, [&](std::size_t c, int lo, int hi) {
     cellsWithCandidates += (hi > lo) ? 1 : 0;
     if (cellFullyCovered(c, center, r2)) {
       obs::add(obs::Counter::kGridCellsCovered);
-      const net::NodeId* b = ids + lo;
-      const net::NodeId* e = ids + hi;
-      const net::NodeId* p = std::lower_bound(b, e, exclude);
-      net::NodeId* w = std::copy(b, p, dst + kept);
+      const net::HostId* b = ids + lo;
+      const net::HostId* e = ids + hi;
+      const net::HostId* p = std::lower_bound(b, e, exclude);
+      net::HostId* w = std::copy(b, p, dst + kept);
       if (p != e && *p == exclude) ++p;
       w = std::copy(p, e, w);
       kept = static_cast<std::size_t>(w - dst);
@@ -261,7 +265,7 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
     for (int i = lo; i < hi; ++i) {
       const double dx = xs[i] - center.x;
       const double dy = ys[i] - center.y;
-      const net::NodeId id = ids[i];
+      const net::HostId id = ids[i];
       dst[kept] = id;
       kept += static_cast<std::size_t>((dx * dx + dy * dy <= r2) &
                                        (id != exclude));
@@ -276,14 +280,15 @@ void Channel::collectInRange(geom::Vec2 center, net::NodeId exclude,
   }
 }
 
-std::size_t Channel::inRangeCount(net::NodeId id) const {
+std::size_t Channel::inRangeCount(net::HostId id) const {
   const double r2 = params_.radiusMeters * params_.radiusMeters;
   if (!gridEnabled_) {
     obs::add(obs::Counter::kGridFallbackQueries);
     const geom::Vec2 center = node(id).position();  // asserts attachment
     std::size_t count = 0;
-    for (net::NodeId other = 0; other < nodes_.size(); ++other) {
-      if (other == id || !nodes_[other].attached || !nodes_[other].up) {
+    for (std::uint32_t other = 0; other < nodes_.size(); ++other) {
+      if (net::HostId{other} == id || !nodes_[other].attached ||
+          !nodes_[other].up) {
         continue;
       }
       if (geom::distanceSquared(center, nodes_[other].position()) <= r2) {
@@ -294,8 +299,9 @@ std::size_t Channel::inRangeCount(net::NodeId id) const {
   }
   ensureGrid();
   obs::add(obs::Counter::kGridQueries);
-  MANET_EXPECTS(id < grid_.rankOf.size() && grid_.rankOf[id] >= 0);
-  const geom::Vec2 center = grid_.positions[id];
+  MANET_EXPECTS(id.value() < grid_.rankOf.size() &&
+                grid_.rankOf[id.value()] >= 0);
+  const geom::Vec2 center = grid_.positions[id.value()];
   {
     const double fx =
         std::max(center.x - grid_.origin.x, grid_.bboxMax.x - center.x);
@@ -328,21 +334,22 @@ std::size_t Channel::inRangeCount(net::NodeId id) const {
   return count - 1;
 }
 
-std::vector<net::NodeId> Channel::nodesInRange(net::NodeId id) const {
-  std::vector<net::NodeId> out;
+std::vector<net::HostId> Channel::nodesInRange(net::HostId id) const {
+  std::vector<net::HostId> out;
   nodesInRange(id, out);
   return out;
 }
 
-void Channel::nodesInRange(net::NodeId id,
-                           std::vector<net::NodeId>& out) const {
+void Channel::nodesInRange(net::HostId id,
+                           std::vector<net::HostId>& out) const {
   out.clear();
   if (gridEnabled_) {
     ensureGrid();
     // Attachment check via the grid's dense rank table — same contract as
     // node(id) without touching the cold Node record.
-    MANET_EXPECTS(id < grid_.rankOf.size() && grid_.rankOf[id] >= 0);
-    collectInRange(grid_.positions[id], id, out);
+    MANET_EXPECTS(id.value() < grid_.rankOf.size() &&
+                  grid_.rankOf[id.value()] >= 0);
+    collectInRange(grid_.positions[id.value()], id, out);
   } else {
     collectInRange(node(id).position(), id, out);
   }
@@ -354,27 +361,27 @@ std::vector<geom::Vec2> Channel::snapshotPositions() const {
   if (gridEnabled_) {
     ensureGrid();
     std::vector<geom::Vec2> out = grid_.positions;
-    for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-      if (!nodes_[id].attached || !nodes_[id].up) out[id] = geom::Vec2{};
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].attached || !nodes_[i].up) out[i] = geom::Vec2{};
     }
     return out;
   }
   std::vector<geom::Vec2> out(nodes_.size());
-  for (net::NodeId id = 0; id < nodes_.size(); ++id) {
-    if (nodes_[id].attached && nodes_[id].up) out[id] = nodes_[id].position();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].attached && nodes_[i].up) out[i] = nodes_[i].position();
   }
   return out;
 }
 
-sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
+sim::TimePoint Channel::transmit(net::HostId src, net::PacketPtr packet,
                             std::size_t bytes) {
   MANET_EXPECTS(packet != nullptr);
   Node& tx = node(src);
   MANET_EXPECTS(tx.up);
   MANET_EXPECTS(!tx.transmitting);
 
-  const sim::Time start = scheduler_.now();
-  const sim::Time end = start + params_.frameAirtime(bytes);
+  const sim::TimePoint start = scheduler_.now();
+  const sim::TimePoint end = start + params_.frameAirtime(bytes);
   Frame frame;
   frame.src = src;
   frame.srcPos = tx.position();
@@ -385,7 +392,8 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
   ++framesTransmitted_;
   obs::add(obs::Counter::kChannelTx);
   if (obs::current() != nullptr) {
-    const auto airtime = static_cast<std::uint64_t>(end - start);
+    const auto airtime =
+        static_cast<std::uint64_t>((end - start).ticks());  // NOLINT-units(airtime counters aggregate raw microseconds)
     switch (frame.packet->type) {
       case net::PacketType::kRts:
       case net::PacketType::kCts:
@@ -395,7 +403,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
         obs::add(obs::Counter::kAirtimeAckUs, airtime);
         break;
       case net::PacketType::kData:
-        if (frame.packet->dest != net::kInvalidNode) {
+        if (frame.packet->dest != net::kInvalidHost) {
           obs::add(obs::Counter::kAirtimeDataUs, airtime);
           break;
         }
@@ -416,11 +424,11 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
 
   // Take the scratch buffer by move so a listener callback that reenters
   // transmit() synchronously cannot clobber the receiver list mid-loop.
-  std::vector<net::NodeId> receivers = std::move(scratch_);
+  std::vector<net::HostId> receivers = std::move(scratch_);
   receivers.clear();
   collectInRange(frame.srcPos, src, receivers);
-  for (const net::NodeId id : receivers) {
-    Node& rx = nodes_[id];
+  for (const net::HostId id : receivers) {
+    Node& rx = nodes_[id.value()];
     auto rec = std::make_shared<ActiveRx>();
     rec->frame = frame;
     // Injected link loss is resolved first (the radio impairment exists
@@ -445,7 +453,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
     // The energy becomes detectable at the receiver only after the carrier-
     // sense delay; a station that starts its own transmission inside that
     // window never saw the medium busy (and collides, per §2.2.3).
-    if (params_.carrierSenseDelay <= 0) {
+    if (params_.carrierSenseDelay <= sim::Duration{}) {
       raiseBusy(rx);
     } else {
       auto senseCb = [this, id, epoch = rx.epoch] {
@@ -472,7 +480,7 @@ sim::Time Channel::transmit(net::NodeId src, net::PacketPtr packet,
   return end;
 }
 
-void Channel::finishReception(net::NodeId rxId,
+void Channel::finishReception(net::HostId rxId,
                               const std::shared_ptr<ActiveRx>& rec) {
   if (rec->orphaned) return;  // receiver churned down mid-frame
   Node& rx = node(rxId);
@@ -510,7 +518,7 @@ void Channel::finishReception(net::NodeId rxId,
   rx.listener->onFrameReceived(rec->frame, rec->reason);
 }
 
-void Channel::finishTransmission(net::NodeId src, std::uint64_t epoch) {
+void Channel::finishTransmission(net::HostId src, std::uint64_t epoch) {
   Node& tx = node(src);
   if (tx.epoch != epoch) return;  // transmitter churned before frame end
   MANET_ASSERT(tx.transmitting);
@@ -519,7 +527,7 @@ void Channel::finishTransmission(net::NodeId src, std::uint64_t epoch) {
   tx.listener->onTxComplete();
 }
 
-std::vector<Frame> Channel::setNodeUp(net::NodeId id, bool up) {
+std::vector<Frame> Channel::setNodeUp(net::HostId id, bool up) {
   Node& n = node(id);
   if (n.up == up) return {};
   std::vector<Frame> flushed;

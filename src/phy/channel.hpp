@@ -45,14 +45,14 @@ namespace manet::phy {
 
 /// A frame on the air.
 struct Frame {
-  net::NodeId src = net::kInvalidNode;
+  net::HostId src = net::kInvalidHost;
   /// Transmitter position at tx start. Stands in for the GPS coordinate the
   /// location-based schemes assume is carried in the packet header.
   geom::Vec2 srcPos{};
   std::size_t bytes = 0;
   net::PacketPtr packet;
-  sim::Time txStart = 0;
-  sim::Time txEnd = 0;
+  sim::TimePoint txStart{};
+  sim::TimePoint txEnd{};
 };
 
 class Channel {
@@ -81,14 +81,14 @@ class Channel {
   /// reception as a link-level loss. The frame still asserts energy at the
   /// receiver (carrier-sense stays busy, overlaps still collide) — it
   /// arrives with a failed FCS, reason kFaultLoss. Unset = lossless.
-  using LossFn = std::function<bool(net::NodeId src, net::NodeId dst)>;
+  using LossFn = std::function<bool(net::HostId src, net::HostId dst)>;
 
   Channel(sim::Scheduler& scheduler, PhyParams params);
   /// Audited builds verify the begin/end/flush reception ledger here.
   ~Channel();
 
   /// Registers a node. `id` values must be dense (0..N-1) and unique.
-  void attach(net::NodeId id, Listener* listener, PositionFn position);
+  void attach(net::HostId id, Listener* listener, PositionFn position);
 
   /// Installs (or clears, with nullptr) the link-impairment hook. Receivers
   /// are consulted in ascending id order, so a model drawing from its own
@@ -103,37 +103,37 @@ class Channel {
   /// it went down keeps propagating to its receivers (the crash boundary is
   /// quantized to frame ends); only the transmitter's own state is reset.
   /// No listener callbacks fire from this call. Idempotent per direction.
-  std::vector<Frame> setNodeUp(net::NodeId id, bool up);
+  std::vector<Frame> setNodeUp(net::HostId id, bool up);
 
   /// False while node `id` is churned off the air.
-  bool nodeUp(net::NodeId id) const { return node(id).up; }
+  bool nodeUp(net::HostId id) const { return node(id).up; }
 
   /// Starts transmitting `packet` from `src` now. The caller (MAC) must not
   /// already be transmitting. Returns the transmission end time.
-  sim::Time transmit(net::NodeId src, net::PacketPtr packet,
+  sim::TimePoint transmit(net::HostId src, net::PacketPtr packet,
                      std::size_t bytes);
 
   /// True when node `id` senses energy (including its own transmission).
-  bool carrierBusy(net::NodeId id) const;
+  bool carrierBusy(net::HostId id) const;
 
   /// True while node `id` is transmitting.
-  bool isTransmitting(net::NodeId id) const;
+  bool isTransmitting(net::HostId id) const;
 
   /// Current position of node `id`.
-  geom::Vec2 positionOf(net::NodeId id) const;
+  geom::Vec2 positionOf(net::HostId id) const;
 
   /// All attached node ids within `radiusMeters` of node `id` (excl. itself),
   /// in ascending id order.
-  std::vector<net::NodeId> nodesInRange(net::NodeId id) const;
+  std::vector<net::HostId> nodesInRange(net::HostId id) const;
 
   /// As above, but overwriting `out` (capacity reuse for hot callers — the
   /// same resolution path transmit() runs per frame).
-  void nodesInRange(net::NodeId id, std::vector<net::NodeId>& out) const;
+  void nodesInRange(net::HostId id, std::vector<net::HostId>& out) const;
 
   /// Number of attached nodes within range of `id` (excl. itself) without
   /// materializing the list — the oracle neighbor-count `n` the adaptive
   /// schemes query on every rebroadcast decision.
-  std::size_t inRangeCount(net::NodeId id) const;
+  std::size_t inRangeCount(net::HostId id) const;
 
   /// Positions of all attached nodes, indexed by node id.
   std::vector<geom::Vec2> snapshotPositions() const;
@@ -194,19 +194,19 @@ class Channel {
   /// runs over contiguous doubles instead of chasing position callbacks.
   struct Grid {
     bool valid = false;
-    sim::Time builtAt = -1;
+    sim::TimePoint builtAt = sim::kNever;
     std::uint64_t attachVersion = 0;
     double cellSize = 0.0;
     geom::Vec2 origin{};                // == population bbox min corner
     geom::Vec2 bboxMax{};               // population bbox max corner
     int cols = 0;
     int rows = 0;
-    std::vector<net::NodeId> sortedIds;  // attached ids, ascending
+    std::vector<net::HostId> sortedIds;  // attached ids, ascending
     std::vector<int> rankOf;            // id -> index in sortedIds (-1: none)
     std::vector<geom::Vec2> positions;  // per node id, cached this epoch
     std::vector<int> cellOf;            // per node id (-1 = not attached)
     std::vector<int> cellStart;         // cols*rows + 1 offsets
-    std::vector<net::NodeId> cellNodes;
+    std::vector<net::HostId> cellNodes;
     std::vector<double> cellX;          // parallel to cellNodes
     std::vector<double> cellY;
     // Tight bounding box of each cell's occupants (+inf/-inf when empty).
@@ -218,12 +218,12 @@ class Channel {
     std::vector<double> cellMaxY;
   };
 
-  Node& node(net::NodeId id);
-  const Node& node(net::NodeId id) const;
+  Node& node(net::HostId id);
+  const Node& node(net::HostId id) const;
   void raiseBusy(Node& n);
   void lowerBusy(Node& n);
-  void finishReception(net::NodeId rx, const std::shared_ptr<ActiveRx>& rec);
-  void finishTransmission(net::NodeId src, std::uint64_t epoch);
+  void finishReception(net::HostId rx, const std::shared_ptr<ActiveRx>& rec);
+  void finishTransmission(net::HostId src, std::uint64_t epoch);
   /// Marks `rec` corrupted with `reason` unless an earlier cause already did.
   static void corrupt(ActiveRx& rec, DropReason reason) {
     if (rec.reason == DropReason::kNone) rec.reason = reason;
@@ -265,8 +265,8 @@ class Channel {
   /// Appends all attached ids within `radiusMeters` of `center` (except
   /// `exclude`) to `out`, ascending. Uses the grid when enabled and current,
   /// the exhaustive scan otherwise.
-  void collectInRange(geom::Vec2 center, net::NodeId exclude,
-                      std::vector<net::NodeId>& out) const;
+  void collectInRange(geom::Vec2 center, net::HostId exclude,
+                      std::vector<net::HostId>& out) const;
 
   sim::Scheduler& scheduler_;
   PhyParams params_;
@@ -276,7 +276,7 @@ class Channel {
   LossFn lossFn_;
   std::uint64_t attachVersion_ = 0;
   mutable Grid grid_;
-  mutable std::vector<net::NodeId> scratch_;  // transmit() receiver list
+  mutable std::vector<net::HostId> scratch_;  // transmit() receiver list
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t framesDelivered_ = 0;
   std::uint64_t framesCorrupted_ = 0;

@@ -40,10 +40,10 @@ void RelbcAgent::onBroadcastOriginated(experiment::Host&,
   noteHave(packet.bid);
 }
 
-void RelbcAgent::detectGaps(net::NodeId origin, std::uint32_t seenSeq,
-                            net::NodeId heardFrom) {
-  const std::set<std::uint32_t>& seqs = have_[origin];
-  for (std::uint32_t seq = 0; seq < seenSeq; ++seq) {
+void RelbcAgent::detectGaps(net::HostId origin, net::BroadcastSeq seenSeq,
+                            net::HostId heardFrom) {
+  const std::set<net::BroadcastSeq>& seqs = have_[origin];
+  for (net::BroadcastSeq seq{}; seq < seenSeq; ++seq) {
     if (seqs.contains(seq)) continue;
     const net::BroadcastId missing{origin, seq};
     if (pendingRepairs_.contains(missing)) continue;
@@ -53,7 +53,7 @@ void RelbcAgent::detectGaps(net::NodeId origin, std::uint32_t seenSeq,
 }
 
 void RelbcAgent::scheduleRepair(net::BroadcastId missing,
-                                net::NodeId candidate, sim::Time delay) {
+                                net::HostId candidate, sim::Duration delay) {
   auto it = pendingRepairs_.find(missing);
   if (it == pendingRepairs_.end()) return;
   it->second.timer = host_.scheduler().scheduleAfter(
@@ -61,7 +61,7 @@ void RelbcAgent::scheduleRepair(net::BroadcastId missing,
 }
 
 void RelbcAgent::attemptRepair(net::BroadcastId missing,
-                               net::NodeId candidate) {
+                               net::HostId candidate) {
   auto it = pendingRepairs_.find(missing);
   if (it == pendingRepairs_.end()) return;  // repaired meanwhile
   if (it->second.attempts >= config_.maxAttempts) {
@@ -72,9 +72,9 @@ void RelbcAgent::attemptRepair(net::BroadcastId missing,
 
   // Resolve whom to ask: the suggested candidate, or a current neighbor for
   // later attempts (the original relay may be gone or not hold the packet).
-  net::NodeId target = candidate;
+  net::HostId target = candidate;
   if (it->second.attempts > 1 || target == host_.id() ||
-      target == net::kInvalidNode) {
+      target == net::kInvalidHost) {
     const auto neighbors = host_.neighborIds();
     if (neighbors.empty()) {
       // Alone right now: retry later with whatever neighborhood appears.
@@ -125,7 +125,8 @@ void RelbcAgent::onUnicastDelivered(experiment::Host& host,
 RelbcHarness::RelbcHarness(experiment::World& world, RelbcConfig config)
     : world_(world), config_(config) {
   agents_.reserve(world.hostCount());
-  for (net::NodeId id = 0; id < world.hostCount(); ++id) {
+  for (std::size_t i = 0; i < world.hostCount(); ++i) {
+    const net::HostId id{static_cast<std::uint32_t>(i)};
     agents_.push_back(
         std::make_unique<RelbcAgent>(*this, world.host(id), config));
   }

@@ -36,9 +36,9 @@ namespace manet::relbc {
 struct RelbcConfig {
   /// Grace period between detecting a gap and requesting the repair (lets
   /// the flood itself fill the gap first).
-  sim::Time repairDelay = 50 * sim::kMillisecond;
+  sim::Duration repairDelay = 50 * sim::kMillisecond;
   /// How long to wait for repair_data before the next attempt.
-  sim::Time repairTimeout = 200 * sim::kMillisecond;
+  sim::Duration repairTimeout = 200 * sim::kMillisecond;
   /// Total request attempts per missing broadcast.
   int maxAttempts = 2;
   /// Wire size of a repair request.
@@ -73,20 +73,22 @@ class RelbcAgent final : public experiment::HostApp {
   };
 
   void noteHave(net::BroadcastId bid);
-  void detectGaps(net::NodeId origin, std::uint32_t seenSeq,
-                  net::NodeId heardFrom);
-  void scheduleRepair(net::BroadcastId missing, net::NodeId candidate,
-                      sim::Time delay);
-  void attemptRepair(net::BroadcastId missing, net::NodeId candidate);
+  void detectGaps(net::HostId origin, net::BroadcastSeq seenSeq,
+                  net::HostId heardFrom);
+  void scheduleRepair(net::BroadcastId missing, net::HostId candidate,
+                      sim::Duration delay);
+  void attemptRepair(net::BroadcastId missing, net::HostId candidate);
 
   RelbcHarness& harness_;
   experiment::Host& host_;
   RelbcConfig config_;
   /// Per-origin set of seqs held (flooded or repaired).
-  std::unordered_map<net::NodeId, std::set<std::uint32_t>> have_;
+  std::unordered_map<net::HostId, std::set<net::BroadcastSeq>,
+                     util::TaggedIdHash>
+      have_;
   std::unordered_map<net::BroadcastId, RepairState, net::BroadcastIdHash>
       pendingRepairs_;
-  std::set<std::pair<net::NodeId, std::uint32_t>> recovered_;
+  std::set<std::pair<net::HostId, net::BroadcastSeq>> recovered_;
 };
 
 /// Attaches an agent to every host; aggregates repair statistics.
@@ -94,7 +96,7 @@ class RelbcHarness {
  public:
   explicit RelbcHarness(experiment::World& world, RelbcConfig config = {});
 
-  RelbcAgent& agent(net::NodeId id) { return *agents_[id]; }
+  RelbcAgent& agent(net::HostId id) { return *agents_[id.value()]; }
 
   /// Broadcasts recovered via repair, summed over all hosts.
   std::size_t totalRecovered() const;

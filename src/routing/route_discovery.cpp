@@ -19,7 +19,7 @@ void RouteDiscoveryAgent::onBroadcastDelivered(experiment::Host& host,
 
   // We are the target: the accumulated path (which ends at the relay we
   // heard) plus ourselves is a complete source route. Reply along it.
-  std::vector<net::NodeId> path = packet.appPath;
+  std::vector<net::HostId> path = packet.appPath;
   path.push_back(host.id());
   MANET_ASSERT(path.size() >= 2);
 
@@ -29,7 +29,7 @@ void RouteDiscoveryAgent::onBroadcastDelivered(experiment::Host& host,
   reply->appTarget = path.front();  // the requester consumes the reply
   reply->appPath = path;
   reply->bid = packet.bid;  // correlate reply with request
-  const net::NodeId prevHop = path[path.size() - 2];
+  const net::HostId prevHop = path[path.size() - 2];
   host.sendUnicast(prevHop, std::move(reply),
                    RoutingHarness::replyBytes(path.size()));
 }
@@ -47,7 +47,7 @@ void RouteDiscoveryAgent::onUnicastDelivered(experiment::Host& host,
   const auto& path = packet.appPath;
   const auto self = std::find(path.begin(), path.end(), host.id());
   if (self == path.end() || self == path.begin()) return;  // not on route
-  const net::NodeId prevHop = *(self - 1);
+  const net::HostId prevHop = *(self - 1);
   auto copy = net::makePacket(packet);
   host.sendUnicast(prevHop, std::move(copy),
                    RoutingHarness::replyBytes(path.size()));
@@ -55,15 +55,16 @@ void RouteDiscoveryAgent::onUnicastDelivered(experiment::Host& host,
 
 RoutingHarness::RoutingHarness(experiment::World& world) : world_(world) {
   agents_.reserve(world.hostCount());
-  for (net::NodeId id = 0; id < world.hostCount(); ++id) {
+  for (std::size_t i = 0; i < world.hostCount(); ++i) {
+    const net::HostId id{static_cast<std::uint32_t>(i)};
     agents_.push_back(
         std::make_unique<RouteDiscoveryAgent>(*this, world.host(id)));
   }
 }
 
-std::size_t RoutingHarness::discover(net::NodeId source, net::NodeId target) {
-  MANET_EXPECTS(source < world_.hostCount());
-  MANET_EXPECTS(target < world_.hostCount());
+std::size_t RoutingHarness::discover(net::HostId source, net::HostId target) {
+  MANET_EXPECTS(source.value() < world_.hostCount());
+  MANET_EXPECTS(target.value() < world_.hostCount());
   MANET_EXPECTS(source != target);
   const net::BroadcastId bid = world_.host(source).originateBroadcast(
       [source, target](net::Packet& p) {
@@ -82,7 +83,7 @@ std::size_t RoutingHarness::discover(net::NodeId source, net::NodeId target) {
 }
 
 void RoutingHarness::onReplyReachedSource(const net::Packet& packet,
-                                          sim::Time now) {
+                                          sim::TimePoint now) {
   auto it = byRequest_.find(packet.bid);
   if (it == byRequest_.end()) return;  // reply for an unknown request
   DiscoveryRecord& record = records_[it->second];

@@ -29,12 +29,12 @@ namespace manet::routing {
 
 struct DiscoveryRecord {
   net::BroadcastId requestId{};
-  net::NodeId source = net::kInvalidNode;
-  net::NodeId target = net::kInvalidNode;
-  sim::Time requestedAt = -1;
+  net::HostId source = net::kInvalidHost;
+  net::HostId target = net::kInvalidHost;
+  sim::TimePoint requestedAt = sim::kNever;
   bool succeeded = false;
-  sim::Time completedAt = -1;          // when the reply reached the source
-  std::vector<net::NodeId> path;       // source .. target when succeeded
+  sim::TimePoint completedAt = sim::kNever;  // when the reply reached the source
+  std::vector<net::HostId> path;       // source .. target when succeeded
 
   double latencySeconds() const {
     return succeeded ? sim::toSeconds(completedAt - requestedAt) : -1.0;
@@ -71,7 +71,7 @@ class RoutingHarness {
 
   /// Issues a route request from `source` to `target` now. Returns the
   /// ledger index; inspect it after the simulation settles.
-  std::size_t discover(net::NodeId source, net::NodeId target);
+  std::size_t discover(net::HostId source, net::HostId target);
 
   const std::vector<DiscoveryRecord>& records() const { return records_; }
 
@@ -88,7 +88,7 @@ class RoutingHarness {
 
  private:
   friend class RouteDiscoveryAgent;
-  void onReplyReachedSource(const net::Packet& packet, sim::Time now);
+  void onReplyReachedSource(const net::Packet& packet, sim::TimePoint now);
 
   experiment::World& world_;
   std::vector<std::unique_ptr<RouteDiscoveryAgent>> agents_;

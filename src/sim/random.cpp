@@ -59,7 +59,10 @@ std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(draw % span);
 }
 
-Time Rng::uniformTime(Time lo, Time hi) { return uniformInt(lo, hi); }
+Duration Rng::uniformDuration(Duration lo, Duration hi) {
+  // Same draw sequence as the raw uniformInt over ticks.
+  return Duration(uniformInt(lo.ticks(), hi.ticks()));  // NOLINT-units(uniform draw over raw ticks is the definition site)
+}
 
 bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;

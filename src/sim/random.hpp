@@ -36,8 +36,8 @@ class Rng {
   /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
   std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
 
-  /// Uniform simulation-time value in [lo, hi] microseconds.
-  Time uniformTime(Time lo, Time hi);
+  /// Uniform time span in [lo, hi] (inclusive, microsecond granularity).
+  Duration uniformDuration(Duration lo, Duration hi);
 
   /// True with probability p (clamped to [0, 1]).
   bool bernoulli(double p);

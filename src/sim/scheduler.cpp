@@ -16,12 +16,12 @@ bool Scheduler::Handle::pending() const {
   return owner_ != nullptr && owner_->slotPending(slot_, gen_);
 }
 
-std::uint32_t Scheduler::acquireSlot() {
-  if (freeHead_ != kNullIndex) {
-    const std::uint32_t slot = freeHead_;
+EventSlot Scheduler::acquireSlot() {
+  if (freeHead_ != kNullSlot) {
+    const EventSlot slot = freeHead_;
     Node& n = node(slot);
     freeHead_ = n.nextFree;
-    n.nextFree = kNullIndex;
+    n.nextFree = kNullSlot;
     obs::add(obs::Counter::kEngineAllocEventReused);
     return slot;
   }
@@ -29,10 +29,10 @@ std::uint32_t Scheduler::acquireSlot() {
     slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
     obs::add(obs::Counter::kEngineAllocEventSlabs);
   }
-  return slotCount_++;
+  return EventSlot{slotCount_++};
 }
 
-void Scheduler::releaseSlot(std::uint32_t slot) {
+void Scheduler::releaseSlot(EventSlot slot) {
   Node& n = node(slot);
   ++n.gen;  // invalidate every outstanding handle to this slot
   n.heapIndex = kNullIndex;
@@ -40,10 +40,10 @@ void Scheduler::releaseSlot(std::uint32_t slot) {
   freeHead_ = slot;
 }
 
-Scheduler::Handle Scheduler::schedule(Time at, Callback fn) {
+Scheduler::Handle Scheduler::schedule(TimePoint at, Callback fn) {
   MANET_EXPECTS(at >= now_);
   MANET_EXPECTS(static_cast<bool>(fn));
-  const std::uint32_t slot = acquireSlot();
+  const EventSlot slot = acquireSlot();
   Node& n = node(slot);
   n.fn = std::move(fn);
   n.at = at;
@@ -59,12 +59,12 @@ Scheduler::Handle Scheduler::schedule(Time at, Callback fn) {
   return Handle(this, slot, n.gen);
 }
 
-Scheduler::Handle Scheduler::scheduleAfter(Time delay, Callback fn) {
-  MANET_EXPECTS(delay >= 0);
+Scheduler::Handle Scheduler::scheduleAfter(Duration delay, Callback fn) {
+  MANET_EXPECTS(delay >= Duration{});
   return schedule(now_ + delay, std::move(fn));
 }
 
-void Scheduler::cancelSlot(std::uint32_t slot, std::uint32_t gen) {
+void Scheduler::cancelSlot(EventSlot slot, EventGen gen) {
   if (!slotPending(slot, gen)) return;  // stale handle: fired or cancelled
   Node& n = node(slot);
   MANET_ASSERT(n.heapIndex != kNullIndex);
@@ -81,7 +81,7 @@ void Scheduler::cancelSlot(std::uint32_t slot, std::uint32_t gen) {
 
 bool Scheduler::runOne() {
   if (heap_.empty()) return false;
-  const std::uint32_t slot = heap_[0].slot;
+  const EventSlot slot = heap_[0].slot;
   Node& n = node(slot);
   MANET_ASSERT(n.at >= now_);
   MANET_AUDIT_HOOK(audit_.onPop(n.at));
@@ -98,7 +98,7 @@ bool Scheduler::runOne() {
   return true;
 }
 
-std::size_t Scheduler::runUntil(Time until) {
+std::size_t Scheduler::runUntil(TimePoint until) {
   std::size_t executed = 0;
   while (!heap_.empty() && heap_[0].at <= until) {
     runOne();

@@ -22,12 +22,21 @@
 #include "audit/audit.hpp"
 #include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
+#include "util/tagged_id.hpp"
 
 #if MANET_AUDIT_ENABLED
 #include "audit/invariants.hpp"
 #endif
 
 namespace manet::sim {
+
+/// Slot index into the scheduler's pooled event slabs. Tagged (DESIGN.md
+/// §13) so a slot can't be confused with a generation count or any other
+/// uint32 riding through handle plumbing.
+using EventSlot = util::TaggedId<struct EventSlotTag, std::uint32_t>;
+/// Generation counter of one pool slot; a handle is stale when its
+/// generation no longer matches the slot's.
+using EventGen = util::TaggedId<struct EventGenTag, std::uint32_t>;
 
 /// Pooled-slab event scheduler with cancellable events.
 class Scheduler {
@@ -55,21 +64,21 @@ class Scheduler {
 
    private:
     friend class Scheduler;
-    Handle(Scheduler* owner, std::uint32_t slot, std::uint32_t gen)
+    Handle(Scheduler* owner, EventSlot slot, EventGen gen)
         : owner_(owner), slot_(slot), gen_(gen) {}
     Scheduler* owner_ = nullptr;
-    std::uint32_t slot_ = 0;
-    std::uint32_t gen_ = 0;
+    EventSlot slot_{};
+    EventGen gen_{};
   };
 
   /// Schedules `fn` to run at absolute time `at` (must be >= now()).
-  Handle schedule(Time at, Callback fn);
+  Handle schedule(TimePoint at, Callback fn);
 
-  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
-  Handle scheduleAfter(Time delay, Callback fn);
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  Handle scheduleAfter(Duration delay, Callback fn);
 
   /// Current simulation time (time of the most recently fired event).
-  Time now() const { return now_; }
+  TimePoint now() const { return now_; }
 
   /// Number of live (non-cancelled) events still queued. O(1); cancelled
   /// events are removed from the heap eagerly, so this is the heap size.
@@ -81,7 +90,7 @@ class Scheduler {
   /// Runs events until simulation time exceeds `until` (events exactly at
   /// `until` are executed) or the queue drains. Afterwards now() >= `until`
   /// if any events remain. Returns events executed.
-  std::size_t runUntil(Time until);
+  std::size_t runUntil(TimePoint until);
 
   /// Drains the queue completely (bounded by maxEvents as a runaway guard).
   /// Returns events executed.
@@ -89,6 +98,7 @@ class Scheduler {
 
  private:
   static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+  static constexpr EventSlot kNullSlot{kNullIndex};
   /// Nodes per slab. One slab covers a small scenario entirely; big runs
   /// amortize one allocation per kSlabNodes concurrent events.
   static constexpr std::uint32_t kSlabNodes = 256;
@@ -97,34 +107,34 @@ class Scheduler {
   /// (fire or cancel), invalidating all outstanding handles to it.
   struct Node {
     Callback fn;
-    Time at = 0;
+    TimePoint at{};
     std::uint64_t seq = 0;
-    std::uint32_t gen = 0;
+    EventGen gen{};
     std::uint32_t heapIndex = kNullIndex;  // kNullIndex while not queued
-    std::uint32_t nextFree = kNullIndex;   // free-list link while released
+    EventSlot nextFree = kNullSlot;        // free-list link while released
   };
 
   /// Heap entries carry the (at, seq) sort key inline so sift comparisons
   /// stay within the contiguous heap array and never dereference nodes —
   /// the node is only touched once per move, to update its heapIndex.
   struct HeapEntry {
-    Time at;
+    TimePoint at;
     std::uint64_t seq;
-    std::uint32_t slot;
+    EventSlot slot;
   };
 
-  Node& node(std::uint32_t slot) {
-    return slabs_[slot / kSlabNodes][slot % kSlabNodes];
+  Node& node(EventSlot slot) {
+    return slabs_[slot.value() / kSlabNodes][slot.value() % kSlabNodes];
   }
-  const Node& node(std::uint32_t slot) const {
-    return slabs_[slot / kSlabNodes][slot % kSlabNodes];
+  const Node& node(EventSlot slot) const {
+    return slabs_[slot.value() / kSlabNodes][slot.value() % kSlabNodes];
   }
 
-  std::uint32_t acquireSlot();
-  void releaseSlot(std::uint32_t slot);
-  void cancelSlot(std::uint32_t slot, std::uint32_t gen);
-  bool slotPending(std::uint32_t slot, std::uint32_t gen) const {
-    return slot < slotCount_ && node(slot).gen == gen;
+  EventSlot acquireSlot();
+  void releaseSlot(EventSlot slot);
+  void cancelSlot(EventSlot slot, EventGen gen);
+  bool slotPending(EventSlot slot, EventGen gen) const {
+    return slot.value() < slotCount_ && node(slot).gen == gen;
   }
 
   /// Heap order: earliest (at, seq) at the root — exact FIFO tie-break.
@@ -136,14 +146,14 @@ class Scheduler {
   /// Removes the heap entry at position `i`, restoring the heap property.
   void heapRemove(std::size_t i);
 
-  Time now_ = 0;
+  TimePoint now_{};
   std::uint64_t nextSeq_ = 0;
   /// Redundant live-event counter, cross-checked against heap_.size() after
   /// every pop/cancel (the scheduler.count-drift audit invariant).
   std::size_t live_ = 0;
   std::vector<std::unique_ptr<Node[]>> slabs_;
-  std::uint32_t slotCount_ = 0;          // slots ever carved from slabs
-  std::uint32_t freeHead_ = kNullIndex;  // released-slot free list
+  std::uint32_t slotCount_ = 0;       // slots ever carved from slabs
+  EventSlot freeHead_ = kNullSlot;    // released-slot free list
   std::vector<HeapEntry> heap_;          // 4-ary min-heap, keys inline
 #if MANET_AUDIT_ENABLED
   audit::SchedulerAudit audit_;

@@ -20,7 +20,7 @@ double PerBroadcast::savedRebroadcast() const {
 }
 
 double PerBroadcast::latencySeconds() const {
-  return sim::toSeconds(std::max<sim::Time>(0, lastFinal - start));
+  return sim::toSeconds(std::max(sim::Duration{}, lastFinal - start));
 }
 
 double PerBroadcast::meanHops() const {
@@ -40,13 +40,13 @@ PerBroadcast& MetricsCollector::record(net::BroadcastId bid) {
 }
 
 void MetricsCollector::onBroadcastStart(net::BroadcastId bid,
-                                        net::NodeId source, sim::Time now,
+                                        net::HostId source, sim::TimePoint now,
                                         int reachable) {
   MANET_EXPECTS(!live_.contains(bid));
   Record rec;
   rec.index = order_.size();
   rec.deliveredTo.assign(numHosts_, false);
-  rec.deliveredTo[source] = true;  // the source trivially has the packet
+  rec.deliveredTo[source.value()] = true;  // source trivially has it
   live_.emplace(bid, std::move(rec));
   PerBroadcast pb;
   pb.bid = bid;
@@ -57,14 +57,14 @@ void MetricsCollector::onBroadcastStart(net::BroadcastId bid,
   ++dataFramesSent_;  // the source's initial transmission
 }
 
-void MetricsCollector::onDelivered(net::BroadcastId bid, net::NodeId host,
-                                   sim::Time now, int hops) {
+void MetricsCollector::onDelivered(net::BroadcastId bid, net::HostId host,
+                                   sim::TimePoint now, int hops) {
   auto it = live_.find(bid);
   MANET_EXPECTS(it != live_.end());
-  MANET_EXPECTS(host < numHosts_);
+  MANET_EXPECTS(host.value() < numHosts_);
   MANET_EXPECTS(hops >= 0);
-  if (it->second.deliveredTo[host]) return;  // duplicates don't re-count
-  it->second.deliveredTo[host] = true;
+  if (it->second.deliveredTo[host.value()]) return;  // dups don't re-count
+  it->second.deliveredTo[host.value()] = true;
   PerBroadcast& pb = order_[it->second.index];
   ++pb.received;
   pb.hopSum += hops;
@@ -72,8 +72,8 @@ void MetricsCollector::onDelivered(net::BroadcastId bid, net::NodeId host,
   pb.lastFinal = std::max(pb.lastFinal, now);
 }
 
-void MetricsCollector::onRebroadcast(net::BroadcastId bid, net::NodeId host,
-                                     sim::Time now) {
+void MetricsCollector::onRebroadcast(net::BroadcastId bid, net::HostId host,
+                                     sim::TimePoint now) {
   PerBroadcast& pb = record(bid);
   (void)host;
   ++pb.rebroadcast;
@@ -81,14 +81,14 @@ void MetricsCollector::onRebroadcast(net::BroadcastId bid, net::NodeId host,
   pb.lastFinal = std::max(pb.lastFinal, now);
 }
 
-void MetricsCollector::onFinalized(net::BroadcastId bid, net::NodeId host,
-                                   sim::Time now) {
+void MetricsCollector::onFinalized(net::BroadcastId bid, net::HostId host,
+                                   sim::TimePoint now) {
   PerBroadcast& pb = record(bid);
   (void)host;
   pb.lastFinal = std::max(pb.lastFinal, now);
 }
 
-void MetricsCollector::onHelloSent(net::NodeId) { ++hellosSent_; }
+void MetricsCollector::onHelloSent(net::HostId) { ++hellosSent_; }
 
 RunSummary MetricsCollector::summarize() const {
   RunningStat re;

@@ -21,11 +21,11 @@ namespace manet::stats {
 
 struct PerBroadcast {
   net::BroadcastId bid{};
-  sim::Time start = 0;
+  sim::TimePoint start{};
   int reachable = 0;    // e
   int received = 0;     // r
   int rebroadcast = 0;  // t
-  sim::Time lastFinal = 0;
+  sim::TimePoint lastFinal{};
   long hopSum = 0;      // sum of delivery hop counts
   int maxHops = 0;
 
@@ -65,20 +65,20 @@ class MetricsCollector {
   explicit MetricsCollector(std::size_t numHosts);
 
   /// Broadcast lifecycle ------------------------------------------------
-  void onBroadcastStart(net::BroadcastId bid, net::NodeId source,
-                        sim::Time now, int reachable);
+  void onBroadcastStart(net::BroadcastId bid, net::HostId source,
+                        sim::TimePoint now, int reachable);
   /// First intact reception at `host` (at most once per host per bid).
   /// `hops`: distance the delivered copy travelled from the origin.
-  void onDelivered(net::BroadcastId bid, net::NodeId host, sim::Time now,
+  void onDelivered(net::BroadcastId bid, net::HostId host, sim::TimePoint now,
                    int hops = 1);
   /// `host` started rebroadcasting bid (counted in t).
-  void onRebroadcast(net::BroadcastId bid, net::NodeId host, sim::Time now);
+  void onRebroadcast(net::BroadcastId bid, net::HostId host, sim::TimePoint now);
   /// `host` reached its terminal state for bid: finished its (re)broadcast
   /// transmission, or was inhibited. Extends the latency horizon.
-  void onFinalized(net::BroadcastId bid, net::NodeId host, sim::Time now);
+  void onFinalized(net::BroadcastId bid, net::HostId host, sim::TimePoint now);
 
   /// Hello accounting -----------------------------------------------------
-  void onHelloSent(net::NodeId host);
+  void onHelloSent(net::HostId host);
 
   /// Results ---------------------------------------------------------------
   const std::vector<PerBroadcast>& broadcasts() const { return order_; }

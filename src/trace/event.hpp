@@ -35,10 +35,10 @@ inline constexpr int kEventKindCount = 11;
 /// kDrop only.
 struct Event {
   EventKind kind = EventKind::kDelivered;
-  sim::Time at = 0;
-  net::NodeId node = net::kInvalidNode;
+  sim::TimePoint at{};
+  net::HostId node = net::kInvalidHost;
   net::BroadcastId bid{};
-  net::NodeId from = net::kInvalidNode;  // sender, for rx-side events
+  net::HostId from = net::kInvalidHost;  // sender, for rx-side events
   geom::Vec2 position{};
   phy::DropReason drop = phy::DropReason::kNone;
 };

@@ -10,7 +10,7 @@ namespace manet::trace {
 
 int Timeline::receivedCount() const {
   int n = 0;
-  for (const auto& o : outcomes) n += o.deliveredAt >= 0 ? 1 : 0;
+  for (const auto& o : outcomes) n += o.deliveredAt != sim::kNever ? 1 : 0;
   return n;
 }
 
@@ -28,11 +28,12 @@ int Timeline::inhibitedCount() const {
 
 std::string Timeline::render() const {
   std::ostringstream os;
-  os << "broadcast (" << bid.origin << ", " << bid.seq << ") originated by "
-     << source << " at t=" << sim::toSeconds(originatedAt) << "s\n";
+  os << "broadcast (" << bid.origin.value() << ", " << bid.seq.value()
+     << ") originated by " << source.value()
+     << " at t=" << sim::toSeconds(originatedAt) << "s\n";
   for (const auto& o : outcomes) {
-    os << "  host " << o.node;
-    if (o.deliveredAt >= 0) {
+    os << "  host " << o.node.value();
+    if (o.deliveredAt != sim::kNever) {
       os << ": delivered +"
          << sim::toSeconds(o.deliveredAt - originatedAt) * 1000.0 << "ms";
     }
@@ -49,7 +50,7 @@ std::string Timeline::render() const {
   }
   os << "  => received " << receivedCount() << ", relayed "
      << rebroadcastCount() << ", inhibited " << inhibitedCount();
-  if (completionTime >= 0) {
+  if (completionTime >= sim::Duration{}) {
     os << ", completed in " << sim::toSeconds(completionTime) * 1000.0
        << "ms";
   }
@@ -61,8 +62,8 @@ std::optional<Timeline> buildTimeline(const std::vector<Event>& events,
                                       net::BroadcastId bid) {
   Timeline tl;
   tl.bid = bid;
-  std::map<net::NodeId, HostOutcome> byHost;  // ordered for stable output
-  sim::Time lastTerminal = -1;
+  std::map<net::HostId, HostOutcome> byHost;  // ordered for stable output
+  sim::TimePoint lastTerminal = sim::kNever;
   bool found = false;
 
   for (const Event& e : events) {
@@ -124,7 +125,7 @@ std::optional<Timeline> buildTimeline(const std::vector<Event>& events,
             [](const HostOutcome& a, const HostOutcome& b) {
               return a.deliveredAt < b.deliveredAt;
             });
-  if (lastTerminal >= 0 && tl.originatedAt >= 0) {
+  if (lastTerminal != sim::kNever && tl.originatedAt != sim::kNever) {
     tl.completionTime = lastTerminal - tl.originatedAt;
   }
   return tl;

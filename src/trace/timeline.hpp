@@ -14,19 +14,19 @@ namespace manet::trace {
 
 /// What one host did with one broadcast.
 struct HostOutcome {
-  net::NodeId node = net::kInvalidNode;
-  sim::Time deliveredAt = -1;   // -1: never received
+  net::HostId node = net::kInvalidHost;
+  sim::TimePoint deliveredAt = sim::kNever;  // kNever: never received
   int duplicatesHeard = 0;
   bool rebroadcast = false;
-  sim::Time txStartedAt = -1;
+  sim::TimePoint txStartedAt = sim::kNever;
   bool inhibited = false;
-  sim::Time inhibitedAt = -1;
+  sim::TimePoint inhibitedAt = sim::kNever;
 };
 
 struct Timeline {
   net::BroadcastId bid{};
-  net::NodeId source = net::kInvalidNode;
-  sim::Time originatedAt = -1;
+  net::HostId source = net::kInvalidHost;
+  sim::TimePoint originatedAt = sim::kNever;
   std::vector<HostOutcome> outcomes;  // hosts that saw the packet, by time
 
   int receivedCount() const;
@@ -34,8 +34,8 @@ struct Timeline {
   int inhibitedCount() const;
 
   /// Time of the last terminal event (tx end or inhibition) minus origin —
-  /// the paper's latency for this broadcast.
-  sim::Time completionTime = -1;
+  /// the paper's latency for this broadcast. kNever until computed.
+  sim::Duration completionTime{-1};
 
   /// Multi-line human-readable rendering.
   std::string render() const;

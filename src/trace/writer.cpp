@@ -8,16 +8,17 @@ namespace manet::trace {
 void writeCsv(std::ostream& os, std::span<const Event> events) {
   os << "time_us,kind,node,origin,seq,from,x,y,reason\n";
   for (const Event& e : events) {
-    os << e.at << ',' << eventKindName(e.kind) << ',' << e.node << ',';
-    if (e.bid.origin == net::kInvalidNode) {
+    os << e.at.ticks() << ',' << eventKindName(e.kind) << ','
+       << e.node.value() << ',';
+    if (e.bid.origin == net::kInvalidHost) {
       os << ",,";
     } else {
-      os << e.bid.origin << ',' << e.bid.seq << ',';
+      os << e.bid.origin.value() << ',' << e.bid.seq.value() << ',';
     }
-    if (e.from == net::kInvalidNode) {
+    if (e.from == net::kInvalidHost) {
       os << ',';
     } else {
-      os << e.from << ',';
+      os << e.from.value() << ',';
     }
     os << e.position.x << ',' << e.position.y << ',';
     if (e.drop != phy::DropReason::kNone) os << phy::dropReasonName(e.drop);
@@ -27,12 +28,13 @@ void writeCsv(std::ostream& os, std::span<const Event> events) {
 
 std::string formatEvent(const Event& event) {
   std::ostringstream os;
-  os << "[t=" << event.at << "us] " << eventKindName(event.kind) << " node="
-     << event.node;
-  if (event.bid.origin != net::kInvalidNode) {
-    os << " bid=(" << event.bid.origin << "," << event.bid.seq << ")";
+  os << "[t=" << event.at.ticks() << "us] " << eventKindName(event.kind)
+     << " node=" << event.node.value();
+  if (event.bid.origin != net::kInvalidHost) {
+    os << " bid=(" << event.bid.origin.value() << "," << event.bid.seq.value()
+       << ")";
   }
-  if (event.from != net::kInvalidNode) os << " from=" << event.from;
+  if (event.from != net::kInvalidHost) os << " from=" << event.from.value();
   if (event.drop != phy::DropReason::kNone) {
     os << " reason=" << phy::dropReasonName(event.drop);
   }

@@ -19,27 +19,27 @@ class ArrivalProcess {
   /// Gap (>= 0) between the previous request and the next one. Called once
   /// per request in stream order; implementations may keep state (burst
   /// position) but may draw randomness only from `rng`.
-  virtual sim::Time nextGap(sim::Rng& rng) = 0;
+  virtual sim::Duration nextGap(sim::Rng& rng) = 0;
 };
 
 /// The paper's workload: gaps ~ U(0, max). Draw-for-draw identical to the
 /// pre-subsystem inline loop (one uniformTime per request).
 class UniformArrival final : public ArrivalProcess {
  public:
-  explicit UniformArrival(sim::Time max) : max_(max) {}
-  sim::Time nextGap(sim::Rng& rng) override {
-    return rng.uniformTime(0, max_);
+  explicit UniformArrival(sim::Duration max) : max_(max) {}
+  sim::Duration nextGap(sim::Rng& rng) override {
+    return rng.uniformDuration(sim::Duration{}, max_);
   }
 
  private:
-  sim::Time max_;
+  sim::Duration max_;
 };
 
 /// Poisson stream: exponential gaps with mean 1/rate.
 class PoissonArrival final : public ArrivalProcess {
  public:
   explicit PoissonArrival(double ratePerSecond);
-  sim::Time nextGap(sim::Rng& rng) override;
+  sim::Duration nextGap(sim::Rng& rng) override;
 
  private:
   double ratePerSecond_;
@@ -48,11 +48,11 @@ class PoissonArrival final : public ArrivalProcess {
 /// Constant bit rate: one request every `period`, no randomness.
 class PeriodicArrival final : public ArrivalProcess {
  public:
-  explicit PeriodicArrival(sim::Time period);
-  sim::Time nextGap(sim::Rng&) override { return period_; }
+  explicit PeriodicArrival(sim::Duration period);
+  sim::Duration nextGap(sim::Rng&) override { return period_; }
 
  private:
-  sim::Time period_;
+  sim::Duration period_;
 };
 
 /// On/off burst process (MMPP-style): bursts of `length` requests with
@@ -60,19 +60,19 @@ class PeriodicArrival final : public ArrivalProcess {
 /// mean `idleMean`. The first request of the stream opens the first burst.
 class BurstArrival final : public ArrivalProcess {
  public:
-  BurstArrival(int length, sim::Time gapMax, sim::Time idleMean);
-  sim::Time nextGap(sim::Rng& rng) override;
+  BurstArrival(int length, sim::Duration gapMax, sim::Duration idleMean);
+  sim::Duration nextGap(sim::Rng& rng) override;
 
  private:
   int length_;
-  sim::Time gapMax_;
-  sim::Time idleMean_;
+  sim::Duration gapMax_;
+  sim::Duration idleMean_;
   int remainingInBurst_ = 0;
 };
 
 /// Builds the configured process. kReplay has no arrival process (the
 /// generator plays the script verbatim); requesting one is a contract error.
 std::unique_ptr<ArrivalProcess> makeArrival(const TrafficConfig& config,
-                                            sim::Time uniformMax);
+                                            sim::Duration uniformMax);
 
 }  // namespace manet::traffic

@@ -52,10 +52,9 @@ TrafficConfig TrafficConfig::withEnvOverrides() const {
     }
   }
   if (util::envString("MANET_TRAFFIC_PERIOD_S")) {
-    out.period = static_cast<sim::Time>(
-        util::envDouble("MANET_TRAFFIC_PERIOD_S",
-                        sim::toSeconds(out.period)) *
-        sim::kSecond);
+    out.period = sim::scaleTrunc(
+        sim::kSecond, util::envDouble("MANET_TRAFFIC_PERIOD_S",
+                                      sim::toSeconds(out.period)));
     if (!arrivalName && out.arrival == Arrival::kUniform) {
       out.arrival = Arrival::kPeriodic;
     }
@@ -63,16 +62,14 @@ TrafficConfig TrafficConfig::withEnvOverrides() const {
   out.burstLength = static_cast<int>(
       util::envInt("MANET_TRAFFIC_BURST_LEN", out.burstLength));
   if (util::envString("MANET_TRAFFIC_BURST_GAP_S")) {
-    out.burstGapMax = static_cast<sim::Time>(
-        util::envDouble("MANET_TRAFFIC_BURST_GAP_S",
-                        sim::toSeconds(out.burstGapMax)) *
-        sim::kSecond);
+    out.burstGapMax = sim::scaleTrunc(
+        sim::kSecond, util::envDouble("MANET_TRAFFIC_BURST_GAP_S",
+                                      sim::toSeconds(out.burstGapMax)));
   }
   if (util::envString("MANET_TRAFFIC_IDLE_S")) {
-    out.burstIdleMean = static_cast<sim::Time>(
-        util::envDouble("MANET_TRAFFIC_IDLE_S",
-                        sim::toSeconds(out.burstIdleMean)) *
-        sim::kSecond);
+    out.burstIdleMean = sim::scaleTrunc(
+        sim::kSecond, util::envDouble("MANET_TRAFFIC_IDLE_S",
+                                      sim::toSeconds(out.burstIdleMean)));
   }
 
   if (const auto sourcesName = util::envString("MANET_TRAFFIC_SOURCES")) {

@@ -22,8 +22,8 @@ namespace manet::traffic {
 /// to the workload start (end of warmup). `seq` numbers requests in stream
 /// order — the per-broadcast sequence id delivery accounting joins on.
 struct Request {
-  sim::Time at = 0;
-  net::NodeId source = 0;
+  sim::TimePoint at{};
+  net::HostId source{};
   std::uint32_t seq = 0;
 };
 
@@ -43,14 +43,14 @@ struct TrafficConfig {
   double poissonRatePerSecond = 1.0;
 
   /// kPeriodic: fixed gap between consecutive requests (> 0).
-  sim::Time period = sim::kSecond;
+  sim::Duration period = sim::kSecond;
 
   /// kBurst: requests per burst (>= 1), max intra-burst gap (gaps are
   /// U(0, burstGapMax)), and the mean of the exponential idle gap that
   /// precedes each burst.
   int burstLength = 8;
-  sim::Time burstGapMax = 50 * sim::kMillisecond;
-  sim::Time burstIdleMean = 4 * sim::kSecond;
+  sim::Duration burstGapMax = 50 * sim::kMillisecond;
+  sim::Duration burstIdleMean = 4 * sim::kSecond;
 
   /// kReplay: the exact request script. Entries may be given in any order;
   /// the generator stable-sorts by time and renumbers `seq`. The scenario's
@@ -69,7 +69,7 @@ struct TrafficConfig {
   /// kHotspot: size of the hotspot set — hosts 0..k-1 unless `hotspotIds`
   /// names the set explicitly.
   int hotspotCount = 3;
-  std::vector<net::NodeId> hotspotIds;
+  std::vector<net::HostId> hotspotIds;
 
   /// kZone: the source rectangle as fractions of the map side, so the same
   /// config works at every map scale. Defaults to the lower-left quadrant.

@@ -10,7 +10,7 @@
 namespace manet::traffic {
 
 Generator::Generator(const TrafficConfig& config, int numHosts,
-                     sim::Time uniformMax,
+                     sim::Duration uniformMax,
                      std::vector<geom::Vec2> initialPositions,
                      double mapMeters)
     : config_(config),
@@ -19,10 +19,10 @@ Generator::Generator(const TrafficConfig& config, int numHosts,
       initialPositions_(std::move(initialPositions)),
       mapMeters_(mapMeters) {
   MANET_EXPECTS(numHosts >= 1);
-  MANET_EXPECTS(uniformMax >= 0);
+  MANET_EXPECTS(uniformMax >= sim::Duration{});
 }
 
-std::vector<Request> Generator::schedule(int count, sim::Time start,
+std::vector<Request> Generator::schedule(int count, sim::TimePoint start,
                                          sim::Rng& rng) const {
   std::vector<Request> out;
 
@@ -33,9 +33,12 @@ std::vector<Request> Generator::schedule(int count, sim::Time start,
                        return a.at < b.at;
                      });
     for (std::size_t i = 0; i < out.size(); ++i) {
-      MANET_EXPECTS(out[i].at >= 0);
-      MANET_EXPECTS(out[i].source < static_cast<net::NodeId>(numHosts_));
-      out[i].at += start;
+      // Replay scripts give times relative to the workload start; shift to
+      // absolute by re-anchoring at `start`.
+      MANET_EXPECTS(out[i].at >= sim::kTimeZero);
+      MANET_EXPECTS(out[i].source.value() <
+                    static_cast<std::uint32_t>(numHosts_));
+      out[i].at = start + out[i].at.sinceStart();
       out[i].seq = static_cast<std::uint32_t>(i);
     }
     return out;
@@ -46,7 +49,7 @@ std::vector<Request> Generator::schedule(int count, sim::Time start,
   const auto sources =
       makeSourceModel(config_, numHosts_, initialPositions_, mapMeters_);
   out.reserve(static_cast<std::size_t>(count));
-  sim::Time at = start;
+  sim::TimePoint at = start;
   for (int i = 0; i < count; ++i) {
     at += arrival->nextGap(rng);
     Request req;

@@ -19,7 +19,8 @@ class Generator {
   /// `uniformMax` parameterizes the default Uniform arrival process (the
   /// scenario's interarrivalMax). `initialPositions`/`mapMeters` are only
   /// consulted by the kZone source model and may be empty/0 otherwise.
-  Generator(const TrafficConfig& config, int numHosts, sim::Time uniformMax,
+  Generator(const TrafficConfig& config, int numHosts,
+            sim::Duration uniformMax,
             std::vector<geom::Vec2> initialPositions = {},
             double mapMeters = 0.0);
 
@@ -29,7 +30,7 @@ class Generator {
   /// arrival and source models compose without perturbing each other's
   /// streams. kReplay ignores `count` and `rng` and plays the script
   /// (stable-sorted by time, offset by `start`) verbatim.
-  std::vector<Request> schedule(int count, sim::Time start,
+  std::vector<Request> schedule(int count, sim::TimePoint start,
                                 sim::Rng& rng) const;
 
   const TrafficConfig& config() const { return config_; }
@@ -37,7 +38,7 @@ class Generator {
  private:
   TrafficConfig config_;
   int numHosts_;
-  sim::Time uniformMax_;
+  sim::Duration uniformMax_;
   std::vector<geom::Vec2> initialPositions_;
   double mapMeters_;
 };

@@ -10,7 +10,7 @@ UniformSources::UniformSources(int numHosts) : numHosts_(numHosts) {
   MANET_EXPECTS(numHosts >= 1);
 }
 
-SubsetSources::SubsetSources(std::vector<net::NodeId> candidates)
+SubsetSources::SubsetSources(std::vector<net::HostId> candidates)
     : candidates_(std::move(candidates)) {
   MANET_EXPECTS(!candidates_.empty());
 }
@@ -23,16 +23,16 @@ std::unique_ptr<SourceModel> makeSourceModel(
     case TrafficConfig::Sources::kUniform:
       return std::make_unique<UniformSources>(numHosts);
     case TrafficConfig::Sources::kHotspot: {
-      std::vector<net::NodeId> hotspot = config.hotspotIds;
+      std::vector<net::HostId> hotspot = config.hotspotIds;
       if (hotspot.empty()) {
         const int k = std::clamp(config.hotspotCount, 1, numHosts);
         hotspot.reserve(static_cast<std::size_t>(k));
         for (int i = 0; i < k; ++i) {
-          hotspot.push_back(static_cast<net::NodeId>(i));
+          hotspot.push_back(net::HostId{static_cast<std::uint32_t>(i)});
         }
       }
-      for (net::NodeId id : hotspot) {
-        MANET_EXPECTS(id < static_cast<net::NodeId>(numHosts));
+      for (net::HostId id : hotspot) {
+        MANET_EXPECTS(id.value() < static_cast<std::uint32_t>(numHosts));
       }
       return std::make_unique<SubsetSources>(std::move(hotspot));
     }
@@ -41,13 +41,13 @@ std::unique_ptr<SourceModel> makeSourceModel(
       const double x1 = std::max(config.zoneX0, config.zoneX1) * mapMeters;
       const double y0 = std::min(config.zoneY0, config.zoneY1) * mapMeters;
       const double y1 = std::max(config.zoneY0, config.zoneY1) * mapMeters;
-      std::vector<net::NodeId> inZone;
+      std::vector<net::HostId> inZone;
       const std::size_t n = std::min(initialPositions.size(),
                                      static_cast<std::size_t>(numHosts));
       for (std::size_t i = 0; i < n; ++i) {
         const geom::Vec2& p = initialPositions[i];
         if (p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1) {
-          inZone.push_back(static_cast<net::NodeId>(i));
+          inZone.push_back(net::HostId{static_cast<std::uint32_t>(i)});
         }
       }
       if (inZone.empty()) {

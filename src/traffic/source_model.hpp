@@ -20,7 +20,7 @@ class SourceModel {
 
   /// The originating host of the next request. Called once per request in
   /// stream order; consumes exactly one draw from `rng`.
-  virtual net::NodeId pick(sim::Rng& rng) = 0;
+  virtual net::HostId pick(sim::Rng& rng) = 0;
 };
 
 /// The paper's model: every host equally likely. Draw-for-draw identical to
@@ -28,8 +28,9 @@ class SourceModel {
 class UniformSources final : public SourceModel {
  public:
   explicit UniformSources(int numHosts);
-  net::NodeId pick(sim::Rng& rng) override {
-    return static_cast<net::NodeId>(rng.uniformInt(0, numHosts_ - 1));
+  net::HostId pick(sim::Rng& rng) override {
+    return net::HostId{
+        static_cast<std::uint32_t>(rng.uniformInt(0, numHosts_ - 1))};
   }
 
  private:
@@ -40,15 +41,15 @@ class UniformSources final : public SourceModel {
 /// reduce to this once the set is computed).
 class SubsetSources final : public SourceModel {
  public:
-  explicit SubsetSources(std::vector<net::NodeId> candidates);
-  net::NodeId pick(sim::Rng& rng) override {
+  explicit SubsetSources(std::vector<net::HostId> candidates);
+  net::HostId pick(sim::Rng& rng) override {
     return candidates_[static_cast<std::size_t>(
         rng.uniformInt(0, static_cast<std::int64_t>(candidates_.size()) - 1))];
   }
-  const std::vector<net::NodeId>& candidates() const { return candidates_; }
+  const std::vector<net::HostId>& candidates() const { return candidates_; }
 
  private:
-  std::vector<net::NodeId> candidates_;
+  std::vector<net::HostId> candidates_;
 };
 
 /// Builds the configured model.

@@ -1,0 +1,84 @@
+// Strong identifier wrapper (DESIGN.md §13).
+//
+// A TaggedId<Tag, Rep> is layout-identical to its underlying integer but a
+// distinct type per Tag, so passing a host id where a broadcast sequence
+// number is expected (or vice versa) is a compile error instead of a silent
+// wire bug. Construction from the raw representation is explicit; there is
+// no implicit conversion back — the raw value leaks only through .value(),
+// which is legal everywhere (dense ids index arrays constantly) but
+// static_casts that launder one tag family into another are rejected by
+// tools/manet_lint.py.
+//
+// Instantiations live next to their domain:
+//   net::HostId        dense host index (net/ids.hpp)
+//   net::BroadcastSeq  per-source broadcast sequence number (net/ids.hpp)
+//   sim::EventSlot/EventGen  scheduler handle components (sim/scheduler.hpp)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+namespace manet::util {
+
+template <typename Tag, typename Rep>
+class TaggedId {
+  static_assert(std::is_integral_v<Rep>,
+                "TaggedId wraps an integral representation");
+
+ public:
+  using Underlying = Rep;
+
+  constexpr TaggedId() = default;
+  /// Wraps a raw value. Explicit: an untyped integer only becomes an id at
+  /// a deliberate construction site.
+  constexpr explicit TaggedId(Rep value) : value_(value) {}
+
+  /// Raw representation — for array indexing, serialization, and wire
+  /// formats. Unlike Duration::ticks() this is not lint-confined: dense ids
+  /// index vectors throughout the engine.
+  constexpr Rep value() const { return value_; }
+
+  /// The successor id (dense id spaces: iteration and sequence numbering).
+  constexpr TaggedId next() const {
+    return TaggedId(static_cast<Rep>(value_ + 1));
+  }
+  constexpr TaggedId& operator++() {
+    ++value_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(TaggedId, TaggedId) = default;
+  friend constexpr bool operator<(TaggedId a, TaggedId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(TaggedId a, TaggedId b) { return b < a; }
+  friend constexpr bool operator<=(TaggedId a, TaggedId b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(TaggedId a, TaggedId b) {
+    return !(a < b);
+  }
+
+ private:
+  Rep value_{};
+};
+
+/// Hash functor for tagged ids (std::hash-compatible; usable as the Hash
+/// parameter of unordered containers keyed by an id).
+struct TaggedIdHash {
+  template <typename Tag, typename Rep>
+  std::size_t operator()(TaggedId<Tag, Rep> id) const {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace manet::util
+
+template <typename Tag, typename Rep>
+struct std::hash<manet::util::TaggedId<Tag, Rep>> {
+  std::size_t operator()(manet::util::TaggedId<Tag, Rep> id) const {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -14,6 +14,11 @@
 namespace manet::audit {
 namespace {
 
+// Shorthand constructors for the strong types (the hooks are exercised with
+// bare literals throughout).
+constexpr sim::TimePoint T(std::int64_t ticks) { return sim::TimePoint{ticks}; }
+constexpr net::HostId N(std::uint32_t id) { return net::HostId{id}; }
+
 // --- sink machinery ---------------------------------------------------------
 
 TEST(AuditSink, CountingSinkCapturesAndRestores) {
@@ -21,11 +26,11 @@ TEST(AuditSink, CountingSinkCapturesAndRestores) {
   {
     ScopedCountingSink sink;
     EXPECT_EQ(currentSink(), &sink);
-    report({"test.synthetic", 7, 3, "detail"});
+    report({"test.synthetic", T(7), N(3), "detail"});
     EXPECT_EQ(sink.count(), 1u);
     EXPECT_STREQ(sink.last().invariant, "test.synthetic");
-    EXPECT_EQ(sink.last().at, 7);
-    EXPECT_EQ(sink.last().node, 3u);
+    EXPECT_EQ(sink.last().at, T(7));
+    EXPECT_EQ(sink.last().node, N(3));
     EXPECT_EQ(sink.last().detail, "detail");
   }
   EXPECT_EQ(currentSink(), before);
@@ -34,8 +39,8 @@ TEST(AuditSink, CountingSinkCapturesAndRestores) {
 TEST(AuditSink, ThreadCounterTracksReports) {
   ScopedCountingSink sink;
   resetViolationCount();
-  report({"test.synthetic", 0, net::kInvalidNode, ""});
-  report({"test.synthetic", 0, net::kInvalidNode, ""});
+  report({"test.synthetic", T(0), net::kInvalidHost, ""});
+  report({"test.synthetic", T(0), net::kInvalidHost, ""});
   EXPECT_EQ(violationCount(), 2u);
   resetViolationCount();
   EXPECT_EQ(violationCount(), 0u);
@@ -46,30 +51,30 @@ TEST(AuditSink, ThreadCounterTracksReports) {
 TEST(SchedulerAuditTest, LegalSequenceIsSilent) {
   ScopedCountingSink sink;
   SchedulerAudit audit;
-  audit.onSchedule(10, 0);
-  audit.onSchedule(10, 10);  // zero-delay self-schedule is legal
-  audit.onPop(10);
-  audit.onPop(10);  // FIFO ties pop at the same timestamp
-  audit.onPop(25);
-  audit.onCancel(30, 25);
-  audit.onCancel(25, 25);  // same-timestamp inhibition (paper step S5)
+  audit.onSchedule(T(10), T(0));
+  audit.onSchedule(T(10), T(10));  // zero-delay self-schedule is legal
+  audit.onPop(T(10));
+  audit.onPop(T(10));  // FIFO ties pop at the same timestamp
+  audit.onPop(T(25));
+  audit.onCancel(T(30), T(25));
+  audit.onCancel(T(25), T(25));  // same-timestamp inhibition (paper step S5)
   EXPECT_EQ(sink.count(), 0u);
 }
 
 TEST(SchedulerAuditTest, ScheduleInPastFires) {
   ScopedCountingSink sink;
   SchedulerAudit audit;
-  audit.onSchedule(99, 100);
+  audit.onSchedule(T(99), T(100));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "scheduler.schedule-in-past");
-  EXPECT_EQ(sink.last().at, 100);
+  EXPECT_EQ(sink.last().at, T(100));
 }
 
 TEST(SchedulerAuditTest, NonMonotonicPopFires) {
   ScopedCountingSink sink;
   SchedulerAudit audit;
-  audit.onPop(50);
-  audit.onPop(49);
+  audit.onPop(T(50));
+  audit.onPop(T(49));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "scheduler.monotonic-pop");
 }
@@ -77,7 +82,7 @@ TEST(SchedulerAuditTest, NonMonotonicPopFires) {
 TEST(SchedulerAuditTest, CancelOfPastEventFires) {
   ScopedCountingSink sink;
   SchedulerAudit audit;
-  audit.onCancel(10, 20);
+  audit.onCancel(T(10), T(20));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "scheduler.cancel-past-event");
 }
@@ -85,8 +90,8 @@ TEST(SchedulerAuditTest, CancelOfPastEventFires) {
 TEST(SchedulerAuditTest, MatchingLiveAndResidentCountsAreSilent) {
   ScopedCountingSink sink;
   SchedulerAudit audit;
-  audit.onCount(0, 0, 10);
-  audit.onCount(17, 17, 20);
+  audit.onCount(0, 0, T(10));
+  audit.onCount(17, 17, T(20));
   EXPECT_EQ(sink.count(), 0u);
 }
 
@@ -96,10 +101,10 @@ TEST(SchedulerAuditTest, CountDriftFires) {
   // entry survived in the heap (or a live one was dropped).
   ScopedCountingSink sink;
   SchedulerAudit audit;
-  audit.onCount(3, 4, 55);
+  audit.onCount(3, 4, T(55));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "scheduler.count-drift");
-  EXPECT_EQ(sink.last().at, 55);
+  EXPECT_EQ(sink.last().at, T(55));
 }
 
 // --- channel ----------------------------------------------------------------
@@ -107,13 +112,13 @@ TEST(SchedulerAuditTest, CountDriftFires) {
 TEST(ChannelAuditTest, BalancedTrafficIsSilent) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onBeginReception(1, 0);
-  audit.onBeginReception(1, 5);  // overlapping receptions are normal
-  audit.onEnergyRaise(1, 0);
-  audit.onEndReception(1, 40);
-  audit.onEndReception(1, 45);
-  audit.onEnergyLower(1, 40);
-  audit.atTeardown(0, 100);
+  audit.onBeginReception(N(1), T(0));
+  audit.onBeginReception(N(1), T(5));  // overlapping receptions are normal
+  audit.onEnergyRaise(N(1), T(0));
+  audit.onEndReception(N(1), T(40));
+  audit.onEndReception(N(1), T(45));
+  audit.onEnergyLower(N(1), T(40));
+  audit.atTeardown(0, T(100));
   EXPECT_EQ(sink.count(), 0u);
   EXPECT_EQ(audit.begins(), 2u);
   EXPECT_EQ(audit.ends(), 2u);
@@ -122,18 +127,18 @@ TEST(ChannelAuditTest, BalancedTrafficIsSilent) {
 TEST(ChannelAuditTest, ReceptionUnderflowFires) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onEndReception(4, 10);
+  audit.onEndReception(N(4), T(10));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "channel.reception-underflow");
-  EXPECT_EQ(sink.last().node, 4u);
+  EXPECT_EQ(sink.last().node, N(4));
 }
 
 TEST(ChannelAuditTest, EnergyUnderflowFires) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onEnergyRaise(2, 0);
-  audit.onEnergyLower(2, 10);
-  audit.onEnergyLower(2, 11);
+  audit.onEnergyRaise(N(2), T(0));
+  audit.onEnergyLower(N(2), T(10));
+  audit.onEnergyLower(N(2), T(11));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "channel.energy-underflow");
 }
@@ -141,18 +146,18 @@ TEST(ChannelAuditTest, EnergyUnderflowFires) {
 TEST(ChannelAuditTest, HostDownFlushMatchingInFlightIsSilent) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onBeginReception(3, 0);
-  audit.onBeginReception(3, 1);
-  audit.onHostDown(3, 2, 50);  // both in-flight receptions flushed
-  audit.atTeardown(0, 100);    // begins(2) == ends(0) + flushes(2)
+  audit.onBeginReception(N(3), T(0));
+  audit.onBeginReception(N(3), T(1));
+  audit.onHostDown(N(3), 2, T(50));  // both in-flight receptions flushed
+  audit.atTeardown(0, T(100));    // begins(2) == ends(0) + flushes(2)
   EXPECT_EQ(sink.count(), 0u);
 }
 
 TEST(ChannelAuditTest, HostDownFlushMismatchFires) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onBeginReception(3, 0);
-  audit.onHostDown(3, 2, 50);  // claims two flushed, only one in flight
+  audit.onBeginReception(N(3), T(0));
+  audit.onHostDown(N(3), 2, T(50));  // claims two flushed, only one in flight
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "channel.flush-mismatch");
 }
@@ -160,7 +165,7 @@ TEST(ChannelAuditTest, HostDownFlushMismatchFires) {
 TEST(ChannelAuditTest, DeliveryWhileDownFires) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onDeliveryWhileDown(9, 33);
+  audit.onDeliveryWhileDown(N(9), T(33));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "channel.down-node-delivery");
 }
@@ -168,8 +173,8 @@ TEST(ChannelAuditTest, DeliveryWhileDownFires) {
 TEST(ChannelAuditTest, TeardownImbalanceFires) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onBeginReception(0, 0);
-  audit.atTeardown(0, 100);  // one begin never ended, flushed, or in flight
+  audit.onBeginReception(N(0), T(0));
+  audit.atTeardown(0, T(100));  // one begin never ended, flushed, or in flight
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "channel.teardown-balance");
 }
@@ -177,8 +182,8 @@ TEST(ChannelAuditTest, TeardownImbalanceFires) {
 TEST(ChannelAuditTest, TeardownMidFrameIsLegal) {
   ScopedCountingSink sink;
   ChannelAudit audit;
-  audit.onBeginReception(0, 0);
-  audit.atTeardown(1, 100);  // run stopped with the frame still on the air
+  audit.onBeginReception(N(0), T(0));
+  audit.atTeardown(1, T(100));  // run stopped with the frame still on the air
   EXPECT_EQ(sink.count(), 0u);
 }
 
@@ -186,57 +191,57 @@ TEST(ChannelAuditTest, TeardownMidFrameIsLegal) {
 
 TEST(DcfAuditTest, LegalBroadcastAndUnicastFlowIsSilent) {
   ScopedCountingSink sink;
-  DcfAudit audit(7);
+  DcfAudit audit(N(7));
   // Broadcast: one frame on the air, then idle.
-  audit.onAirTransition(DcfAudit::Air::kBroadcast, 10);
-  audit.onAirTransition(DcfAudit::Air::kNone, 20);
+  audit.onAirTransition(DcfAudit::Air::kBroadcast, T(10));
+  audit.onAirTransition(DcfAudit::Air::kNone, T(20));
   // Unicast initiator: RTS -> await CTS -> DATA -> await ACK -> done.
-  audit.onAirTransition(DcfAudit::Air::kRts, 30);
-  audit.onAirTransition(DcfAudit::Air::kNone, 35);
-  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitCts, 35);
-  audit.onExchangeTransition(DcfAudit::Exchange::kNone, 40);
-  audit.onAirTransition(DcfAudit::Air::kData, 41);
-  audit.onAirTransition(DcfAudit::Air::kNone, 50);
-  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitAck, 50);
-  audit.onExchangeTransition(DcfAudit::Exchange::kNone, 55);
+  audit.onAirTransition(DcfAudit::Air::kRts, T(30));
+  audit.onAirTransition(DcfAudit::Air::kNone, T(35));
+  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitCts, T(35));
+  audit.onExchangeTransition(DcfAudit::Exchange::kNone, T(40));
+  audit.onAirTransition(DcfAudit::Air::kData, T(41));
+  audit.onAirTransition(DcfAudit::Air::kNone, T(50));
+  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitAck, T(50));
+  audit.onExchangeTransition(DcfAudit::Exchange::kNone, T(55));
   EXPECT_EQ(sink.count(), 0u);
 }
 
 TEST(DcfAuditTest, OverlappingTransmissionsFire) {
   ScopedCountingSink sink;
-  DcfAudit audit(7);
-  audit.onAirTransition(DcfAudit::Air::kBroadcast, 10);
-  audit.onAirTransition(DcfAudit::Air::kRts, 12);
+  DcfAudit audit(N(7));
+  audit.onAirTransition(DcfAudit::Air::kBroadcast, T(10));
+  audit.onAirTransition(DcfAudit::Air::kRts, T(12));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "mac.onair-overlap");
-  EXPECT_EQ(sink.last().node, 7u);
+  EXPECT_EQ(sink.last().node, N(7));
 }
 
 TEST(DcfAuditTest, EndWithNothingOnAirFires) {
   ScopedCountingSink sink;
-  DcfAudit audit(7);
-  audit.onAirTransition(DcfAudit::Air::kNone, 10);
+  DcfAudit audit(N(7));
+  audit.onAirTransition(DcfAudit::Air::kNone, T(10));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "mac.onair-underflow");
 }
 
 TEST(DcfAuditTest, NestedExchangeWaitFires) {
   ScopedCountingSink sink;
-  DcfAudit audit(7);
-  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitCts, 10);
-  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitAck, 12);
+  DcfAudit audit(N(7));
+  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitCts, T(10));
+  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitAck, T(12));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "mac.exchange-illegal");
 }
 
 TEST(DcfAuditTest, ResetForcesIdleLegally) {
   ScopedCountingSink sink;
-  DcfAudit audit(7);
-  audit.onAirTransition(DcfAudit::Air::kData, 10);
-  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitAck, 10);
+  DcfAudit audit(N(7));
+  audit.onAirTransition(DcfAudit::Air::kData, T(10));
+  audit.onExchangeTransition(DcfAudit::Exchange::kAwaitAck, T(10));
   audit.onReset();  // crash mid-exchange: both machines forced idle
-  audit.onAirTransition(DcfAudit::Air::kBroadcast, 20);
-  audit.onAirTransition(DcfAudit::Air::kNone, 25);
+  audit.onAirTransition(DcfAudit::Air::kBroadcast, T(20));
+  audit.onAirTransition(DcfAudit::Air::kNone, T(25));
   EXPECT_EQ(sink.count(), 0u);
   EXPECT_EQ(audit.air(), DcfAudit::Air::kNone);
   EXPECT_EQ(audit.exchange(), DcfAudit::Exchange::kNone);
@@ -246,37 +251,37 @@ TEST(DcfAuditTest, ResetForcesIdleLegally) {
 
 TEST(NeighborAuditTest, OrderedPurgesAndTrueExpiriesAreSilent) {
   ScopedCountingSink sink;
-  NeighborAudit audit(5);
-  audit.onPurge(100);
-  audit.onPurge(100);  // same-time re-purge is legal
-  audit.onPurge(200);
-  audit.onExpire(150, 200);  // deadline strictly past
+  NeighborAudit audit(N(5));
+  audit.onPurge(T(100));
+  audit.onPurge(T(100));  // same-time re-purge is legal
+  audit.onPurge(T(200));
+  audit.onExpire(T(150), T(200));  // deadline strictly past
   EXPECT_EQ(sink.count(), 0u);
 }
 
 TEST(NeighborAuditTest, PurgeTimeGoingBackwardsFires) {
   ScopedCountingSink sink;
-  NeighborAudit audit(5);
-  audit.onPurge(200);
-  audit.onPurge(199);
+  NeighborAudit audit(N(5));
+  audit.onPurge(T(200));
+  audit.onPurge(T(199));
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "neighbor.purge-order");
 }
 
 TEST(NeighborAuditTest, PrematureExpiryFires) {
   ScopedCountingSink sink;
-  NeighborAudit audit(5);
-  audit.onExpire(200, 200);  // deadline not yet strictly past
+  NeighborAudit audit(N(5));
+  audit.onExpire(T(200), T(200));  // deadline not yet strictly past
   ASSERT_EQ(sink.count(), 1u);
   EXPECT_STREQ(sink.last().invariant, "neighbor.premature-expiry");
 }
 
 TEST(NeighborAuditTest, ClearForgetsThePurgeClock) {
   ScopedCountingSink sink;
-  NeighborAudit audit(5);
-  audit.onPurge(500);
+  NeighborAudit audit(N(5));
+  audit.onPurge(T(500));
   audit.onClear();    // crash reset
-  audit.onPurge(10);  // a recovered host restarts from an earlier clock? No —
+  audit.onPurge(T(10));  // a recovered host restarts from an earlier clock? No —
                       // sim time never rewinds, but a *fresh table object*
                       // (new run on this thread) legitimately starts over.
   EXPECT_EQ(sink.count(), 0u);
@@ -286,15 +291,15 @@ TEST(NeighborAuditTest, ClearForgetsThePurgeClock) {
 
 TEST(ChurnAuditTest, CompleteResetIsSilent) {
   ScopedCountingSink sink;
-  ChurnAudit{}.onCrashReset(3, true, true, true, 40);
+  ChurnAudit{}.onCrashReset(N(3), true, true, true, T(40));
   EXPECT_EQ(sink.count(), 0u);
 }
 
 TEST(ChurnAuditTest, AnyResidueFires) {
   ScopedCountingSink sink;
-  ChurnAudit{}.onCrashReset(3, false, true, true, 40);
-  ChurnAudit{}.onCrashReset(3, true, false, true, 41);
-  ChurnAudit{}.onCrashReset(3, true, true, false, 42);
+  ChurnAudit{}.onCrashReset(N(3), false, true, true, T(40));
+  ChurnAudit{}.onCrashReset(N(3), true, false, true, T(41));
+  ChurnAudit{}.onCrashReset(N(3), true, true, false, T(42));
   ASSERT_EQ(sink.count(), 3u);
   EXPECT_STREQ(sink.last().invariant, "churn.crash-reset-incomplete");
   EXPECT_NE(sink.last().detail.find("neighbor-table"), std::string::npos);

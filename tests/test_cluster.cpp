@@ -9,15 +9,28 @@
 namespace manet::cluster {
 namespace {
 
-using Adjacency = std::vector<std::vector<net::NodeId>>;
+using Adjacency = std::vector<std::vector<net::HostId>>;
+
+constexpr net::HostId H(std::uint32_t id) { return net::HostId{id}; }
 
 Adjacency fromEdges(std::size_t n,
-                    const std::vector<std::pair<net::NodeId, net::NodeId>>&
+                    const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
                         edges) {
   Adjacency adj(n);
   for (auto [a, b] : edges) {
-    adj[a].push_back(b);
-    adj[b].push_back(a);
+    adj[a].push_back(H(b));
+    adj[b].push_back(H(a));
+  }
+  return adj;
+}
+
+std::map<net::HostId, std::vector<net::HostId>> graph(
+    std::initializer_list<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+        rows) {
+  std::map<net::HostId, std::vector<net::HostId>> adj;
+  for (const auto& [node, neighbors] : rows) {
+    auto& out = adj[H(node)];
+    for (std::uint32_t nb : neighbors) out.push_back(H(nb));
   }
   return adj;
 }
@@ -28,14 +41,14 @@ TEST(AssignRoles, SingletonIsItsOwnHead) {
   const auto roles = assignRoles(Adjacency(1));
   ASSERT_EQ(roles.size(), 1u);
   EXPECT_EQ(roles[0].role, Role::kHead);
-  EXPECT_EQ(roles[0].head, 0u);
+  EXPECT_EQ(roles[0].head, H(0));
 }
 
 TEST(AssignRoles, PairLowestIdLeads) {
   const auto roles = assignRoles(fromEdges(2, {{0, 1}}));
   EXPECT_EQ(roles[0].role, Role::kHead);
   EXPECT_EQ(roles[1].role, Role::kMember);
-  EXPECT_EQ(roles[1].head, 0u);
+  EXPECT_EQ(roles[1].head, H(0));
 }
 
 TEST(AssignRoles, ChainAlternates) {
@@ -45,16 +58,16 @@ TEST(AssignRoles, ChainAlternates) {
   EXPECT_EQ(roles[2].role, Role::kHead);
   // 1 touches both clusters: it is the gateway between heads 0 and 2.
   EXPECT_EQ(roles[1].role, Role::kGateway);
-  EXPECT_EQ(roles[1].head, 0u);
+  EXPECT_EQ(roles[1].head, H(0));
 }
 
 TEST(AssignRoles, CliqueHasOneHeadNoGateways) {
   const auto roles = assignRoles(
       fromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}));
   EXPECT_EQ(roles[0].role, Role::kHead);
-  for (net::NodeId i = 1; i < 4; ++i) {
+  for (std::size_t i = 1; i < 4; ++i) {
     EXPECT_EQ(roles[i].role, Role::kMember) << i;
-    EXPECT_EQ(roles[i].head, 0u);
+    EXPECT_EQ(roles[i].head, H(0));
   }
 }
 
@@ -65,19 +78,19 @@ TEST(AssignRoles, HeadsFormIndependentSet) {
       8, {{0, 3}, {3, 4}, {4, 1}, {1, 5}, {5, 2}, {2, 6}, {6, 7}, {7, 0},
           {3, 5}});
   const auto roles = assignRoles(adj);
-  for (net::NodeId i = 0; i < adj.size(); ++i) {
+  for (std::size_t i = 0; i < adj.size(); ++i) {
     if (roles[i].role == Role::kHead) {
-      for (net::NodeId nb : adj[i]) {
-        EXPECT_NE(roles[nb].role, Role::kHead)
-            << "adjacent heads " << i << " and " << nb;
+      for (net::HostId nb : adj[i]) {
+        EXPECT_NE(roles[nb.value()].role, Role::kHead)
+            << "adjacent heads " << i << " and " << nb.value();
       }
     } else {
       bool hasHeadNeighbor = false;
-      for (net::NodeId nb : adj[i]) {
-        hasHeadNeighbor |= roles[nb].role == Role::kHead;
+      for (net::HostId nb : adj[i]) {
+        hasHeadNeighbor |= roles[nb.value()].role == Role::kHead;
       }
       EXPECT_TRUE(hasHeadNeighbor) << "uncovered node " << i;
-      EXPECT_NE(roles[i].head, net::kInvalidNode);
+      EXPECT_NE(roles[i].head, net::kInvalidHost);
     }
   }
 }
@@ -106,7 +119,7 @@ TEST(AssignRoles, DisconnectedComponentsIndependent) {
   EXPECT_EQ(roles[1].role, Role::kMember);
   EXPECT_EQ(roles[2].role, Role::kHead);
   EXPECT_EQ(roles[3].role, Role::kMember);
-  EXPECT_EQ(roles[3].head, 2u);
+  EXPECT_EQ(roles[3].head, H(2));
 }
 
 TEST(RoleNames, Distinct) {
@@ -119,19 +132,19 @@ TEST(RoleNames, Distinct) {
 /// HostView over an explicit global adjacency (ids need not be dense).
 class GraphHost : public core::HostView {
  public:
-  GraphHost(net::NodeId self,
-            std::map<net::NodeId, std::vector<net::NodeId>> adj)
-      : self_(self), adj_(std::move(adj)) {}
+  GraphHost(std::uint32_t self,
+            std::map<net::HostId, std::vector<net::HostId>> adj)
+      : self_(H(self)), adj_(std::move(adj)) {}
 
-  net::NodeId id() const override { return self_; }
+  net::HostId id() const override { return self_; }
   int neighborCount() const override {
     return static_cast<int>(adj_.at(self_).size());
   }
-  std::vector<net::NodeId> neighborIds() const override {
+  std::vector<net::HostId> neighborIds() const override {
     return adj_.at(self_);
   }
-  std::optional<std::vector<net::NodeId>> neighborsOf(
-      net::NodeId h) const override {
+  std::optional<std::vector<net::HostId>> neighborsOf(
+      net::HostId h) const override {
     auto it = adj_.find(h);
     if (it == adj_.end()) return std::nullopt;
     return it->second;
@@ -139,18 +152,17 @@ class GraphHost : public core::HostView {
   geom::Vec2 position() const override { return {}; }
   double radius() const override { return 500.0; }
   sim::Rng& rng() override { return rng_; }
-  sim::Time now() const override { return 0; }
+  sim::TimePoint now() const override { return sim::kTimeZero; }
 
  private:
-  net::NodeId self_;
-  std::map<net::NodeId, std::vector<net::NodeId>> adj_;
+  net::HostId self_;
+  std::map<net::HostId, std::vector<net::HostId>> adj_;
   sim::Rng rng_{1};
 };
 
 TEST(EgoRole, MatchesGlobalOnChain) {
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{
-      {0, {1}}, {1, {0, 2}}, {2, {1}}};
-  EXPECT_EQ(GraphHost(0, adj).id(), 0u);
+  const auto adj = graph({{0, {1}}, {1, {0, 2}}, {2, {1}}});
+  EXPECT_EQ(GraphHost(0, adj).id(), H(0));
   EXPECT_EQ(egoRole(GraphHost(0, adj)).role, Role::kHead);
   EXPECT_EQ(egoRole(GraphHost(1, adj)).role, Role::kGateway);
   EXPECT_EQ(egoRole(GraphHost(2, adj)).role, Role::kHead);
@@ -158,57 +170,52 @@ TEST(EgoRole, MatchesGlobalOnChain) {
 
 TEST(EgoRole, SparseGlobalIdsRemapCorrectly) {
   // Same chain with non-dense ids 10-57-99.
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{
-      {10, {57}}, {57, {10, 99}}, {99, {57}}};
+  const auto adj = graph({{10, {57}}, {57, {10, 99}}, {99, {57}}});
   const RoleInfo r10 = egoRole(GraphHost(10, adj));
   EXPECT_EQ(r10.role, Role::kHead);
-  EXPECT_EQ(r10.head, 10u);
+  EXPECT_EQ(r10.head, H(10));
   const RoleInfo r57 = egoRole(GraphHost(57, adj));
   EXPECT_EQ(r57.role, Role::kGateway);
-  EXPECT_EQ(r57.head, 10u);
+  EXPECT_EQ(r57.head, H(10));
   EXPECT_EQ(egoRole(GraphHost(99, adj)).role, Role::kHead);
 }
 
 TEST(EgoRole, IsolatedHostIsHead) {
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{{5, {}}};
+  const auto adj = graph({{5, {}}});
   EXPECT_EQ(egoRole(GraphHost(5, adj)).role, Role::kHead);
 }
 
 TEST(EgoRole, MemberInsideClique) {
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{
-      {0, {1, 2, 3}}, {1, {0, 2, 3}}, {2, {0, 1, 3}}, {3, {0, 1, 2}}};
+  const auto adj = graph({{0, {1, 2, 3}}, {1, {0, 2, 3}}, {2, {0, 1, 3}}, {3, {0, 1, 2}}});
   EXPECT_EQ(egoRole(GraphHost(3, adj)).role, Role::kMember);
-  EXPECT_EQ(egoRole(GraphHost(3, adj)).head, 0u);
+  EXPECT_EQ(egoRole(GraphHost(3, adj)).head, H(0));
 }
 
 // ----------------------------------------------------------- ClusterPolicy
 
 TEST(ClusterPolicy, MemberNeverRelays) {
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{
-      {0, {1, 2}}, {1, {0, 2}}, {2, {0, 1}}};
+  const auto adj = graph({{0, {1, 2}}, {1, {0, 2}}, {2, {0, 1}}});
   GraphHost host(2, adj);  // member of head 0, no bridging
   ClusterPolicy policy(3);
-  auto d = policy.makeDecider(host, core::Reception{0, {100, 0}, 0});
+  auto d = policy.makeDecider(host, core::Reception{H(0), {100, 0}, sim::TimePoint{0}});
   EXPECT_FALSE(d->shouldProceed(host));
 }
 
 TEST(ClusterPolicy, HeadRelaysUnderInnerCounter) {
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{
-      {0, {1}}, {1, {0}}};
+  const auto adj = graph({{0, {1}}, {1, {0}}});
   GraphHost host(0, adj);
   ClusterPolicy policy(3);
-  auto d = policy.makeDecider(host, core::Reception{1, {100, 0}, 0});
+  auto d = policy.makeDecider(host, core::Reception{H(1), {100, 0}, sim::TimePoint{0}});
   EXPECT_TRUE(d->shouldProceed(host));
-  EXPECT_TRUE(d->onDuplicate(host, core::Reception{1, {0, 100}, 1}));
-  EXPECT_FALSE(d->onDuplicate(host, core::Reception{1, {50, 50}, 2}));
+  EXPECT_TRUE(d->onDuplicate(host, core::Reception{H(1), {0, 100}, sim::TimePoint{1}}));
+  EXPECT_FALSE(d->onDuplicate(host, core::Reception{H(1), {50, 50}, sim::TimePoint{2}}));
 }
 
 TEST(ClusterPolicy, GatewayRelays) {
-  const std::map<net::NodeId, std::vector<net::NodeId>> adj{
-      {0, {2}}, {1, {2}}, {2, {0, 1}}};
+  const auto adj = graph({{0, {2}}, {1, {2}}, {2, {0, 1}}});
   GraphHost host(2, adj);  // gateway between heads 0 and 1
   ClusterPolicy policy(3);
-  auto d = policy.makeDecider(host, core::Reception{0, {100, 0}, 0});
+  auto d = policy.makeDecider(host, core::Reception{H(0), {100, 0}, sim::TimePoint{0}});
   EXPECT_TRUE(d->shouldProceed(host));
 }
 

@@ -15,11 +15,11 @@ namespace {
 /// tables, and drive the decider directly — no simulator involved.
 class FakeHost : public HostView {
  public:
-  net::NodeId id() const override { return id_; }
+  net::HostId id() const override { return id_; }
   int neighborCount() const override { return static_cast<int>(nx_.size()); }
-  std::vector<net::NodeId> neighborIds() const override { return nx_; }
-  std::optional<std::vector<net::NodeId>> neighborsOf(
-      net::NodeId h) const override {
+  std::vector<net::HostId> neighborIds() const override { return nx_; }
+  std::optional<std::vector<net::HostId>> neighborsOf(
+      net::HostId h) const override {
     auto it = twoHop_.find(h);
     if (it == twoHop_.end()) return std::nullopt;
     return it->second;
@@ -27,17 +27,27 @@ class FakeHost : public HostView {
   geom::Vec2 position() const override { return pos_; }
   double radius() const override { return 500.0; }
   sim::Rng& rng() override { return rng_; }
-  sim::Time now() const override { return now_; }
+  sim::TimePoint now() const override { return now_; }
 
-  net::NodeId id_ = 0;
-  std::vector<net::NodeId> nx_;
-  std::map<net::NodeId, std::vector<net::NodeId>> twoHop_;
+  net::HostId id_{};
+  std::vector<net::HostId> nx_;
+  std::map<net::HostId, std::vector<net::HostId>> twoHop_;
   geom::Vec2 pos_{0, 0};
   sim::Rng rng_{12345};
-  sim::Time now_ = 0;
+  sim::TimePoint now_{};
 };
 
-Reception from(net::NodeId h, geom::Vec2 pos) { return Reception{h, pos, 0}; }
+net::HostId H(std::uint32_t v) { return net::HostId{v}; }
+
+std::vector<net::HostId> ids(std::initializer_list<std::uint32_t> vs) {
+  std::vector<net::HostId> out;
+  for (std::uint32_t v : vs) out.push_back(net::HostId{v});
+  return out;
+}
+
+Reception from(std::uint32_t h, geom::Vec2 pos) {
+  return Reception{net::HostId{h}, pos, {}};
+}
 
 // ------------------------------------------------------------- flooding
 
@@ -134,12 +144,12 @@ TEST(AdaptiveCounter, UsesNeighborCountForThreshold) {
   FakeHost host;
   AdaptiveCounterPolicy policy(CounterThreshold::fromDigits("29"));
   // n = 1 -> C = 2: first duplicate cancels.
-  host.nx_ = {10};
+  host.nx_ = ids({10});
   auto d1 = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_TRUE(d1->shouldProceed(host));
   EXPECT_FALSE(d1->onDuplicate(host, from(2, {0, 100})));
   // n = 2 -> C = 9: many duplicates tolerated.
-  host.nx_ = {10, 11};
+  host.nx_ = ids({10, 11});
   auto d2 = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_TRUE(d2->shouldProceed(host));
   for (int i = 0; i < 7; ++i) {
@@ -152,18 +162,18 @@ TEST(AdaptiveCounter, ReactsToNeighborhoodChangesMidPacket) {
   // The threshold is re-evaluated against the *current* n on every
   // duplicate: if neighbors vanish, the host becomes more eager to relay.
   FakeHost host;
-  host.nx_ = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21};  // n = 12
+  host.nx_ = ids({10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21});  // n = 12
   AdaptiveCounterPolicy policy(CounterThreshold::suggested());  // C(12) = 2
   auto d = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_TRUE(d->shouldProceed(host));
-  host.nx_ = {10};  // suddenly sparse: C(1) = 2 still, counter 2 => cancel
+  host.nx_ = ids({10});  // suddenly sparse: C(1) = 2 still, counter 2 => cancel
   EXPECT_FALSE(d->onDuplicate(host, from(2, {0, 100})));
 }
 
 TEST(AdaptiveCounter, SuggestedFunctionForcedRelayInSparseness) {
   // n = 3 -> C(3) = 4: the host survives two duplicates (c=3 < 4).
   FakeHost host;
-  host.nx_ = {10, 11, 12};
+  host.nx_ = ids({10, 11, 12});
   AdaptiveCounterPolicy policy(CounterThreshold::suggested());
   auto d = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_TRUE(d->shouldProceed(host));
@@ -247,7 +257,7 @@ TEST(Location, ZeroThresholdAlwaysProceeds) {
 
 TEST(AdaptiveLocation, SparseNeighborhoodForcesRelay) {
   FakeHost host;
-  host.nx_ = {10, 11};  // n = 2 <= n1 = 6 -> A(n) = 0
+  host.nx_ = ids({10, 11});  // n = 2 <= n1 = 6 -> A(n) = 0
   AdaptiveLocationPolicy policy(AreaThreshold::suggested());
   auto d = policy.makeDecider(host, from(1, {0, 0}));  // zero new coverage!
   EXPECT_TRUE(d->shouldProceed(host));
@@ -256,7 +266,7 @@ TEST(AdaptiveLocation, SparseNeighborhoodForcesRelay) {
 
 TEST(AdaptiveLocation, CrowdedNeighborhoodInhibitsLowCoverage) {
   FakeHost host;
-  for (net::NodeId i = 0; i < 15; ++i) host.nx_.push_back(100 + i);  // n = 15
+  for (std::uint32_t i = 0; i < 15; ++i) host.nx_.push_back(H(100 + i));  // n = 15
   AdaptiveLocationPolicy policy(AreaThreshold::suggested());  // A = 0.187
   auto d = policy.makeDecider(host, from(1, {100, 0}));  // ~10% uncovered
   EXPECT_FALSE(d->shouldProceed(host));
@@ -264,7 +274,7 @@ TEST(AdaptiveLocation, CrowdedNeighborhoodInhibitsLowCoverage) {
 
 TEST(AdaptiveLocation, CrowdedButUsefulRelayProceeds) {
   FakeHost host;
-  for (net::NodeId i = 0; i < 15; ++i) host.nx_.push_back(100 + i);
+  for (std::uint32_t i = 0; i < 15; ++i) host.nx_.push_back(H(100 + i));
   AdaptiveLocationPolicy policy(AreaThreshold::suggested());
   auto d = policy.makeDecider(host, from(1, {500, 0}));  // ~61% > 0.187
   EXPECT_TRUE(d->shouldProceed(host));
@@ -278,8 +288,8 @@ TEST(AdaptiveLocation, DefaultLabel) {
 
 TEST(NeighborCoverage, InhibitsWhenSenderCoversEverything) {
   FakeHost host;
-  host.nx_ = {1, 2, 3};
-  host.twoHop_[1] = {2, 3, 99};  // sender 1 already covers 2 and 3
+  host.nx_ = ids({1, 2, 3});
+  host.twoHop_[H(1)] = ids({2, 3, 99});  // sender 1 already covers 2 and 3
   NeighborCoveragePolicy policy;
   auto d = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_FALSE(d->shouldProceed(host));  // T = {2,3} - {2,3,99} - {1} = {}
@@ -287,8 +297,8 @@ TEST(NeighborCoverage, InhibitsWhenSenderCoversEverything) {
 
 TEST(NeighborCoverage, ProceedsWhileSomeNeighborUncovered) {
   FakeHost host;
-  host.nx_ = {1, 2, 3};
-  host.twoHop_[1] = {2};  // 3 not covered by sender 1
+  host.nx_ = ids({1, 2, 3});
+  host.twoHop_[H(1)] = ids({2});  // 3 not covered by sender 1
   NeighborCoveragePolicy policy;
   auto d = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_TRUE(d->shouldProceed(host));
@@ -296,9 +306,9 @@ TEST(NeighborCoverage, ProceedsWhileSomeNeighborUncovered) {
 
 TEST(NeighborCoverage, DuplicatesErodePendingSet) {
   FakeHost host;
-  host.nx_ = {1, 2, 3, 4};
-  host.twoHop_[1] = {2};
-  host.twoHop_[3] = {4};
+  host.nx_ = ids({1, 2, 3, 4});
+  host.twoHop_[H(1)] = ids({2});
+  host.twoHop_[H(3)] = ids({4});
   NeighborCoveragePolicy policy;
   auto d = policy.makeDecider(host, from(1, {100, 0}));
   ASSERT_TRUE(d->shouldProceed(host));  // T = {3, 4}
@@ -307,7 +317,7 @@ TEST(NeighborCoverage, DuplicatesErodePendingSet) {
 
 TEST(NeighborCoverage, UnknownSenderOnlyRemovesItself) {
   FakeHost host;
-  host.nx_ = {1, 2};
+  host.nx_ = ids({1, 2});
   NeighborCoveragePolicy policy;  // no two-hop knowledge at all
   auto d = policy.makeDecider(host, from(1, {100, 0}));
   EXPECT_TRUE(d->shouldProceed(host));                   // T = {2}
@@ -323,8 +333,8 @@ TEST(NeighborCoverage, IsolatedHostInhibits) {
 
 TEST(NeighborCoverage, SenderOutsideNxStillSubtractsItsSet) {
   FakeHost host;
-  host.nx_ = {2, 3};
-  host.twoHop_[9] = {2, 3};  // we know 9's neighborhood (e.g. stale entry)
+  host.nx_ = ids({2, 3});
+  host.twoHop_[H(9)] = ids({2, 3});  // we know 9's neighborhood (e.g. stale entry)
   NeighborCoveragePolicy policy;
   auto d = policy.makeDecider(host, from(9, {100, 0}));
   EXPECT_FALSE(d->shouldProceed(host));

@@ -12,6 +12,10 @@ namespace {
 
 using sim::kSecond;
 
+constexpr net::BroadcastId B(std::uint32_t origin, std::uint32_t seq) {
+  return net::BroadcastId{net::HostId{origin}, net::BroadcastSeq{seq}};
+}
+
 ScenarioConfig staticConfig(std::vector<geom::Vec2> positions,
                             SchemeSpec scheme) {
   ScenarioConfig c;
@@ -25,24 +29,24 @@ ScenarioConfig staticConfig(std::vector<geom::Vec2> positions,
 
 TEST(Host, SourcePhaseAfterOriginate) {
   World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  EXPECT_EQ(w.host(0).phaseOf({0, 0}), Host::PacketPhase::kSource);
-  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kUnseen);
+  w.host(net::HostId{0}).originateBroadcast();
+  EXPECT_EQ(w.host(net::HostId{0}).phaseOf(B(0, 0)), Host::PacketPhase::kSource);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 0)), Host::PacketPhase::kUnseen);
 }
 
 TEST(Host, FloodingReceiverRelaysExactlyOnce) {
   World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 0)), Host::PacketPhase::kSent);
   // 2 data frames total: source + one relay (host 0 ignores the echo).
   EXPECT_EQ(w.channel().framesTransmitted(), 2u);
 }
 
 TEST(Host, ReceptionAndRebroadcastRecorded) {
   World w(staticConfig({{0, 0}, {400, 0}, {800, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
   const auto& pb = w.metrics().broadcasts().at(0);
   EXPECT_EQ(pb.reachable, 2);
   EXPECT_EQ(pb.received, 2);
@@ -56,8 +60,8 @@ TEST(Host, CounterSchemeInhibitsCrowdedRelay) {
   std::vector<geom::Vec2> clique{{0, 0}, {100, 0}, {0, 100}, {100, 100},
                                  {50, 50}};
   World w(staticConfig(clique, SchemeSpec::counter(2)));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
   const auto& pb = w.metrics().broadcasts().at(0);
   EXPECT_EQ(pb.received, 4);
   // Everyone heard the source; at least one relays, and the relays are few.
@@ -65,8 +69,8 @@ TEST(Host, CounterSchemeInhibitsCrowdedRelay) {
   EXPECT_LE(pb.rebroadcast, 2);
   // Hosts that did not relay ended Inhibited.
   int inhibited = 0;
-  for (net::NodeId h = 1; h <= 4; ++h) {
-    const auto phase = w.host(h).phaseOf({0, 0});
+  for (std::uint32_t h = 1; h <= 4; ++h) {
+    const auto phase = w.host(net::HostId{h}).phaseOf(B(0, 0));
     EXPECT_TRUE(phase == Host::PacketPhase::kSent ||
                 phase == Host::PacketPhase::kInhibited);
     inhibited += phase == Host::PacketPhase::kInhibited ? 1 : 0;
@@ -76,8 +80,8 @@ TEST(Host, CounterSchemeInhibitsCrowdedRelay) {
 
 TEST(Host, IsolatedSourceFinishesCleanly) {
   World w(staticConfig({{0, 0}, {5000, 5000}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
   const auto& pb = w.metrics().broadcasts().at(0);
   EXPECT_EQ(pb.reachable, 0);
   EXPECT_EQ(pb.received, 0);
@@ -86,9 +90,9 @@ TEST(Host, IsolatedSourceFinishesCleanly) {
 
 TEST(Host, SourceIgnoresEchoesOfItsOwnBroadcast) {
   World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  EXPECT_EQ(w.host(0).phaseOf({0, 0}), Host::PacketPhase::kSource);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
+  EXPECT_EQ(w.host(net::HostId{0}).phaseOf(B(0, 0)), Host::PacketPhase::kSource);
   EXPECT_EQ(w.metrics().broadcasts().at(0).received, 1);  // only host 1
 }
 
@@ -96,46 +100,46 @@ TEST(Host, LocationSchemeInhibitsImmediatelyOnZeroCoverage) {
   // Receiver colocated with the source: additional coverage ~ 0 < A.
   World w(staticConfig({{0, 0}, {0, 0}, {5000, 5000}},
                        SchemeSpec::location(0.05)));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kInhibited);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 0)), Host::PacketPhase::kInhibited);
   EXPECT_EQ(w.metrics().broadcasts().at(0).rebroadcast, 0);
 }
 
 TEST(Host, TwoBroadcastsTrackedIndependently) {
   World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  w.host(1).originateBroadcast();
-  w.scheduler().runUntil(2 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
+  w.host(net::HostId{1}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 2 * kSecond);
   ASSERT_EQ(w.metrics().broadcasts().size(), 2u);
   EXPECT_EQ(w.metrics().broadcasts()[0].received, 1);
   EXPECT_EQ(w.metrics().broadcasts()[1].received, 1);
-  EXPECT_EQ(w.host(0).phaseOf({1, 0}), Host::PacketPhase::kSent);
-  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(net::HostId{0}).phaseOf(B(1, 0)), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 0)), Host::PacketPhase::kSent);
 }
 
 TEST(Host, SequenceNumbersDistinguishBroadcastsFromSameSource) {
   World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(2 * kSecond);
-  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
-  EXPECT_EQ(w.host(1).phaseOf({0, 1}), Host::PacketPhase::kSent);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 2 * kSecond);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 0)), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 1)), Host::PacketPhase::kSent);
   EXPECT_EQ(w.metrics().broadcasts().size(), 2u);
 }
 
 TEST(Host, OracleNeighborQueries) {
   World w(staticConfig({{0, 0}, {400, 0}, {5000, 5000}},
                        SchemeSpec::adaptiveCounter()));
-  EXPECT_EQ(w.host(0).neighborCount(), 1);
-  EXPECT_EQ(w.host(0).neighborIds(), (std::vector<net::NodeId>{1}));
-  EXPECT_EQ(w.host(2).neighborCount(), 0);
+  EXPECT_EQ(w.host(net::HostId{0}).neighborCount(), 1);
+  EXPECT_EQ(w.host(net::HostId{0}).neighborIds(), (std::vector<net::HostId>{net::HostId{1}}));
+  EXPECT_EQ(w.host(net::HostId{2}).neighborCount(), 0);
   // Oracle two-hop: neighbors of host 1 as seen from host 0.
-  const auto n1 = w.host(0).neighborsOf(1);
+  const auto n1 = w.host(net::HostId{0}).neighborsOf(net::HostId{1});
   ASSERT_TRUE(n1.has_value());
-  EXPECT_EQ(*n1, (std::vector<net::NodeId>{0}));
+  EXPECT_EQ(*n1, (std::vector<net::HostId>{net::HostId{0}}));
 }
 
 TEST(Host, HelloTablesPopulateUnderHelloSource) {
@@ -145,12 +149,12 @@ TEST(Host, HelloTablesPopulateUnderHelloSource) {
   c.hello.enabled = true;
   World w(c);
   w.startAgents();
-  w.scheduler().runUntil(5 * kSecond);
-  EXPECT_EQ(w.host(0).neighborCount(), 1);
-  EXPECT_EQ(w.host(1).neighborCount(), 1);
-  const auto twoHop = w.host(0).neighborsOf(1);
+  w.scheduler().runUntil(sim::kTimeZero + 5 * kSecond);
+  EXPECT_EQ(w.host(net::HostId{0}).neighborCount(), 1);
+  EXPECT_EQ(w.host(net::HostId{1}).neighborCount(), 1);
+  const auto twoHop = w.host(net::HostId{0}).neighborsOf(net::HostId{1});
   ASSERT_TRUE(twoHop.has_value());
-  EXPECT_EQ(*twoHop, (std::vector<net::NodeId>{0}));
+  EXPECT_EQ(*twoHop, (std::vector<net::HostId>{net::HostId{0}}));
 }
 
 TEST(Host, NeighborCoverageLeafDoesNotRelay) {
@@ -163,11 +167,11 @@ TEST(Host, NeighborCoverageLeafDoesNotRelay) {
   c.hello.enabled = true;
   World w(c);
   w.startAgents();
-  w.scheduler().runUntil(5 * kSecond);  // let tables converge
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(6 * kSecond);
-  EXPECT_EQ(w.host(1).phaseOf({0, 0}), Host::PacketPhase::kSent);
-  EXPECT_EQ(w.host(2).phaseOf({0, 0}), Host::PacketPhase::kInhibited);
+  w.scheduler().runUntil(sim::kTimeZero + 5 * kSecond);  // let tables converge
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 6 * kSecond);
+  EXPECT_EQ(w.host(net::HostId{1}).phaseOf(B(0, 0)), Host::PacketPhase::kSent);
+  EXPECT_EQ(w.host(net::HostId{2}).phaseOf(B(0, 0)), Host::PacketPhase::kInhibited);
   const auto& pb = w.metrics().broadcasts().at(0);
   EXPECT_EQ(pb.received, 2);
   EXPECT_EQ(pb.rebroadcast, 1);
@@ -177,8 +181,8 @@ TEST(Host, JitterDelaysMacSubmission) {
   // With flooding on a 2-host link the relay's tx start must lag the
   // reception by 0..31 slots plus MAC access time.
   World w(staticConfig({{0, 0}, {400, 0}}, SchemeSpec::flooding()));
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * kSecond);
   const auto& pb = w.metrics().broadcasts().at(0);
   // Source tx: DIFS (50) + airtime (2432) = reception at 2482. Relay ends
   // by 2482 + jitter(<=620) + DIFS + airtime.

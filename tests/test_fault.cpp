@@ -20,14 +20,19 @@ namespace {
 
 using sim::kSecond;
 
+constexpr net::HostId N(std::uint32_t id) { return net::HostId{id}; }
+constexpr sim::TimePoint T(sim::Duration sinceStart) {
+  return sim::kTimeZero + sinceStart;
+}
+
 // ------------------------------------------------------------ loss models
 
 TEST(IidLoss, ZeroAndOneAreDegenerate) {
   IidLoss never(0.0, sim::Rng(1));
   IidLoss always(1.0, sim::Rng(1));
   for (int i = 0; i < 200; ++i) {
-    EXPECT_FALSE(never.shouldDrop(0, 1));
-    EXPECT_TRUE(always.shouldDrop(0, 1));
+    EXPECT_FALSE(never.shouldDrop(N(0), N(1)));
+    EXPECT_TRUE(always.shouldDrop(N(0), N(1)));
   }
 }
 
@@ -35,7 +40,7 @@ TEST(IidLoss, RateTracksPer) {
   IidLoss loss(0.3, sim::Rng(7));
   int drops = 0;
   const int n = 20000;
-  for (int i = 0; i < n; ++i) drops += loss.shouldDrop(0, 1) ? 1 : 0;
+  for (int i = 0; i < n; ++i) drops += loss.shouldDrop(N(0), N(1)) ? 1 : 0;
   const double rate = static_cast<double>(drops) / n;
   EXPECT_NEAR(rate, 0.3, 0.02);
 }
@@ -46,8 +51,8 @@ TEST(GilbertElliott, StaysGoodWhenTransitionsAreOff) {
   config.geLossGood = 0.0;
   config.geGoodToBad = 0.0;
   GilbertElliottLoss loss(config, sim::Rng(3));
-  for (int i = 0; i < 500; ++i) EXPECT_FALSE(loss.shouldDrop(0, 1));
-  EXPECT_FALSE(loss.linkBad(0, 1));
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(loss.shouldDrop(N(0), N(1)));
+  EXPECT_FALSE(loss.linkBad(N(0), N(1)));
 }
 
 TEST(GilbertElliott, AbsorbingBadStateDropsEverythingAfterFirstDraw) {
@@ -58,9 +63,9 @@ TEST(GilbertElliott, AbsorbingBadStateDropsEverythingAfterFirstDraw) {
   config.geGoodToBad = 1.0;  // flip to Bad right after the first draw
   config.geBadToGood = 0.0;  // and never come back
   GilbertElliottLoss loss(config, sim::Rng(3));
-  EXPECT_FALSE(loss.shouldDrop(0, 1));  // drawn in the Good start state
-  EXPECT_TRUE(loss.linkBad(0, 1));
-  for (int i = 0; i < 100; ++i) EXPECT_TRUE(loss.shouldDrop(0, 1));
+  EXPECT_FALSE(loss.shouldDrop(N(0), N(1)));  // drawn in the Good start state
+  EXPECT_TRUE(loss.linkBad(N(0), N(1)));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(loss.shouldDrop(N(0), N(1)));
 }
 
 TEST(GilbertElliott, PerLinkStateIsIndependentOfQueryOrder) {
@@ -75,11 +80,11 @@ TEST(GilbertElliott, PerLinkStateIsIndependentOfQueryOrder) {
   GilbertElliottLoss a(config, sim::Rng(11));
   GilbertElliottLoss b(config, sim::Rng(11));
   std::vector<bool> a01, a23, b01, b23;
-  for (int i = 0; i < 50; ++i) a01.push_back(a.shouldDrop(0, 1));
-  for (int i = 0; i < 50; ++i) a23.push_back(a.shouldDrop(2, 3));
+  for (int i = 0; i < 50; ++i) a01.push_back(a.shouldDrop(N(0), N(1)));
+  for (int i = 0; i < 50; ++i) a23.push_back(a.shouldDrop(N(2), N(3)));
   for (int i = 0; i < 50; ++i) {
-    b23.push_back(b.shouldDrop(2, 3));
-    b01.push_back(b.shouldDrop(0, 1));
+    b23.push_back(b.shouldDrop(N(2), N(3)));
+    b01.push_back(b.shouldDrop(N(0), N(1)));
   }
   EXPECT_EQ(a01, b01);
   EXPECT_EQ(a23, b23);
@@ -93,8 +98,8 @@ TEST(GilbertElliott, DirectedLinksAreDistinct) {
   config.geBadToGood = 0.5;
   GilbertElliottLoss loss(config, sim::Rng(5));
   // Drive (0,1) into a mixed state; (1,0) must still start Good.
-  for (int i = 0; i < 20; ++i) loss.shouldDrop(0, 1);
-  EXPECT_FALSE(loss.linkBad(1, 0));
+  for (int i = 0; i < 20; ++i) loss.shouldDrop(N(0), N(1));
+  EXPECT_FALSE(loss.linkBad(N(1), N(0)));
 }
 
 TEST(MakeLossModel, NoneYieldsNull) {
@@ -113,20 +118,20 @@ TEST(MakeLossModel, NoneYieldsNull) {
 TEST(ChurnTimeline, ScriptIsFilteredAndSorted) {
   FaultConfig config;
   config.script = {
-      {2, 5 * kSecond, true},
-      {0, 1 * kSecond, false},
-      {9, 1 * kSecond, false},   // node out of range: dropped
-      {1, 99 * kSecond, false},  // past horizon: dropped
-      {2, 1 * kSecond, false},
+      {N(2), T(5 * kSecond), true},
+      {N(0), T(1 * kSecond), false},
+      {N(9), T(1 * kSecond), false},   // node out of range: dropped
+      {N(1), T(99 * kSecond), false},  // past horizon: dropped
+      {N(2), T(1 * kSecond), false},
   };
   const auto timeline =
-      buildChurnTimeline(config, /*numHosts=*/3, /*horizon=*/10 * kSecond,
+      buildChurnTimeline(config, /*numHosts=*/3, /*horizon=*/T(10 * kSecond),
                          sim::Rng(1));
   ASSERT_EQ(timeline.size(), 3u);
-  EXPECT_EQ(timeline[0].node, 0u);
-  EXPECT_EQ(timeline[1].node, 2u);
+  EXPECT_EQ(timeline[0].node, N(0));
+  EXPECT_EQ(timeline[1].node, N(2));
   EXPECT_FALSE(timeline[1].up);
-  EXPECT_EQ(timeline[2].at, 5 * kSecond);
+  EXPECT_EQ(timeline[2].at, T(5 * kSecond));
   EXPECT_TRUE(timeline[2].up);
 }
 
@@ -136,23 +141,23 @@ TEST(ChurnTimeline, RandomScheduleAlternatesPerHost) {
   config.churnFraction = 1.0;
   config.meanUpTime = 2 * kSecond;
   config.meanDownTime = 1 * kSecond;
-  const sim::Time horizon = 60 * kSecond;
+  const sim::TimePoint horizon = T(60 * kSecond);
   const auto timeline = buildChurnTimeline(config, 4, horizon, sim::Rng(9));
   EXPECT_FALSE(timeline.empty());
   // Per host: first transition is a crash, then strict down/up alternation
   // at strictly increasing times within the horizon.
-  for (net::NodeId host = 0; host < 4; ++host) {
+  for (std::uint32_t host = 0; host < 4; ++host) {
     bool expectUp = false;
-    sim::Time last = -1;
+    sim::TimePoint last = sim::kNever;
     for (const ChurnEvent& ev : timeline) {
-      if (ev.node != host) continue;
+      if (ev.node != N(host)) continue;
       EXPECT_EQ(ev.up, expectUp);
       EXPECT_GT(ev.at, last);
       EXPECT_LT(ev.at, horizon);
       last = ev.at;
       expectUp = !expectUp;
     }
-    EXPECT_GE(last, 0) << "host " << host << " never churned";
+    EXPECT_GE(last, sim::kTimeZero) << "host " << host << " never churned";
   }
   // Deterministic: same inputs, same timeline.
   const auto again = buildChurnTimeline(config, 4, horizon, sim::Rng(9));
@@ -169,7 +174,7 @@ TEST(ChurnTimeline, ZeroFractionIsEmpty) {
   config.churn = true;
   config.churnFraction = 0.0;
   EXPECT_TRUE(
-      buildChurnTimeline(config, 10, 60 * kSecond, sim::Rng(1)).empty());
+      buildChurnTimeline(config, 10, T(60 * kSecond), sim::Rng(1)).empty());
 }
 
 // ------------------------------------------------------------ env knobs
@@ -187,7 +192,7 @@ TEST(FaultConfigEnv, OverridesApply) {
   EXPECT_EQ(out.loss, FaultConfig::Loss::kGilbertElliott);
   EXPECT_DOUBLE_EQ(out.geLossBad, 0.5);
   EXPECT_TRUE(out.churn);
-  EXPECT_EQ(out.meanUpTime, static_cast<sim::Time>(7.5 * kSecond));
+  EXPECT_EQ(out.meanUpTime, sim::scaleTrunc(kSecond, 7.5));
   EXPECT_TRUE(out.enabled());
 }
 
@@ -243,8 +248,8 @@ TEST(FaultWorld, TotalLossStopsDeliveryAndCounts) {
   config.fault.loss = FaultConfig::Loss::kIid;
   config.fault.per = 1.0;
   experiment::World w(config);
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(T(1 * kSecond));
   EXPECT_EQ(w.channel().framesDelivered(), 0u);
   EXPECT_EQ(w.channel().framesLostToFault(), 1u);  // only host 1 is in range
   EXPECT_EQ(w.metrics().broadcasts().at(0).received, 0);
@@ -252,19 +257,19 @@ TEST(FaultWorld, TotalLossStopsDeliveryAndCounts) {
 
 TEST(FaultWorld, CrashedRelayPartitionsTheChain) {
   experiment::World w(lineConfig());
-  w.setHostUp(1, false);
-  EXPECT_FALSE(w.hostUp(1));
+  w.setHostUp(N(1), false);
+  EXPECT_FALSE(w.hostUp(N(1)));
   // With the relay down, nobody is reachable from host 0.
-  EXPECT_EQ(w.reachableFrom(0), 0);
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
+  EXPECT_EQ(w.reachableFrom(N(0)), 0);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(T(1 * kSecond));
   EXPECT_EQ(w.metrics().broadcasts().at(0).received, 0);
 
   // Recovery restores the path end to end.
-  w.setHostUp(1, true);
-  EXPECT_EQ(w.reachableFrom(0), 2);
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(2 * kSecond);
+  w.setHostUp(N(1), true);
+  EXPECT_EQ(w.reachableFrom(N(0)), 2);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(T(2 * kSecond));
   EXPECT_EQ(w.metrics().broadcasts().at(1).received, 2);
   EXPECT_NEAR(w.hostDownSeconds(), 1.0, 1e-9);
 }
@@ -274,11 +279,11 @@ TEST(FaultWorld, CrashFlushesInFlightReceptionAndEmitsTrace) {
   trace::Recorder recorder;
   experiment::World w(config);
   w.setTraceSink(&recorder);
-  w.host(0).originateBroadcast();
+  w.host(net::HostId{0}).originateBroadcast();
   // Crash host 1 while the source's frame is still on the air (data frames
   // take ~2.4 ms at 1 Mb/s; 100 us is mid-flight).
-  w.scheduler().schedule(100, [&w] { w.setHostUp(1, false); });
-  w.scheduler().runUntil(1 * kSecond);
+  w.scheduler().schedule(sim::TimePoint{100}, [&w] { w.setHostUp(N(1), false); });
+  w.scheduler().runUntil(T(1 * kSecond));
   EXPECT_EQ(w.channel().framesDroppedHostDown(), 1u);
   EXPECT_EQ(w.channel().framesDelivered(), 0u);
   EXPECT_EQ(recorder.countOf(trace::EventKind::kHostDown), 1u);

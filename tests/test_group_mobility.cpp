@@ -11,7 +11,6 @@ namespace {
 
 using geom::Vec2;
 using sim::kSecond;
-using sim::Time;
 
 GroupParams fastParams() {
   GroupParams p;
@@ -26,7 +25,7 @@ TEST(GroupMobility, MembersStayWithinMap) {
   sim::Rng rng(1);
   auto models = makeGroup(map, {1250, 1250}, 6, fastParams(), rng);
   ASSERT_EQ(models.size(), 6u);
-  for (Time t = 0; t <= 300 * kSecond; t += 5 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= sim::kTimeZero + 300 * kSecond; t += 5 * kSecond) {
     for (auto& m : models) {
       EXPECT_TRUE(map.contains(m->positionAt(t)));
     }
@@ -41,14 +40,14 @@ TEST(GroupMobility, MembersStayNearEachOther) {
   sim::Rng rng(2);
   const GroupParams params = fastParams();
   auto models = makeGroup(map, {2250, 2250}, 5, params, rng);
-  for (Time t = 0; t <= 400 * kSecond; t += 10 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= sim::kTimeZero + 400 * kSecond; t += 10 * kSecond) {
     std::vector<Vec2> positions;
     for (auto& m : models) positions.push_back(m->positionAt(t));
     for (size_t i = 0; i < positions.size(); ++i) {
       for (size_t j = i + 1; j < positions.size(); ++j) {
         EXPECT_LE(geom::distance(positions[i], positions[j]),
                   4.0 * params.spanMeters + 1e-6)
-            << "t=" << t;
+            << "t=" << t.ticks();
       }
     }
   }
@@ -58,9 +57,9 @@ TEST(GroupMobility, GroupActuallyTravels) {
   const MapSpec map = MapSpec::square(9);
   sim::Rng rng(3);
   auto models = makeGroup(map, {2250, 2250}, 3, fastParams(), rng);
-  const Vec2 start = models[0]->positionAt(0);
+  const Vec2 start = models[0]->positionAt(sim::kTimeZero);
   double maxDisplacement = 0.0;
-  for (Time t = 0; t <= 600 * kSecond; t += 30 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= sim::kTimeZero + 600 * kSecond; t += 30 * kSecond) {
     maxDisplacement = std::max(
         maxDisplacement, geom::distance(start, models[0]->positionAt(t)));
   }
@@ -73,7 +72,7 @@ TEST(GroupMobility, ZeroSpanPinsMembersToCenter) {
   GroupParams params = fastParams();
   params.spanMeters = 0.0;
   auto models = makeGroup(map, {750, 750}, 3, params, rng);
-  for (Time t = 0; t <= 100 * kSecond; t += 10 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= sim::kTimeZero + 100 * kSecond; t += 10 * kSecond) {
     const Vec2 a = models[0]->positionAt(t);
     const Vec2 b = models[1]->positionAt(t);
     const Vec2 c = models[2]->positionAt(t);
@@ -88,7 +87,7 @@ TEST(GroupMobility, DeterministicPerSeed) {
   sim::Rng rngB(7);
   auto a = makeGroup(map, {1000, 1000}, 4, fastParams(), rngA);
   auto b = makeGroup(map, {1000, 1000}, 4, fastParams(), rngB);
-  for (Time t = 0; t <= 100 * kSecond; t += 7 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= sim::kTimeZero + 100 * kSecond; t += 7 * kSecond) {
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i]->positionAt(t), b[i]->positionAt(t));
     }
@@ -101,7 +100,7 @@ TEST(GroupMobility, SharedCenterToleratesInterleavedQueries) {
   const MapSpec map = MapSpec::square(3);
   sim::Rng rng(8);
   auto models = makeGroup(map, {750, 750}, 3, fastParams(), rng);
-  for (Time t = 0; t <= 50 * kSecond; t += kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= sim::kTimeZero + 50 * kSecond; t += kSecond) {
     (void)models[2]->positionAt(t);
     (void)models[0]->positionAt(t);
     (void)models[1]->positionAt(t);
@@ -124,9 +123,9 @@ TEST(GroupMobilityScenario, WorldBuildsGroups) {
   experiment::World world(config);
   // Hosts of the same team are mutually in radio range (span 150 << 500).
   const auto positions = world.channel().snapshotPositions();
-  for (net::NodeId base = 0; base + 5 < 30; base += 6) {
-    for (net::NodeId i = base; i < base + 6; ++i) {
-      for (net::NodeId j = i + 1; j < base + 6; ++j) {
+  for (std::uint32_t base = 0; base + 5 < 30; base += 6) {
+    for (std::uint32_t i = base; i < base + 6; ++i) {
+      for (std::uint32_t j = i + 1; j < base + 6; ++j) {
         EXPECT_LE(geom::distance(positions[i], positions[j]), 500.0);
       }
     }

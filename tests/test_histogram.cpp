@@ -79,10 +79,11 @@ TEST(QuantileEstimatorDeath, RejectsBadArguments) {
 
 TEST(HopTracking, MetricsAccumulateHops) {
   MetricsCollector m(8);
-  m.onBroadcastStart({0, 0}, 0, 0, 5);
-  m.onDelivered({0, 0}, 1, 10, 1);
-  m.onDelivered({0, 0}, 2, 20, 2);
-  m.onDelivered({0, 0}, 3, 30, 3);
+  const net::BroadcastId bid{net::HostId{0}, net::BroadcastSeq{0}};
+  m.onBroadcastStart(bid, net::HostId{0}, sim::TimePoint{0}, 5);
+  m.onDelivered(bid, net::HostId{1}, sim::TimePoint{10}, 1);
+  m.onDelivered(bid, net::HostId{2}, sim::TimePoint{20}, 2);
+  m.onDelivered(bid, net::HostId{3}, sim::TimePoint{30}, 3);
   const auto& pb = m.broadcasts().at(0);
   EXPECT_DOUBLE_EQ(pb.meanHops(), 2.0);
   EXPECT_EQ(pb.maxHops, 3);
@@ -96,8 +97,8 @@ TEST(HopTracking, ChainTopologyCountsHopsExactly) {
   c.numBroadcasts = 0;
   c.seed = 3;
   experiment::World w(c);
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * sim::kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(sim::kTimeZero + 1 * sim::kSecond);
   const auto& pb = w.metrics().broadcasts().at(0);
   EXPECT_EQ(pb.received, 3);
   // Hops: host1 = 1, host2 = 2, host3 = 3.

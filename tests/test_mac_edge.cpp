@@ -13,10 +13,12 @@
 namespace manet::mac {
 namespace {
 
-using net::NodeId;
+using net::HostId;
 
-net::PacketPtr dataPacket(NodeId sender, std::uint32_t seq = 0) {
-  return net::makeDataPacket(net::BroadcastId{sender, seq}, sender);
+net::PacketPtr dataPacket(std::uint32_t sender, std::uint32_t seq = 0) {
+  const HostId src{sender};
+  return net::makeDataPacket(net::BroadcastId{src, net::BroadcastSeq{seq}},
+                             src);
 }
 
 class CountingUpper : public DcfMac::Upper {
@@ -35,7 +37,7 @@ class CountingUpper : public DcfMac::Upper {
   int starts = 0;
   int finishes = 0;
   int receptions = 0;
-  sim::Time lastFinish = 0;
+  sim::TimePoint lastFinish{};
   std::vector<bool> outcomes;
 
  private:
@@ -47,7 +49,7 @@ struct Rig {
       : channel(scheduler, phyParams) {}
 
   DcfMac& add(geom::Vec2 pos, std::uint64_t seed = 1, MacParams params = {}) {
-    const NodeId id = static_cast<NodeId>(macs.size());
+    const HostId id{static_cast<std::uint32_t>(macs.size())};
     uppers.push_back(std::make_unique<CountingUpper>(scheduler));
     macs.push_back(std::make_unique<DcfMac>(
         scheduler, channel, id, [pos] { return pos; }, sim::Rng(seed),
@@ -65,11 +67,11 @@ TEST(MacEdge, CancelDuringFrozenBackoff) {
   Rig rig;
   DcfMac& a = rig.add({0, 0}, 1);
   DcfMac& b = rig.add({100, 0}, 2);
-  rig.scheduler.runUntil(10'000);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
   a.enqueue(dataPacket(0), 280);  // occupies the medium
-  rig.scheduler.runUntil(10'100);
+  rig.scheduler.runUntil(sim::TimePoint{10'100});
   const auto id = b.enqueue(dataPacket(1), 280);  // deferred, backoff drawn
-  rig.scheduler.runUntil(11'000);                 // still mid-frame
+  rig.scheduler.runUntil(sim::TimePoint{11'000});                 // still mid-frame
   EXPECT_TRUE(b.cancel(id));
   rig.scheduler.runAll();
   EXPECT_EQ(rig.uppers[1]->starts, 0);
@@ -78,12 +80,12 @@ TEST(MacEdge, CancelDuringFrozenBackoff) {
 
 TEST(MacEdge, ZeroCarrierSenseDelaySerializesSameInstantDecisions) {
   phy::PhyParams phyParams;
-  phyParams.carrierSenseDelay = 0;  // idealized instant CCA
+  phyParams.carrierSenseDelay = sim::Duration{};  // idealized instant CCA
   Rig rig(phyParams);
   DcfMac& a = rig.add({0, 0}, 1);
   DcfMac& b = rig.add({100, 0}, 2);
   rig.add({200, 0}, 3);
-  rig.scheduler.runUntil(10'000);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
   a.enqueue(dataPacket(0), 280);
   b.enqueue(dataPacket(1), 280);  // same instant; with zero delay b defers
   rig.scheduler.runAll();
@@ -97,7 +99,7 @@ TEST(MacEdge, DefaultSenseDelayMakesSameInstantDecisionsCollide) {
   DcfMac& a = rig.add({0, 0}, 1);
   DcfMac& b = rig.add({100, 0}, 2);
   rig.add({200, 0}, 3);
-  rig.scheduler.runUntil(10'000);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
   a.enqueue(dataPacket(0), 280);
   b.enqueue(dataPacket(1), 280);  // b cannot sense a's 0-us-old carrier
   rig.scheduler.runAll();
@@ -109,7 +111,7 @@ TEST(MacEdge, SaturatedQueueDrainsCompletely) {
   Rig rig;
   DcfMac& a = rig.add({0, 0}, 1);
   rig.add({100, 0}, 2);
-  rig.scheduler.runUntil(10'000);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
   for (std::uint32_t i = 0; i < 20; ++i) a.enqueue(dataPacket(0, i), 280);
   rig.scheduler.runAll();
   EXPECT_EQ(rig.uppers[0]->starts, 20);
@@ -122,12 +124,12 @@ TEST(MacEdge, MixedBroadcastUnicastHelloQueue) {
   Rig rig;
   DcfMac& a = rig.add({0, 0}, 1);
   rig.add({100, 0}, 2);
-  rig.scheduler.runUntil(10'000);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
   auto hello = std::make_shared<net::Packet>();
   hello->type = net::PacketType::kHello;
-  hello->sender = 0;
+  hello->sender = HostId{0};
   a.enqueue(hello, 24);
-  a.enqueueUnicast(1, dataPacket(0, 1), 280);
+  a.enqueueUnicast(HostId{1}, dataPacket(0, 1), 280);
   a.enqueue(dataPacket(0, 2), 280);
   rig.scheduler.runAll();
   // All three delivered: hello + unicast data + broadcast data.
@@ -145,8 +147,8 @@ TEST(MacEdge, UnicastRetryPreemptsLaterQueueEntries) {
   params.retryLimit = 1;
   DcfMac& a = rig.add({0, 0}, 1, params);
   rig.add({100, 0}, 2, params);
-  rig.scheduler.runUntil(10'000);
-  a.enqueueUnicast(42, dataPacket(0, 1), 280);  // dest 42 doesn't exist
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{42}, dataPacket(0, 1), 280);  // dest 42 doesn't exist
   a.enqueue(dataPacket(0, 2), 280);             // broadcast behind it
   rig.scheduler.runAll();
   // Unicast failed after its retry; the broadcast still went out after.
@@ -160,10 +162,10 @@ TEST(MacEdge, QuiescentReflectsExchangeState) {
   Rig rig;
   DcfMac& a = rig.add({0, 0}, 1);
   rig.add({100, 0}, 2);
-  rig.scheduler.runUntil(10'000);
-  a.enqueueUnicast(1, dataPacket(0), 280);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, dataPacket(0), 280);
   EXPECT_FALSE(a.quiescent());          // queued
-  rig.scheduler.runUntil(11'000);       // DATA on the air / awaiting ACK
+  rig.scheduler.runUntil(sim::TimePoint{11'000});       // DATA on the air / awaiting ACK
   rig.scheduler.runAll();
   EXPECT_TRUE(a.quiescent());
 }
@@ -175,10 +177,10 @@ TEST(MacEdge, BackToBackBroadcastsFromManyStationsAllDrain) {
   for (int i = 0; i < 6; ++i) {
     rig.add({static_cast<double>(i) * 50.0, 0}, static_cast<std::uint64_t>(i) + 1);
   }
-  rig.scheduler.runUntil(10'000);
+  rig.scheduler.runUntil(sim::TimePoint{10'000});
   for (auto& mac : rig.macs) {
     for (std::uint32_t s = 0; s < 5; ++s) {
-      mac->enqueue(dataPacket(mac->self(), s), 280);
+      mac->enqueue(dataPacket(mac->self().value(), s), 280);
     }
   }
   rig.scheduler.runAll();

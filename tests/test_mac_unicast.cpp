@@ -12,10 +12,12 @@
 namespace manet::mac {
 namespace {
 
-using net::NodeId;
+using net::HostId;
 
-net::PacketPtr payload(NodeId origin, std::uint32_t seq = 0) {
-  return net::makeDataPacket(net::BroadcastId{origin, seq}, origin);
+net::PacketPtr payload(std::uint32_t origin, std::uint32_t seq = 0) {
+  const HostId src{origin};
+  return net::makeDataPacket(net::BroadcastId{src, net::BroadcastSeq{seq}},
+                             src);
 }
 
 class RecordingUpper : public DcfMac::Upper {
@@ -35,12 +37,12 @@ class RecordingUpper : public DcfMac::Upper {
 
   struct Start {
     DcfMac::TxId id;
-    sim::Time at;
+    sim::TimePoint at;
   };
   struct Outcome {
     DcfMac::TxId id;
     bool delivered;
-    sim::Time at;
+    sim::TimePoint at;
   };
   std::vector<Start> txStarts;
   std::vector<net::Packet> received;
@@ -56,7 +58,7 @@ class UnicastTest : public ::testing::Test {
 
   DcfMac& addStation(geom::Vec2 pos, std::uint64_t seed = 1,
                      MacParams params = {}) {
-    const NodeId id = static_cast<NodeId>(macs_.size());
+    const HostId id{static_cast<std::uint32_t>(macs_.size())};
     uppers_.push_back(std::make_unique<RecordingUpper>(scheduler_));
     macs_.push_back(std::make_unique<DcfMac>(
         scheduler_, channel_, id, [pos] { return pos; }, sim::Rng(seed),
@@ -64,7 +66,7 @@ class UnicastTest : public ::testing::Test {
     return *macs_.back();
   }
 
-  RecordingUpper& upper(NodeId id) { return *uppers_[id]; }
+  RecordingUpper& upper(std::uint32_t id) { return *uppers_[id]; }
 
   sim::Scheduler scheduler_;
   phy::Channel channel_;
@@ -75,14 +77,14 @@ class UnicastTest : public ::testing::Test {
 TEST_F(UnicastTest, DataIsAcknowledgedAndDelivered) {
   DcfMac& a = addStation({0, 0}, 1);
   addStation({300, 0}, 2);
-  scheduler_.runUntil(10'000);
-  const auto id = a.enqueueUnicast(1, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  const auto id = a.enqueueUnicast(HostId{1}, payload(0), 280);
   scheduler_.runAll();
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
   EXPECT_EQ(upper(0).outcomes[0].id, id);
   EXPECT_TRUE(upper(0).outcomes[0].delivered);
   ASSERT_EQ(upper(1).received.size(), 1u);
-  EXPECT_EQ(upper(1).received[0].dest, 1u);
+  EXPECT_EQ(upper(1).received[0].dest, HostId{1});
   EXPECT_EQ(macs_[1]->acksSent(), 1u);
   EXPECT_EQ(a.unicastRetries(), 0u);
 }
@@ -90,20 +92,20 @@ TEST_F(UnicastTest, DataIsAcknowledgedAndDelivered) {
 TEST_F(UnicastTest, AckArrivesOneSifsAfterData) {
   DcfMac& a = addStation({0, 0}, 1);
   addStation({300, 0}, 2);
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0), 280);
   scheduler_.runAll();
   // DATA: 10'000..12'432; ACK: SIFS(10) later, 14 B + PLCP = 304 us.
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
-  EXPECT_EQ(upper(0).outcomes[0].at, 10'000 + 2432 + 10 + 304);
+  EXPECT_EQ(upper(0).outcomes[0].at, sim::TimePoint{10'000 + 2432 + 10 + 304});
 }
 
 TEST_F(UnicastTest, NoReceiverMeansRetriesThenDrop) {
   MacParams params;
   params.retryLimit = 3;
   DcfMac& a = addStation({0, 0}, 1, params);
-  scheduler_.runUntil(10'000);
-  const auto id = a.enqueueUnicast(42, payload(0), 280);  // 42 doesn't exist
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  const auto id = a.enqueueUnicast(HostId{42}, payload(0), 280);  // 42 doesn't exist
   scheduler_.runAll();
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
   EXPECT_EQ(upper(0).outcomes[0].id, id);
@@ -122,12 +124,12 @@ TEST_F(UnicastTest, RetransmissionsAreDeduplicatedAtReceiver) {
   // same macSeq. Verify via direct duplicate injection.
   DcfMac& a = addStation({0, 0}, 1);
   addStation({300, 0}, 2);
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0, 7), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0, 7), 280);
   scheduler_.runAll();
   ASSERT_EQ(upper(1).received.size(), 1u);
   // Re-send the identical application payload: new macSeq, delivers again.
-  a.enqueueUnicast(1, payload(0, 7), 280);
+  a.enqueueUnicast(HostId{1}, payload(0, 7), 280);
   scheduler_.runAll();
   EXPECT_EQ(upper(1).received.size(), 2u);
 }
@@ -137,8 +139,8 @@ TEST_F(UnicastTest, RtsCtsExchangeDeliversData) {
   params.rtsThresholdBytes = 0;  // RTS for everything
   DcfMac& a = addStation({0, 0}, 1, params);
   addStation({300, 0}, 2, params);
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0), 280);
   scheduler_.runAll();
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
   EXPECT_TRUE(upper(0).outcomes[0].delivered);
@@ -153,15 +155,15 @@ TEST_F(UnicastTest, RtsTimelineMatches80211) {
   params.rtsThresholdBytes = 0;
   DcfMac& a = addStation({0, 0}, 1, params);
   addStation({300, 0}, 2, params);
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0), 280);
   scheduler_.runAll();
   // RTS 20B = 160+192 = 352 us; CTS/ACK 14B = 304 us; DATA = 2432 us.
   // DATA starts at 10'000 + 352 + SIFS + 304 + SIFS = 10'676.
   ASSERT_EQ(upper(0).txStarts.size(), 1u);  // onTxStarted fires at DATA
-  EXPECT_EQ(upper(0).txStarts[0].at, 10'000 + 352 + 10 + 304 + 10);
+  EXPECT_EQ(upper(0).txStarts[0].at, sim::TimePoint{10'000 + 352 + 10 + 304 + 10});
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
-  EXPECT_EQ(upper(0).outcomes[0].at, 10'676 + 2432 + 10 + 304);
+  EXPECT_EQ(upper(0).outcomes[0].at, sim::TimePoint{10'676 + 2432 + 10 + 304});
 }
 
 TEST_F(UnicastTest, MissingCtsTriggersRetry) {
@@ -169,8 +171,8 @@ TEST_F(UnicastTest, MissingCtsTriggersRetry) {
   params.rtsThresholdBytes = 0;
   params.retryLimit = 2;
   DcfMac& a = addStation({0, 0}, 1, params);
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(9, payload(0), 280);  // nobody answers the RTS
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{9}, payload(0), 280);  // nobody answers the RTS
   scheduler_.runAll();
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
   EXPECT_FALSE(upper(0).outcomes[0].delivered);
@@ -185,15 +187,15 @@ TEST_F(UnicastTest, NavDefersThirdParty) {
   DcfMac& a = addStation({0, 0}, 1);
   DcfMac& b = addStation({100, 0}, 2);
   addStation({200, 0}, 3);  // c
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(2, payload(0), 280);  // a -> c... dest id 2 is c
-  scheduler_.runUntil(12'500);  // DATA done at 12'432; ACK under way
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{2}, payload(0), 280);  // a -> c... dest id 2 is c
+  scheduler_.runUntil(sim::TimePoint{12'500});  // DATA done at 12'432; ACK under way
   b.enqueue(payload(1), 280);   // b wants to broadcast now
   scheduler_.runAll();
   // b's frame must start after the ACK completes (12'432+10+304 = 12'746)
   // plus DIFS at least.
   ASSERT_EQ(upper(1).txStarts.size(), 1u);
-  EXPECT_GE(upper(1).txStarts[0].at, 12'746 + 50);
+  EXPECT_GE(upper(1).txStarts[0].at, sim::TimePoint{12'746 + 50});
   // And the exchange itself succeeded despite b's pressure.
   ASSERT_EQ(upper(0).outcomes.size(), 1u);
   EXPECT_TRUE(upper(0).outcomes[0].delivered);
@@ -207,10 +209,10 @@ TEST_F(UnicastTest, CtsClearsHiddenTerminal) {
   DcfMac& a = addStation({0, 0}, 1, params);
   addStation({450, 0}, 2, params);            // b
   DcfMac& c = addStation({900, 0}, 3, params);  // hidden from a
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0), 280);
   // c tries to broadcast right after the CTS went out.
-  scheduler_.runUntil(10'700);
+  scheduler_.runUntil(sim::TimePoint{10'700});
   c.enqueue(payload(2), 280);
   scheduler_.runAll();
   // a's exchange completes successfully: c deferred on NAV.
@@ -218,9 +220,9 @@ TEST_F(UnicastTest, CtsClearsHiddenTerminal) {
   EXPECT_TRUE(upper(0).outcomes[0].delivered);
   // b got a's unicast data AND (later) c's deferred broadcast.
   ASSERT_EQ(upper(1).received.size(), 2u);
-  EXPECT_EQ(upper(1).received[0].dest, 1u);
+  EXPECT_EQ(upper(1).received[0].dest, HostId{1});
   // c's broadcast happened strictly after the ACK finished.
-  const sim::Time ackEnd = 10'676 + 2432 + 10 + 304;
+  const sim::TimePoint ackEnd{10'676 + 2432 + 10 + 304};
   ASSERT_EQ(upper(2).txStarts.size(), 1u);
   EXPECT_GE(upper(2).txStarts[0].at, ackEnd);
 }
@@ -231,9 +233,9 @@ TEST_F(UnicastTest, WithoutRtsHiddenTerminalCorruptsData) {
   DcfMac& a = addStation({0, 0}, 1);
   addStation({450, 0}, 2);
   DcfMac& c = addStation({900, 0}, 3);
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0), 280);
-  scheduler_.runUntil(10'700);  // a's DATA is mid-air; c senses idle
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'700});  // a's DATA is mid-air; c senses idle
   c.enqueue(payload(2), 280);
   scheduler_.runAll();
   EXPECT_GE(a.unicastRetries(), 1u);
@@ -253,10 +255,10 @@ TEST_F(UnicastTest, ContentionWindowEscalates) {
     RecordingUpper up(scheduler);
     MacParams params;
     params.retryLimit = 4;
-    DcfMac mac(scheduler, channel, 0, [] { return geom::Vec2{}; },
+    DcfMac mac(scheduler, channel, HostId{0}, [] { return geom::Vec2{}; },
                sim::Rng(seed), params, &up);
-    scheduler.runUntil(10'000);
-    mac.enqueueUnicast(9, payload(0), 280);
+    scheduler.runUntil(sim::TimePoint{10'000});
+    mac.enqueueUnicast(HostId{9}, payload(0), 280);
     scheduler.runAll();
     EXPECT_EQ(mac.unicastRetries(), 4u) << seed;
     EXPECT_EQ(mac.unicastDrops(), 1u) << seed;
@@ -266,9 +268,9 @@ TEST_F(UnicastTest, ContentionWindowEscalates) {
 TEST_F(UnicastTest, BroadcastAndUnicastShareTheQueue) {
   DcfMac& a = addStation({0, 0}, 1);
   addStation({300, 0}, 2);
-  scheduler_.runUntil(10'000);
+  scheduler_.runUntil(sim::TimePoint{10'000});
   a.enqueue(payload(0, 1), 280);           // broadcast first
-  a.enqueueUnicast(1, payload(0, 2), 280); // then unicast
+  a.enqueueUnicast(HostId{1}, payload(0, 2), 280); // then unicast
   scheduler_.runAll();
   // Receiver got both: the broadcast and the unicast data.
   EXPECT_EQ(upper(1).received.size(), 2u);
@@ -279,7 +281,7 @@ TEST_F(UnicastTest, BroadcastAndUnicastShareTheQueue) {
 TEST_F(UnicastTest, CancelQueuedUnicast) {
   DcfMac& a = addStation({0, 0}, 1);
   addStation({300, 0}, 2);
-  const auto id = a.enqueueUnicast(1, payload(0), 280);
+  const auto id = a.enqueueUnicast(HostId{1}, payload(0), 280);
   EXPECT_TRUE(a.cancel(id));
   scheduler_.runAll();
   EXPECT_TRUE(upper(0).outcomes.empty());
@@ -288,8 +290,8 @@ TEST_F(UnicastTest, CancelQueuedUnicast) {
 
 TEST_F(UnicastTest, EnqueueUnicastRejectsSelfAndBroadcast) {
   DcfMac& a = addStation({0, 0}, 1);
-  EXPECT_DEATH(a.enqueueUnicast(0, payload(0), 280), "Precondition");
-  EXPECT_DEATH(a.enqueueUnicast(net::kInvalidNode, payload(0), 280),
+  EXPECT_DEATH(a.enqueueUnicast(HostId{0}, payload(0), 280), "Precondition");
+  EXPECT_DEATH(a.enqueueUnicast(net::kInvalidHost, payload(0), 280),
                "Precondition");
 }
 
@@ -297,8 +299,8 @@ TEST_F(UnicastTest, OverheardUnicastIsNotDeliveredUp) {
   DcfMac& a = addStation({0, 0}, 1);
   addStation({300, 0}, 2);
   addStation({150, 100}, 3);  // overhears everything
-  scheduler_.runUntil(10'000);
-  a.enqueueUnicast(1, payload(0), 280);
+  scheduler_.runUntil(sim::TimePoint{10'000});
+  a.enqueueUnicast(HostId{1}, payload(0), 280);
   scheduler_.runAll();
   EXPECT_EQ(upper(1).received.size(), 1u);
   EXPECT_TRUE(upper(2).received.empty());

@@ -11,7 +11,10 @@ namespace {
 
 using geom::Vec2;
 using sim::kSecond;
-using sim::Time;
+
+constexpr sim::TimePoint T(sim::Duration sinceStart) {
+  return sim::kTimeZero + sinceStart;
+}
 
 TEST(MapSpec, SquareBuilder) {
   const MapSpec m = MapSpec::square(5);
@@ -43,8 +46,8 @@ TEST(SpeedConversion, KmhToMps) {
 
 TEST(Stationary, NeverMoves) {
   Stationary s({100, 200});
-  EXPECT_EQ(s.positionAt(0), (Vec2{100, 200}));
-  EXPECT_EQ(s.positionAt(1000 * kSecond), (Vec2{100, 200}));
+  EXPECT_EQ(s.positionAt(sim::kTimeZero), (Vec2{100, 200}));
+  EXPECT_EQ(s.positionAt(T(1000 * kSecond)), (Vec2{100, 200}));
 }
 
 TEST(RandomRoam, StaysWithinMap) {
@@ -52,9 +55,9 @@ TEST(RandomRoam, StaysWithinMap) {
   RoamParams params;
   params.maxSpeedMps = kmhToMps(110.0);
   RandomRoam roam(map, {750, 750}, params, sim::Rng(5));
-  for (Time t = 0; t <= 600 * kSecond; t += kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= T(600 * kSecond); t += kSecond) {
     const Vec2 p = roam.positionAt(t);
-    EXPECT_TRUE(map.contains(p)) << "t=" << t << " p=(" << p.x << "," << p.y
+    EXPECT_TRUE(map.contains(p)) << "t=" << t.ticks() << " p=(" << p.x << "," << p.y
                                  << ")";
   }
 }
@@ -64,8 +67,8 @@ TEST(RandomRoam, RespectsMaxSpeedBetweenQueries) {
   RoamParams params;
   params.maxSpeedMps = kmhToMps(50.0);
   RandomRoam roam(map, {2750, 2750}, params, sim::Rng(6));
-  Vec2 prev = roam.positionAt(0);
-  for (Time t = kSecond; t <= 300 * kSecond; t += kSecond) {
+  Vec2 prev = roam.positionAt(sim::kTimeZero);
+  for (sim::TimePoint t = T(kSecond); t <= T(300 * kSecond); t += kSecond) {
     const Vec2 cur = roam.positionAt(t);
     // One second apart: displacement can never exceed maxSpeed * 1 s (a
     // reflection only folds the path, it cannot lengthen it... but it can
@@ -80,8 +83,8 @@ TEST(RandomRoam, ZeroMaxSpeedMeansStationary) {
   RoamParams params;
   params.maxSpeedMps = 0.0;
   RandomRoam roam(map, {100, 900}, params, sim::Rng(7));
-  const Vec2 start = roam.positionAt(0);
-  EXPECT_EQ(roam.positionAt(500 * kSecond), start);
+  const Vec2 start = roam.positionAt(sim::kTimeZero);
+  EXPECT_EQ(roam.positionAt(T(500 * kSecond)), start);
 }
 
 TEST(RandomRoam, DeterministicForSameSeed) {
@@ -90,7 +93,7 @@ TEST(RandomRoam, DeterministicForSameSeed) {
   params.maxSpeedMps = kmhToMps(50.0);
   RandomRoam a(map, {1000, 1000}, params, sim::Rng(8));
   RandomRoam b(map, {1000, 1000}, params, sim::Rng(8));
-  for (Time t = 0; t <= 200 * kSecond; t += 7 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= T(200 * kSecond); t += 7 * kSecond) {
     EXPECT_EQ(a.positionAt(t), b.positionAt(t));
   }
 }
@@ -100,9 +103,9 @@ TEST(RandomRoam, MovesEventually) {
   RoamParams params;
   params.maxSpeedMps = kmhToMps(50.0);
   RandomRoam roam(map, {1000, 1000}, params, sim::Rng(9));
-  const Vec2 start = roam.positionAt(0);
+  const Vec2 start = roam.positionAt(sim::kTimeZero);
   double maxDisplacement = 0.0;
-  for (Time t = 0; t <= 300 * kSecond; t += 10 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= T(300 * kSecond); t += 10 * kSecond) {
     maxDisplacement =
         std::max(maxDisplacement, geom::distance(start, roam.positionAt(t)));
   }
@@ -114,16 +117,16 @@ TEST(RandomRoam, QueriesAtSameTimeAreStable) {
   RoamParams params;
   params.maxSpeedMps = kmhToMps(30.0);
   RandomRoam roam(map, {500, 500}, params, sim::Rng(10));
-  const Vec2 a = roam.positionAt(17 * kSecond);
-  const Vec2 b = roam.positionAt(17 * kSecond);
+  const Vec2 a = roam.positionAt(T(17 * kSecond));
+  const Vec2 b = roam.positionAt(T(17 * kSecond));
   EXPECT_EQ(a, b);
 }
 
 TEST(RandomRoamDeath, RejectsBackwardQueries) {
   const MapSpec map = MapSpec::square(3);
   RandomRoam roam(map, {500, 500}, RoamParams{}, sim::Rng(11));
-  (void)roam.positionAt(10 * kSecond);
-  EXPECT_DEATH((void)roam.positionAt(5 * kSecond), "Precondition");
+  (void)roam.positionAt(T(10 * kSecond));
+  EXPECT_DEATH((void)roam.positionAt(T(5 * kSecond)), "Precondition");
 }
 
 TEST(RandomRoam, TurnDurationsWithinConfiguredRange) {
@@ -137,7 +140,7 @@ TEST(RandomRoam, TurnDurationsWithinConfiguredRange) {
   RandomRoam roam(map, {750, 750}, params, sim::Rng(12));
   Vec2 prevVelocity = roam.currentVelocity();
   int changes = 0;
-  for (Time t = 0; t <= 60 * kSecond; t += kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= T(60 * kSecond); t += kSecond) {
     (void)roam.positionAt(t);
     if (!(roam.currentVelocity() == prevVelocity)) {
       ++changes;
@@ -154,7 +157,7 @@ TEST(Waypoint, StaysWithinMapAndReachesDestinations) {
   params.maxSpeedMps = 20.0;
   params.pause = 2 * kSecond;
   RandomWaypoint wp(map, {0, 0}, params, sim::Rng(13));
-  for (Time t = 0; t <= 500 * kSecond; t += kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= T(500 * kSecond); t += kSecond) {
     EXPECT_TRUE(map.contains(wp.positionAt(t)));
   }
 }
@@ -164,7 +167,7 @@ TEST(Waypoint, DeterministicForSameSeed) {
   WaypointParams params;
   RandomWaypoint a(map, {100, 100}, params, sim::Rng(14));
   RandomWaypoint b(map, {100, 100}, params, sim::Rng(14));
-  for (Time t = 0; t <= 100 * kSecond; t += 3 * kSecond) {
+  for (sim::TimePoint t = sim::kTimeZero; t <= T(100 * kSecond); t += 3 * kSecond) {
     EXPECT_EQ(a.positionAt(t), b.positionAt(t));
   }
 }
@@ -178,8 +181,8 @@ TEST(Waypoint, PausesAtDestination) {
   RandomWaypoint wp(map, {0, 0}, params, sim::Rng(15));
   // Sample densely; during pauses consecutive samples must coincide.
   int stationarySamples = 0;
-  Vec2 prev = wp.positionAt(0);
-  for (Time t = kSecond; t <= 200 * kSecond; t += kSecond) {
+  Vec2 prev = wp.positionAt(sim::kTimeZero);
+  for (sim::TimePoint t = T(kSecond); t <= T(200 * kSecond); t += kSecond) {
     const Vec2 cur = wp.positionAt(t);
     if (cur == prev) ++stationarySamples;
     prev = cur;

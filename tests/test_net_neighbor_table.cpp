@@ -10,13 +10,24 @@ namespace manet::net {
 namespace {
 
 using sim::kSecond;
-using sim::Time;
 
-Packet hello(NodeId sender, std::vector<NodeId> neighbors = {},
-             Time interval = 1 * kSecond) {
+constexpr HostId H(std::uint32_t id) { return HostId{id}; }
+constexpr sim::TimePoint T(std::int64_t ticks) { return sim::TimePoint{ticks}; }
+constexpr sim::TimePoint T(sim::Duration sinceStart) {
+  return sim::kTimeZero + sinceStart;
+}
+
+std::vector<HostId> ids(std::initializer_list<std::uint32_t> vs) {
+  std::vector<HostId> out;
+  for (std::uint32_t v : vs) out.push_back(HostId{v});
+  return out;
+}
+
+Packet hello(std::uint32_t sender, std::vector<HostId> neighbors = {},
+             sim::Duration interval = 1 * kSecond) {
   Packet p;
   p.type = PacketType::kHello;
-  p.sender = sender;
+  p.sender = HostId{sender};
   p.helloNeighbors = std::move(neighbors);
   p.helloInterval = interval;
   return p;
@@ -24,128 +35,128 @@ Packet hello(NodeId sender, std::vector<NodeId> neighbors = {},
 
 TEST(NeighborTable, StartsEmpty) {
   NeighborTable t;
-  EXPECT_EQ(t.neighborCount(0), 0);
-  EXPECT_TRUE(t.neighborIds(0).empty());
+  EXPECT_EQ(t.neighborCount(T(0)), 0);
+  EXPECT_TRUE(t.neighborIds(T(0)).empty());
 }
 
 TEST(NeighborTable, HelloInsertsNeighbor) {
   NeighborTable t;
-  t.onHello(7, hello(7), 1 * kSecond);
-  EXPECT_EQ(t.neighborCount(1 * kSecond), 1);
-  EXPECT_TRUE(t.contains(7, 1 * kSecond));
+  t.onHello(H(7), hello(7), T(1 * kSecond));
+  EXPECT_EQ(t.neighborCount(T(1 * kSecond)), 1);
+  EXPECT_TRUE(t.contains(H(7), T(1 * kSecond)));
 }
 
 TEST(NeighborTable, EntryExpiresAfterTwoIntervals) {
   NeighborTable t;
-  t.onHello(7, hello(7, {}, 1 * kSecond), 0);
-  EXPECT_TRUE(t.contains(7, 2 * kSecond));          // exactly 2 intervals: kept
-  EXPECT_FALSE(t.contains(7, 2 * kSecond + 1));     // just past: dropped
+  t.onHello(H(7), hello(7, {}, 1 * kSecond), T(0));
+  EXPECT_TRUE(t.contains(H(7), T(2 * kSecond)));          // exactly 2 intervals: kept
+  EXPECT_FALSE(t.contains(H(7), T(2 * kSecond + sim::kMicrosecond)));     // just past: dropped
 }
 
 TEST(NeighborTable, FreshHelloRefreshesExpiry) {
   NeighborTable t;
-  t.onHello(7, hello(7), 0);
-  t.onHello(7, hello(7), 1 * kSecond);
-  EXPECT_TRUE(t.contains(7, 3 * kSecond));
-  EXPECT_FALSE(t.contains(7, 3 * kSecond + 1));
+  t.onHello(H(7), hello(7), T(0));
+  t.onHello(H(7), hello(7), T(1 * kSecond));
+  EXPECT_TRUE(t.contains(H(7), T(3 * kSecond)));
+  EXPECT_FALSE(t.contains(H(7), T(3 * kSecond + sim::kMicrosecond)));
 }
 
 TEST(NeighborTable, ExpiryUsesSenderAnnouncedInterval) {
   NeighborTable t;
-  t.onHello(7, hello(7, {}, 10 * kSecond), 0);  // DHI host with long interval
-  EXPECT_TRUE(t.contains(7, 19 * kSecond));
-  EXPECT_FALSE(t.contains(7, 21 * kSecond));
+  t.onHello(H(7), hello(7, {}, 10 * kSecond), T(0));  // DHI host with long interval
+  EXPECT_TRUE(t.contains(H(7), T(19 * kSecond)));
+  EXPECT_FALSE(t.contains(H(7), T(21 * kSecond)));
 }
 
 TEST(NeighborTable, FallbackIntervalWhenNotAnnounced) {
   NeighborTable t(10 * kSecond, /*fallbackInterval=*/2 * kSecond);
-  t.onHello(7, hello(7, {}, 0), 0);  // interval 0 = not announced
-  EXPECT_TRUE(t.contains(7, 4 * kSecond));
-  EXPECT_FALSE(t.contains(7, 4 * kSecond + 1));
+  t.onHello(H(7), hello(7, {}, sim::Duration{}), T(0));  // interval 0 = not announced
+  EXPECT_TRUE(t.contains(H(7), T(4 * kSecond)));
+  EXPECT_FALSE(t.contains(H(7), T(4 * kSecond + sim::kMicrosecond)));
 }
 
 TEST(NeighborTable, TwoHopSetsStored) {
   NeighborTable t;
-  t.onHello(7, hello(7, {1, 2, 3}), 0);
-  const auto n = t.neighborsOf(7, kSecond);
+  t.onHello(H(7), hello(7, ids({1, 2, 3})), T(0));
+  const auto n = t.neighborsOf(H(7), T(kSecond));
   ASSERT_TRUE(n.has_value());
-  EXPECT_EQ(*n, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(*n, ids({1, 2, 3}));
 }
 
 TEST(NeighborTable, TwoHopSetsUpdatedByNewerHello) {
   NeighborTable t;
-  t.onHello(7, hello(7, {1, 2}), 0);
-  t.onHello(7, hello(7, {3}), kSecond);
-  EXPECT_EQ(*t.neighborsOf(7, kSecond), (std::vector<NodeId>{3}));
+  t.onHello(H(7), hello(7, ids({1, 2})), T(0));
+  t.onHello(H(7), hello(7, ids({3})), T(kSecond));
+  EXPECT_EQ(*t.neighborsOf(H(7), T(kSecond)), ids({3}));
 }
 
 TEST(NeighborTable, UnknownNeighborHasNoTwoHopSet) {
   NeighborTable t;
-  EXPECT_FALSE(t.neighborsOf(9, 0).has_value());
+  EXPECT_FALSE(t.neighborsOf(H(9), T(0)).has_value());
 }
 
 TEST(NeighborTable, NeighborIdsListsCurrentNeighbors) {
   NeighborTable t;
-  t.onHello(1, hello(1), 0);
-  t.onHello(2, hello(2), 0);
-  t.onHello(3, hello(3, {}, 10 * kSecond), 0);
-  auto ids = t.neighborIds(3 * kSecond);  // 1 and 2 expired, 3 remains
-  EXPECT_EQ(ids, (std::vector<NodeId>{3}));
+  t.onHello(H(1), hello(1), T(0));
+  t.onHello(H(2), hello(2), T(0));
+  t.onHello(H(3), hello(3, {}, 10 * kSecond), T(0));
+  auto got = t.neighborIds(T(3 * kSecond));  // 1 and 2 expired, 3 remains
+  EXPECT_EQ(got, ids({3}));
 }
 
 TEST(NeighborTable, JoinRecordsChangeEvent) {
   NeighborTable t;
-  t.onHello(1, hello(1), 0);
-  EXPECT_EQ(t.changeEventsInWindow(0), 1);
-  t.onHello(1, hello(1), kSecond);  // refresh, not a join
-  EXPECT_EQ(t.changeEventsInWindow(kSecond), 1);
+  t.onHello(H(1), hello(1), T(0));
+  EXPECT_EQ(t.changeEventsInWindow(T(0)), 1);
+  t.onHello(H(1), hello(1), T(kSecond));  // refresh, not a join
+  EXPECT_EQ(t.changeEventsInWindow(T(kSecond)), 1);
 }
 
 TEST(NeighborTable, LeaveRecordsChangeEvent) {
   NeighborTable t;
-  t.onHello(1, hello(1), 0);
-  t.purge(5 * kSecond);  // expired at 2 s; purged now
-  EXPECT_EQ(t.changeEventsInWindow(5 * kSecond), 2);  // join + leave
+  t.onHello(H(1), hello(1), T(0));
+  t.purge(T(5 * kSecond));  // expired at 2 s; purged now
+  EXPECT_EQ(t.changeEventsInWindow(T(5 * kSecond)), 2);  // join + leave
 }
 
 TEST(NeighborTable, ChangeEventsAgeOutOfWindow) {
   NeighborTable t(10 * kSecond);
-  t.onHello(1, hello(1, {}, 30 * kSecond), 0);  // long-lived entry
-  EXPECT_EQ(t.changeEventsInWindow(0), 1);
-  EXPECT_EQ(t.changeEventsInWindow(10 * kSecond), 1);  // still inside window
-  EXPECT_EQ(t.changeEventsInWindow(10 * kSecond + 1), 0);
+  t.onHello(H(1), hello(1, {}, 30 * kSecond), T(0));  // long-lived entry
+  EXPECT_EQ(t.changeEventsInWindow(T(0)), 1);
+  EXPECT_EQ(t.changeEventsInWindow(T(10 * kSecond)), 1);  // still inside window
+  EXPECT_EQ(t.changeEventsInWindow(T(10 * kSecond + sim::kMicrosecond)), 0);
 }
 
 TEST(NeighborTable, NeighborhoodVariationFormula) {
   // nv = changes / (|N| * 10 s): 2 neighbors, 2 join events => 2/(2*10)=0.1.
   NeighborTable t;
-  t.onHello(1, hello(1, {}, 30 * kSecond), 0);
-  t.onHello(2, hello(2, {}, 30 * kSecond), 0);
-  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(kSecond), 2.0 / (2.0 * 10.0));
+  t.onHello(H(1), hello(1, {}, 30 * kSecond), T(0));
+  t.onHello(H(2), hello(2, {}, 30 * kSecond), T(0));
+  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(T(kSecond)), 2.0 / (2.0 * 10.0));
 }
 
 TEST(NeighborTable, VariationZeroWhenStable) {
   NeighborTable t;
-  t.onHello(1, hello(1, {}, 30 * kSecond), 0);
+  t.onHello(H(1), hello(1, {}, 30 * kSecond), T(0));
   // 11 s later the join event left the window; the entry is still alive.
-  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(11 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(T(11 * kSecond)), 0.0);
 }
 
 TEST(NeighborTable, VariationWithEmptyNeighborhoodUsesUnitDenominator) {
   NeighborTable t;
-  t.onHello(1, hello(1), 0);
-  t.purge(5 * kSecond);  // join+leave, table now empty
-  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(5 * kSecond), 2.0 / 10.0);
+  t.onHello(H(1), hello(1), T(0));
+  t.purge(T(5 * kSecond));  // join+leave, table now empty
+  EXPECT_DOUBLE_EQ(t.neighborhoodVariation(T(5 * kSecond)), 2.0 / 10.0);
 }
 
 TEST(NeighborTable, PurgeIsStableUnderRepetition) {
   NeighborTable t;
-  t.onHello(1, hello(1), 0);
-  t.purge(5 * kSecond);
-  const int events = t.changeEventsInWindow(5 * kSecond);
-  t.purge(5 * kSecond);
-  t.purge(5 * kSecond);
-  EXPECT_EQ(t.changeEventsInWindow(5 * kSecond), events);
+  t.onHello(H(1), hello(1), T(0));
+  t.purge(T(5 * kSecond));
+  const int events = t.changeEventsInWindow(T(5 * kSecond));
+  t.purge(T(5 * kSecond));
+  t.purge(T(5 * kSecond));
+  EXPECT_EQ(t.changeEventsInWindow(T(5 * kSecond)), events);
 }
 
 }  // namespace

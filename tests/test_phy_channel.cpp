@@ -10,19 +10,19 @@
 namespace manet::phy {
 namespace {
 
-using net::NodeId;
+using net::HostId;
 
-net::PacketPtr dataPacket(NodeId sender) {
-  return net::makeDataPacket(net::BroadcastId{sender, 0}, sender);
+net::PacketPtr dataPacket(HostId sender) {
+  return net::makeDataPacket(net::BroadcastId{sender, net::BroadcastSeq{0}}, sender);
 }
 
 /// Records everything the channel tells one node.
 class Probe : public Channel::Listener {
  public:
   struct Rx {
-    NodeId from;
+    HostId from;
     bool corrupted;
-    sim::Time at;
+    sim::TimePoint at;
   };
   void onMediumBusy() override { ++busyEvents; }
   void onMediumIdle() override { ++idleEvents; }
@@ -45,14 +45,14 @@ class ChannelTest : public ::testing::Test {
     return *channel_;
   }
 
-  NodeId addNode(geom::Vec2 pos) {
-    const NodeId id = static_cast<NodeId>(probes_.size());
+  HostId addNode(geom::Vec2 pos) {
+    const HostId id{static_cast<std::uint32_t>(probes_.size())};
     probes_.push_back(std::make_unique<Probe>());
     channel_->attach(id, probes_.back().get(), [pos] { return pos; });
     return id;
   }
 
-  Probe& probe(NodeId id) { return *probes_[id]; }
+  Probe& probe(HostId id) { return *probes_[id.value()]; }
 
   sim::Scheduler scheduler_;
   std::unique_ptr<Channel> channel_;
@@ -62,15 +62,15 @@ class ChannelTest : public ::testing::Test {
 TEST_F(ChannelTest, FrameAirtimeMatchesDsssTiming) {
   PhyParams p;
   // 280 bytes at 1 Mb/s = 2240 us, plus 144 + 48 us of PLCP.
-  EXPECT_EQ(p.frameAirtime(280), 2432);
-  EXPECT_EQ(p.frameAirtime(0), 192);
+  EXPECT_EQ(p.frameAirtime(280), sim::Duration{2432});
+  EXPECT_EQ(p.frameAirtime(0), sim::Duration{192});
 }
 
 TEST_F(ChannelTest, InRangeNodeReceivesIntactFrame) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({400, 0});
-  const sim::Time end = ch.transmit(a, dataPacket(a), 280);
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({400, 0});
+  const sim::TimePoint end = ch.transmit(a, dataPacket(a), 280);
   scheduler_.runAll();
   ASSERT_EQ(probe(b).receptions.size(), 1u);
   EXPECT_EQ(probe(b).receptions[0].from, a);
@@ -80,8 +80,8 @@ TEST_F(ChannelTest, InRangeNodeReceivesIntactFrame) {
 
 TEST_F(ChannelTest, OutOfRangeNodeHearsNothing) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId far = addNode({501, 0});
+  const HostId a = addNode({0, 0});
+  const HostId far = addNode({501, 0});
   ch.transmit(a, dataPacket(a), 280);
   scheduler_.runAll();
   EXPECT_TRUE(probe(far).receptions.empty());
@@ -90,8 +90,8 @@ TEST_F(ChannelTest, OutOfRangeNodeHearsNothing) {
 
 TEST_F(ChannelTest, RangeBoundaryIsInclusive) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId edge = addNode({500, 0});
+  const HostId a = addNode({0, 0});
+  const HostId edge = addNode({500, 0});
   ch.transmit(a, dataPacket(a), 280);
   scheduler_.runAll();
   EXPECT_EQ(probe(edge).receptions.size(), 1u);
@@ -99,7 +99,7 @@ TEST_F(ChannelTest, RangeBoundaryIsInclusive) {
 
 TEST_F(ChannelTest, TransmitterDoesNotReceiveItsOwnFrame) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
+  const HostId a = addNode({0, 0});
   ch.transmit(a, dataPacket(a), 280);
   scheduler_.runAll();
   EXPECT_TRUE(probe(a).receptions.empty());
@@ -108,13 +108,13 @@ TEST_F(ChannelTest, TransmitterDoesNotReceiveItsOwnFrame) {
 
 TEST_F(ChannelTest, CarrierBusyDuringTransmission) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({100, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({100, 0});
   EXPECT_FALSE(ch.carrierBusy(b));
   ch.transmit(a, dataPacket(a), 280);
   EXPECT_TRUE(ch.carrierBusy(a));   // own transmission asserts energy at once
   EXPECT_FALSE(ch.carrierBusy(b));  // ...but b can't sense it yet (RF delay)
-  scheduler_.runUntil(PhyParams{}.carrierSenseDelay);
+  scheduler_.runUntil(sim::kTimeZero + PhyParams{}.carrierSenseDelay);
   EXPECT_TRUE(ch.carrierBusy(b));
   EXPECT_TRUE(ch.isTransmitting(a));
   scheduler_.runAll();
@@ -127,11 +127,11 @@ TEST_F(ChannelTest, CarrierBusyDuringTransmission) {
 
 TEST_F(ChannelTest, OverlappingFramesCollideAtCommonReceiver) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({900, 0});    // hidden from a (dist 900 > 500)
-  const NodeId mid = addNode({450, 0});  // hears both
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({900, 0});    // hidden from a (dist 900 > 500)
+  const HostId mid = addNode({450, 0});  // hears both
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(100);  // b starts mid-frame: hidden-terminal collision
+  scheduler_.runUntil(sim::TimePoint{100});  // b starts mid-frame: hidden-terminal collision
   ch.transmit(b, dataPacket(b), 280);
   scheduler_.runAll();
   ASSERT_EQ(probe(mid).receptions.size(), 2u);
@@ -141,10 +141,10 @@ TEST_F(ChannelTest, OverlappingFramesCollideAtCommonReceiver) {
 
 TEST_F(ChannelTest, NonOverlappingFramesBothDeliver) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({900, 0});
-  const NodeId mid = addNode({450, 0});
-  const sim::Time end = ch.transmit(a, dataPacket(a), 280);
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({900, 0});
+  const HostId mid = addNode({450, 0});
+  const sim::TimePoint end = ch.transmit(a, dataPacket(a), 280);
   scheduler_.runUntil(end);  // a's frame completed
   ch.transmit(b, dataPacket(b), 280);
   scheduler_.runAll();
@@ -157,12 +157,12 @@ TEST_F(ChannelTest, CollisionIsLocalToOverlapArea) {
   // d hears only b, so b's frame is intact there even though it collided
   // with a's frame at mid.
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({900, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({900, 0});
   addNode({450, 0});                       // mid: collision zone
-  const NodeId d = addNode({1300, 0});     // only in b's range
+  const HostId d = addNode({1300, 0});     // only in b's range
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(100);
+  scheduler_.runUntil(sim::TimePoint{100});
   ch.transmit(b, dataPacket(b), 280);
   scheduler_.runAll();
   ASSERT_EQ(probe(d).receptions.size(), 1u);
@@ -172,10 +172,10 @@ TEST_F(ChannelTest, CollisionIsLocalToOverlapArea) {
 
 TEST_F(ChannelTest, HalfDuplexTransmitterLosesIncomingFrame) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({400, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({400, 0});
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(50);
+  scheduler_.runUntil(sim::TimePoint{50});
   ch.transmit(b, dataPacket(b), 280);  // b starts while a's frame arrives
   scheduler_.runAll();
   // b was transmitting during part of a's frame: the frame is corrupt at b.
@@ -188,11 +188,11 @@ TEST_F(ChannelTest, HalfDuplexTransmitterLosesIncomingFrame) {
 
 TEST_F(ChannelTest, BusyIdleTransitionsCountOverlaps) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({200, 0});
-  const NodeId c = addNode({400, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({200, 0});
+  const HostId c = addNode({400, 0});
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(100);
+  scheduler_.runUntil(sim::TimePoint{100});
   ch.transmit(b, dataPacket(b), 280);
   scheduler_.runAll();
   // c heard both overlapping frames: exactly one busy->idle cycle.
@@ -204,11 +204,11 @@ TEST_F(ChannelTest, BusyIdleTransitionsCountOverlaps) {
 TEST_F(ChannelTest, CollisionsDisabledDeliversOverlappingFrames) {
   Channel& ch = makeChannel();
   ch.setCollisionsEnabled(false);
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({900, 0});
-  const NodeId mid = addNode({450, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({900, 0});
+  const HostId mid = addNode({450, 0});
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(100);
+  scheduler_.runUntil(sim::TimePoint{100});
   ch.transmit(b, dataPacket(b), 280);
   scheduler_.runAll();
   ASSERT_EQ(probe(mid).receptions.size(), 2u);
@@ -218,11 +218,11 @@ TEST_F(ChannelTest, CollisionsDisabledDeliversOverlappingFrames) {
 
 TEST_F(ChannelTest, StatisticsCounters) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({900, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({900, 0});
   addNode({450, 0});
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(100);
+  scheduler_.runUntil(sim::TimePoint{100});
   ch.transmit(b, dataPacket(b), 280);
   scheduler_.runAll();
   EXPECT_EQ(ch.framesTransmitted(), 2u);
@@ -234,8 +234,8 @@ TEST_F(ChannelTest, StatisticsCounters) {
 
 TEST_F(ChannelTest, NodesInRangeExcludesSelf) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({300, 0});
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({300, 0});
   addNode({5000, 5000});
   const auto inRange = ch.nodesInRange(a);
   ASSERT_EQ(inRange.size(), 1u);
@@ -256,23 +256,23 @@ TEST_F(ChannelTest, PositionFunctionIsLive) {
   Channel& ch = makeChannel();
   geom::Vec2 pos{0, 0};
   probes_.push_back(std::make_unique<Probe>());
-  ch.attach(0, probes_.back().get(), [&pos] { return pos; });
-  EXPECT_EQ(ch.positionOf(0), (geom::Vec2{0, 0}));
+  ch.attach(HostId{0}, probes_.back().get(), [&pos] { return pos; });
+  EXPECT_EQ(ch.positionOf(HostId{0}), (geom::Vec2{0, 0}));
   pos = {9, 9};
-  EXPECT_EQ(ch.positionOf(0), (geom::Vec2{9, 9}));
+  EXPECT_EQ(ch.positionOf(HostId{0}), (geom::Vec2{9, 9}));
 }
 
 TEST_F(ChannelTest, ThreeWayCollisionCorruptsEverything) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
-  const NodeId b = addNode({0, 600});
-  const NodeId c = addNode({600, 0});
-  const NodeId mid = addNode({300, 300});  // in range of all three
+  const HostId a = addNode({0, 0});
+  const HostId b = addNode({0, 600});
+  const HostId c = addNode({600, 0});
+  const HostId mid = addNode({300, 300});  // in range of all three
   // a-b, a-c, b-c pairwise distances are 600+ m: mutually hidden.
   ch.transmit(a, dataPacket(a), 280);
-  scheduler_.runUntil(10);
+  scheduler_.runUntil(sim::TimePoint{10});
   ch.transmit(b, dataPacket(b), 280);
-  scheduler_.runUntil(20);
+  scheduler_.runUntil(sim::TimePoint{20});
   ch.transmit(c, dataPacket(c), 280);
   scheduler_.runAll();
   ASSERT_EQ(probe(mid).receptions.size(), 3u);
@@ -283,13 +283,13 @@ TEST_F(ChannelTest, DoubleAttachIsRejected) {
   Channel& ch = makeChannel();
   addNode({0, 0});
   Probe extra;
-  EXPECT_DEATH(ch.attach(0, &extra, [] { return geom::Vec2{}; }),
+  EXPECT_DEATH(ch.attach(HostId{0}, &extra, [] { return geom::Vec2{}; }),
                "Precondition");
 }
 
 TEST_F(ChannelTest, TransmitWhileTransmittingIsRejected) {
   Channel& ch = makeChannel();
-  const NodeId a = addNode({0, 0});
+  const HostId a = addNode({0, 0});
   ch.transmit(a, dataPacket(a), 280);
   EXPECT_DEATH(ch.transmit(a, dataPacket(a), 280), "Precondition");
 }

@@ -18,14 +18,14 @@
 namespace manet::phy {
 namespace {
 
-using net::NodeId;
+using net::HostId;
 
 class Sink : public Channel::Listener {
  public:
   struct Rx {
-    NodeId from;
+    HostId from;
     bool corrupted;
-    sim::Time at;
+    sim::TimePoint at;
     friend bool operator==(const Rx&, const Rx&) = default;
   };
   void onFrameReceived(const Frame& frame, DropReason drop) override {
@@ -52,12 +52,12 @@ struct MobileFixture {
       sinks.push_back(std::make_unique<Sink>());
       mobility::MobilityModel* model = models.back().get();
       channel->attach(
-          static_cast<NodeId>(i), sinks.back().get(),
+          HostId{static_cast<std::uint32_t>(i)}, sinks.back().get(),
           [this, model] { return model->positionAt(scheduler.now()); });
     }
   }
 
-  void advance(sim::Time dt) {
+  void advance(sim::Duration dt) {
     scheduler.schedule(scheduler.now() + dt, [] {});
     scheduler.runAll();
   }
@@ -75,7 +75,7 @@ TEST(PhyGridDifferential, NodesInRangeMatchesExhaustiveUnderMobility) {
       for (int epoch = 0; epoch < 25; ++epoch) {
         fx.advance(200 * sim::kMillisecond);
         for (int i = 0; i < 60; ++i) {
-          const auto id = static_cast<NodeId>(i);
+          const HostId id{static_cast<std::uint32_t>(i)};
           fx.channel->setGridEnabled(true);
           const auto viaGrid = fx.channel->nodesInRange(id);
           fx.channel->setGridEnabled(false);
@@ -113,13 +113,12 @@ TEST(PhyGridDifferential, TransmitDeliverySetsMatchExhaustive) {
 
     sim::Rng rng(99);
     for (int round = 0; round < 40; ++round) {
-      const auto dt = rng.uniformTime(1, 5 * sim::kMillisecond);
-      const auto src =
-          static_cast<NodeId>(rng.uniformInt(0, 49));
+      const auto dt = rng.uniformDuration(sim::kMicrosecond, 5 * sim::kMillisecond);
+      const HostId src{static_cast<std::uint32_t>(rng.uniformInt(0, 49))};
       for (MobileFixture* fx : {&grid, &scan}) {
         fx->advance(dt);
         if (!fx->channel->isTransmitting(src)) {
-          fx->channel->transmit(src, net::makeDataPacket({src, 0}, src), 280);
+          fx->channel->transmit(src, net::makeDataPacket({src, net::BroadcastSeq{0}}, src), 280);
         }
         fx->scheduler.runAll();
       }
@@ -179,14 +178,14 @@ TEST(PhyGrid, AttachInvalidatesCachedGrid) {
   Channel channel(scheduler, PhyParams{});
   std::vector<std::unique_ptr<Sink>> sinks;
   auto add = [&](geom::Vec2 pos) {
-    const auto id = static_cast<NodeId>(sinks.size());
+    const HostId id{static_cast<std::uint32_t>(sinks.size())};
     sinks.push_back(std::make_unique<Sink>());
     channel.attach(id, sinks.back().get(), [pos] { return pos; });
     return id;
   };
-  const NodeId a = add({0, 0});
+  const HostId a = add({0, 0});
   EXPECT_TRUE(channel.nodesInRange(a).empty());  // builds the grid
-  const NodeId b = add({100, 0});                // same timestamp
+  const HostId b = add({100, 0});                // same timestamp
   const auto inRange = channel.nodesInRange(a);
   ASSERT_EQ(inRange.size(), 1u);
   EXPECT_EQ(inRange[0], b);

@@ -12,6 +12,10 @@ using experiment::SchemeSpec;
 using experiment::World;
 using sim::kSecond;
 
+constexpr sim::TimePoint T(sim::Duration sinceStart) {
+  return sim::kTimeZero + sinceStart;
+}
+
 ScenarioConfig staticWorld(std::vector<geom::Vec2> positions) {
   ScenarioConfig c;
   c.fixedPositions = std::move(positions);
@@ -25,10 +29,10 @@ ScenarioConfig staticWorld(std::vector<geom::Vec2> positions) {
 TEST(Relbc, TracksReceivedBroadcasts) {
   World w(staticWorld({{0, 0}, {400, 0}}));
   RelbcHarness relbc(w);
-  const auto bid = w.host(0).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  EXPECT_TRUE(relbc.agent(1).hasBroadcast(bid));
-  EXPECT_FALSE(relbc.agent(1).hasBroadcast({0, 99}));
+  const auto bid = w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(T(1 * kSecond));
+  EXPECT_TRUE(relbc.agent(net::HostId{1}).hasBroadcast(bid));
+  EXPECT_FALSE(relbc.agent(net::HostId{1}).hasBroadcast({net::HostId{0}, net::BroadcastSeq{99}}));
   EXPECT_EQ(relbc.totalRecovered(), 0u);
   EXPECT_EQ(relbc.repairRequestsSent(), 0u);
 }
@@ -37,8 +41,8 @@ TEST(Relbc, NoGapNoRepairTraffic) {
   World w(staticWorld({{0, 0}, {400, 0}, {800, 0}}));
   RelbcHarness relbc(w);
   for (int i = 0; i < 3; ++i) {
-    w.host(0).originateBroadcast();
-    w.scheduler().runUntil((i + 1) * kSecond);
+    w.host(net::HostId{0}).originateBroadcast();
+    w.scheduler().runUntil(T((i + 1) * kSecond));
   }
   EXPECT_EQ(relbc.repairRequestsSent(), 0u);
 }
@@ -70,18 +74,18 @@ TEST(Relbc, GapIsDetectedAndRepaired) {
   // seq 0: host 3 jams host 2 exactly while host 1 relays. Host 1's relay
   // happens ~jitter+DIFS after it hears the source; we have host 3 transmit
   // its own (unrelated) broadcast so the two overlap at host 2.
-  const auto bid0 = w.host(0).originateBroadcast();
+  const auto bid0 = w.host(net::HostId{0}).originateBroadcast();
   // Host 1 hears seq 0 at 2482 us; its relay starts within ~[2532, 3152].
   // Blanket the whole window from the hidden side:
-  w.scheduler().schedule(2'500, [&w] { w.host(3).originateBroadcast(); });
-  w.scheduler().runUntil(1 * kSecond);
-  ASSERT_FALSE(relbc.agent(2).hasBroadcast(bid0)) << "setup failed";
+  w.scheduler().schedule(sim::TimePoint{2'500}, [&w] { w.host(net::HostId{3}).originateBroadcast(); });
+  w.scheduler().runUntil(T(1 * kSecond));
+  ASSERT_FALSE(relbc.agent(net::HostId{2}).hasBroadcast(bid0)) << "setup failed";
 
   // seq 1 from host 0 flows through cleanly; host 2 sees the gap and asks
   // host 1 for the repair.
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(3 * kSecond);
-  EXPECT_TRUE(relbc.agent(2).hasBroadcast(bid0));
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(T(3 * kSecond));
+  EXPECT_TRUE(relbc.agent(net::HostId{2}).hasBroadcast(bid0));
   // Host 3 (the jammer) overhears host 2's relay of seq 1, detects its own
   // gap, and repairs it too — recoveries cascade outward.
   EXPECT_GE(relbc.totalRecovered(), 1u);
@@ -99,10 +103,10 @@ TEST(Relbc, ReachabilityAfterRepairAtLeastPlain) {
   World w(c);
   w.startAgents();
   RelbcHarness relbc(w);
-  sim::Time at = 100 * sim::kMillisecond;
+  sim::TimePoint at = T(100 * sim::kMillisecond);
   sim::Rng pick(3);
   for (int i = 0; i < 12; ++i) {
-    const auto src = static_cast<net::NodeId>(pick.uniformInt(0, 49));
+    const net::HostId src{static_cast<std::uint32_t>(pick.uniformInt(0, 49))};
     w.scheduler().schedule(at, [&w, src] { w.host(src).originateBroadcast(); });
     at += 500 * sim::kMillisecond;
   }
@@ -161,25 +165,25 @@ TEST(Relbc, RepairGivesUpAfterMaxAttempts) {
   //   0=(0,0), 1=(400,0), 2=(800,0), 4=(100,300): d(4,2)=761 OK  d(4,1)=424.
   World w(staticWorld({{0, 0}, {400, 0}, {800, 0}, {100, 300}}));
   RelbcHarness relbc(w, config);
-  const auto bid0 = w.host(0).originateBroadcast();
+  const auto bid0 = w.host(net::HostId{0}).originateBroadcast();
   // Jam host 1 during host 0's transmission so host 1 misses seq 0: host 3
   // (at index 3) transmits simultaneously (both start at t=50 after boot).
-  w.host(3).originateBroadcast();
-  w.scheduler().runUntil(1 * kSecond);
-  ASSERT_FALSE(relbc.agent(1).hasBroadcast(bid0)) << "setup failed";
-  ASSERT_FALSE(relbc.agent(2).hasBroadcast(bid0));
+  w.host(net::HostId{3}).originateBroadcast();
+  w.scheduler().runUntil(T(1 * kSecond));
+  ASSERT_FALSE(relbc.agent(net::HostId{1}).hasBroadcast(bid0)) << "setup failed";
+  ASSERT_FALSE(relbc.agent(net::HostId{2}).hasBroadcast(bid0));
 
   // seq 1 now propagates cleanly 0 -> 1 -> 2; both 1 and 2 detect the gap;
   // host 1 repairs from host 0, but host 2's repairs can only reach hosts
   // 1... which (briefly) lacks the packet. Depending on timing host 2 may
   // still recover it after host 1 does. The hard guarantee: the system
   // settles with no pending timers and bounded request counts.
-  w.host(0).originateBroadcast();
-  w.scheduler().runUntil(5 * kSecond);
+  w.host(net::HostId{0}).originateBroadcast();
+  w.scheduler().runUntil(T(5 * kSecond));
   EXPECT_LE(relbc.repairRequestsSent(),
             static_cast<std::uint64_t>(2 * config.maxAttempts + 2));
   // Host 1 definitely recovered (host 0 holds seq 0).
-  EXPECT_TRUE(relbc.agent(1).hasBroadcast(bid0));
+  EXPECT_TRUE(relbc.agent(net::HostId{1}).hasBroadcast(bid0));
 }
 
 }  // namespace

@@ -12,6 +12,11 @@ using experiment::SchemeSpec;
 using experiment::World;
 using sim::kSecond;
 
+constexpr net::HostId H(std::uint32_t id) { return net::HostId{id}; }
+constexpr sim::TimePoint T(sim::Duration sinceStart) {
+  return sim::kTimeZero + sinceStart;
+}
+
 ScenarioConfig staticWorld(std::vector<geom::Vec2> positions,
                            SchemeSpec scheme = SchemeSpec::flooding()) {
   ScenarioConfig c;
@@ -26,12 +31,12 @@ ScenarioConfig staticWorld(std::vector<geom::Vec2> positions,
 TEST(RouteDiscovery, SingleHopRoute) {
   World w(staticWorld({{0, 0}, {400, 0}}));
   RoutingHarness routing(w);
-  routing.discover(0, 1);
-  w.scheduler().runUntil(2 * kSecond);
+  routing.discover(H(0), H(1));
+  w.scheduler().runUntil(T(2 * kSecond));
   ASSERT_EQ(routing.records().size(), 1u);
   const DiscoveryRecord& r = routing.records()[0];
   EXPECT_TRUE(r.succeeded);
-  EXPECT_EQ(r.path, (std::vector<net::NodeId>{0, 1}));
+  EXPECT_EQ(r.path, (std::vector<net::HostId>{H(0), H(1)}));
   EXPECT_EQ(r.hops(), 1);
   EXPECT_GT(r.latencySeconds(), 0.0);
 }
@@ -39,29 +44,29 @@ TEST(RouteDiscovery, SingleHopRoute) {
 TEST(RouteDiscovery, MultiHopChainCollectsFullPath) {
   World w(staticWorld({{0, 0}, {400, 0}, {800, 0}, {1200, 0}}));
   RoutingHarness routing(w);
-  routing.discover(0, 3);
-  w.scheduler().runUntil(3 * kSecond);
+  routing.discover(H(0), H(3));
+  w.scheduler().runUntil(T(3 * kSecond));
   const DiscoveryRecord& r = routing.records()[0];
   ASSERT_TRUE(r.succeeded);
-  EXPECT_EQ(r.path, (std::vector<net::NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.path, (std::vector<net::HostId>{H(0), H(1), H(2), H(3)}));
   EXPECT_EQ(r.hops(), 3);
 }
 
 TEST(RouteDiscovery, ReverseDirectionWorksToo) {
   World w(staticWorld({{0, 0}, {400, 0}, {800, 0}}));
   RoutingHarness routing(w);
-  routing.discover(2, 0);
-  w.scheduler().runUntil(3 * kSecond);
+  routing.discover(H(2), H(0));
+  w.scheduler().runUntil(T(3 * kSecond));
   const DiscoveryRecord& r = routing.records()[0];
   ASSERT_TRUE(r.succeeded);
-  EXPECT_EQ(r.path, (std::vector<net::NodeId>{2, 1, 0}));
+  EXPECT_EQ(r.path, (std::vector<net::HostId>{H(2), H(1), H(0)}));
 }
 
 TEST(RouteDiscovery, UnreachableTargetFails) {
   World w(staticWorld({{0, 0}, {400, 0}, {9000, 9000}}));
   RoutingHarness routing(w);
-  routing.discover(0, 2);
-  w.scheduler().runUntil(3 * kSecond);
+  routing.discover(H(0), H(2));
+  w.scheduler().runUntil(T(3 * kSecond));
   EXPECT_FALSE(routing.records()[0].succeeded);
   EXPECT_DOUBLE_EQ(routing.successRate(), 0.0);
 }
@@ -70,8 +75,8 @@ TEST(RouteDiscovery, LatencyCoversRequestAndReply) {
   // One hop: RREQ (>= 2 airtimes incl. source tx) + RREP unicast + ACK.
   World w(staticWorld({{0, 0}, {400, 0}}));
   RoutingHarness routing(w);
-  routing.discover(0, 1);
-  w.scheduler().runUntil(2 * kSecond);
+  routing.discover(H(0), H(1));
+  w.scheduler().runUntil(T(2 * kSecond));
   const DiscoveryRecord& r = routing.records()[0];
   ASSERT_TRUE(r.succeeded);
   EXPECT_GT(r.latencySeconds(), 0.0025);  // at least one data airtime + reply
@@ -84,15 +89,15 @@ TEST(RouteDiscovery, MultipleStaggeredDiscoveries) {
   // Staggered, as real route requests are; issuing several broadcasts in
   // the very same microsecond from long-idle stations is a guaranteed
   // collision (that scenario is tested by the storm benches).
-  routing.discover(0, 2);
-  w.scheduler().schedule(100 * sim::kMillisecond,
-                         [&routing] { routing.discover(3, 0); });
-  w.scheduler().schedule(200 * sim::kMillisecond,
-                         [&routing] { routing.discover(2, 3); });
-  w.scheduler().runUntil(5 * kSecond);
+  routing.discover(H(0), H(2));
+  w.scheduler().schedule(T(100 * sim::kMillisecond),
+                         [&routing] { routing.discover(H(3), H(0)); });
+  w.scheduler().schedule(T(200 * sim::kMillisecond),
+                         [&routing] { routing.discover(H(2), H(3)); });
+  w.scheduler().runUntil(T(5 * kSecond));
   ASSERT_EQ(routing.records().size(), 3u);
   for (const auto& r : routing.records()) {
-    EXPECT_TRUE(r.succeeded) << r.source << "->" << r.target;
+    EXPECT_TRUE(r.succeeded) << r.source.value() << "->" << r.target.value();
     ASSERT_GE(r.path.size(), 2u);
     EXPECT_EQ(r.path.front(), r.source);
     EXPECT_EQ(r.path.back(), r.target);
@@ -107,12 +112,12 @@ TEST(RouteDiscovery, DiamondRoutesThroughEitherRelay) {
   // target wins.
   World w(staticWorld({{0, 0}, {400, 150}, {400, -150}, {800, 0}}));
   RoutingHarness routing(w);
-  routing.discover(0, 3);
-  w.scheduler().runUntil(3 * kSecond);
+  routing.discover(H(0), H(3));
+  w.scheduler().runUntil(T(3 * kSecond));
   const DiscoveryRecord& r = routing.records()[0];
   ASSERT_TRUE(r.succeeded);
   EXPECT_EQ(r.hops(), 2);
-  EXPECT_TRUE(r.path[1] == 1 || r.path[1] == 2);
+  EXPECT_TRUE(r.path[1] == H(1) || r.path[1] == H(2));
 }
 
 TEST(RouteDiscovery, HiddenRelaysCanKillARequest) {
@@ -121,8 +126,8 @@ TEST(RouteDiscovery, HiddenRelaysCanKillARequest) {
   // simultaneously, and the request dies (broadcasts are never retried).
   World w(staticWorld({{0, 0}, {400, 300}, {400, -300}, {800, 0}}));
   RoutingHarness routing(w);
-  routing.discover(0, 3);
-  w.scheduler().runUntil(3 * kSecond);
+  routing.discover(H(0), H(3));
+  w.scheduler().runUntil(T(3 * kSecond));
   // With this seed the two relays' jittered rebroadcasts overlap at the
   // target; the discovery fails even though a route physically exists.
   EXPECT_FALSE(routing.records()[0].succeeded);
@@ -139,16 +144,16 @@ TEST(RouteDiscovery, SuppressionSchemeStillFindsRoutes) {
   }
   World w(staticWorld(grid, SchemeSpec::adaptiveCounter()));
   RoutingHarness routing(w);
-  routing.discover(0, 11);
-  w.scheduler().runUntil(5 * kSecond);
+  routing.discover(H(0), H(11));
+  w.scheduler().runUntil(T(5 * kSecond));
   EXPECT_TRUE(routing.records()[0].succeeded);
 }
 
 TEST(RouteDiscovery, RouteRequestsCountAsBroadcastWorkload) {
   World w(staticWorld({{0, 0}, {400, 0}}));
   RoutingHarness routing(w);
-  routing.discover(0, 1);
-  w.scheduler().runUntil(2 * kSecond);
+  routing.discover(H(0), H(1));
+  w.scheduler().runUntil(T(2 * kSecond));
   // The RREQ flood is a broadcast like any other: metrics recorded it.
   EXPECT_EQ(w.metrics().broadcasts().size(), 1u);
   EXPECT_EQ(w.metrics().broadcasts()[0].received, 1);
@@ -161,7 +166,7 @@ TEST(RouteDiscovery, ReplyBytesGrowWithPath) {
 TEST(RouteDiscoveryDeath, RejectsSelfDiscovery) {
   World w(staticWorld({{0, 0}, {400, 0}}));
   RoutingHarness routing(w);
-  EXPECT_DEATH(routing.discover(1, 1), "Precondition");
+  EXPECT_DEATH(routing.discover(H(1), H(1)), "Precondition");
 }
 
 TEST(RouteDiscovery, MobileScenarioEndToEnd) {
@@ -175,11 +180,11 @@ TEST(RouteDiscovery, MobileScenarioEndToEnd) {
   w.startAgents();
   RoutingHarness routing(w);
   sim::Rng rng(7);
-  sim::Time at = 100 * sim::kMillisecond;
+  sim::TimePoint at = T(100 * sim::kMillisecond);
   for (int i = 0; i < 10; ++i) {
-    const auto src = static_cast<net::NodeId>(rng.uniformInt(0, 59));
-    auto dst = static_cast<net::NodeId>(rng.uniformInt(0, 59));
-    if (dst == src) dst = (dst + 1) % 60;
+    const auto src = H(static_cast<std::uint32_t>(rng.uniformInt(0, 59)));
+    auto dst = H(static_cast<std::uint32_t>(rng.uniformInt(0, 59)));
+    if (dst == src) dst = H((dst.value() + 1) % 60);
     w.scheduler().schedule(at, [&routing, src, dst] {
       routing.discover(src, dst);
     });

@@ -129,11 +129,11 @@ TEST(Rng, ForkDoesNotPerturbParent) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
 }
 
-TEST(Rng, UniformTimeWithinBounds) {
+TEST(Rng, UniformDurationWithinBounds) {
   Rng r(43);
   for (int i = 0; i < 1000; ++i) {
-    const Time t = r.uniformTime(0, 2 * kSecond);
-    EXPECT_GE(t, 0);
+    const Duration t = r.uniformDuration(Duration{}, 2 * kSecond);
+    EXPECT_GE(t, Duration{});
     EXPECT_LE(t, 2 * kSecond);
   }
 }

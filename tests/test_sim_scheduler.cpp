@@ -16,26 +16,26 @@ namespace {
 
 TEST(Scheduler, StartsAtTimeZero) {
   Scheduler s;
-  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.now(), TimePoint{0});
   EXPECT_EQ(s.pendingCount(), 0u);
 }
 
 TEST(Scheduler, RunsEventsInTimeOrder) {
   Scheduler s;
   std::vector<int> order;
-  s.schedule(30, [&] { order.push_back(3); });
-  s.schedule(10, [&] { order.push_back(1); });
-  s.schedule(20, [&] { order.push_back(2); });
+  s.schedule(TimePoint{30}, [&] { order.push_back(3); });
+  s.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  s.schedule(TimePoint{20}, [&] { order.push_back(2); });
   s.runAll();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.now(), TimePoint{30});
 }
 
 TEST(Scheduler, EqualTimesRunFifo) {
   Scheduler s;
   std::vector<int> order;
   for (int i = 0; i < 8; ++i) {
-    s.schedule(5, [&order, i] { order.push_back(i); });
+    s.schedule(TimePoint{5}, [&order, i] { order.push_back(i); });
   }
   s.runAll();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -43,26 +43,26 @@ TEST(Scheduler, EqualTimesRunFifo) {
 
 TEST(Scheduler, NowAdvancesToEventTime) {
   Scheduler s;
-  Time seen = -1;
-  s.schedule(42, [&] { seen = s.now(); });
+  TimePoint seen = kNever;
+  s.schedule(TimePoint{42}, [&] { seen = s.now(); });
   s.runAll();
-  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(seen, TimePoint{42});
 }
 
 TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
   Scheduler s;
-  Time seen = -1;
-  s.schedule(100, [&] {
-    s.scheduleAfter(50, [&] { seen = s.now(); });
+  TimePoint seen = kNever;
+  s.schedule(TimePoint{100}, [&] {
+    s.scheduleAfter(Duration{50}, [&] { seen = s.now(); });
   });
   s.runAll();
-  EXPECT_EQ(seen, 150);
+  EXPECT_EQ(seen, TimePoint{150});
 }
 
 TEST(Scheduler, CancelPreventsExecution) {
   Scheduler s;
   bool fired = false;
-  auto h = s.schedule(10, [&] { fired = true; });
+  auto h = s.schedule(TimePoint{10}, [&] { fired = true; });
   EXPECT_TRUE(h.pending());
   h.cancel();
   EXPECT_FALSE(h.pending());
@@ -72,7 +72,7 @@ TEST(Scheduler, CancelPreventsExecution) {
 
 TEST(Scheduler, CancelIsIdempotent) {
   Scheduler s;
-  auto h = s.schedule(10, [] {});
+  auto h = s.schedule(TimePoint{10}, [] {});
   h.cancel();
   h.cancel();
   EXPECT_EQ(s.pendingCount(), 0u);
@@ -81,7 +81,7 @@ TEST(Scheduler, CancelIsIdempotent) {
 TEST(Scheduler, CancelAfterFireIsHarmless) {
   Scheduler s;
   int count = 0;
-  auto h = s.schedule(10, [&] { ++count; });
+  auto h = s.schedule(TimePoint{10}, [&] { ++count; });
   s.runAll();
   h.cancel();
   EXPECT_EQ(count, 1);
@@ -95,8 +95,8 @@ TEST(Scheduler, DefaultHandleIsInert) {
 
 TEST(Scheduler, PendingCountTracksLiveEvents) {
   Scheduler s;
-  auto a = s.schedule(10, [] {});
-  auto b = s.schedule(20, [] {});
+  auto a = s.schedule(TimePoint{10}, [] {});
+  auto b = s.schedule(TimePoint{20}, [] {});
   EXPECT_EQ(s.pendingCount(), 2u);
   a.cancel();
   EXPECT_EQ(s.pendingCount(), 1u);
@@ -108,38 +108,38 @@ TEST(Scheduler, PendingCountTracksLiveEvents) {
 TEST(Scheduler, RunUntilExecutesInclusiveBoundary) {
   Scheduler s;
   int count = 0;
-  s.schedule(10, [&] { ++count; });
-  s.schedule(20, [&] { ++count; });
-  s.schedule(21, [&] { ++count; });
-  EXPECT_EQ(s.runUntil(20), 2u);
+  s.schedule(TimePoint{10}, [&] { ++count; });
+  s.schedule(TimePoint{20}, [&] { ++count; });
+  s.schedule(TimePoint{21}, [&] { ++count; });
+  EXPECT_EQ(s.runUntil(TimePoint{20}), 2u);
   EXPECT_EQ(count, 2);
-  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.now(), TimePoint{20});
   EXPECT_EQ(s.pendingCount(), 1u);
 }
 
 TEST(Scheduler, RunUntilAdvancesClockWhenQueueDrains) {
   Scheduler s;
-  s.runUntil(500);
-  EXPECT_EQ(s.now(), 500);
+  s.runUntil(TimePoint{500});
+  EXPECT_EQ(s.now(), TimePoint{500});
 }
 
 TEST(Scheduler, EventsMayScheduleMoreEvents) {
   Scheduler s;
   int depth = 0;
   std::function<void()> chain = [&] {
-    if (++depth < 5) s.scheduleAfter(10, chain);
+    if (++depth < 5) s.scheduleAfter(Duration{10}, chain);
   };
-  s.schedule(0, chain);
+  s.schedule(TimePoint{0}, chain);
   s.runAll();
   EXPECT_EQ(depth, 5);
-  EXPECT_EQ(s.now(), 40);
+  EXPECT_EQ(s.now(), TimePoint{40});
 }
 
 TEST(Scheduler, CancelFromInsideAnEarlierEvent) {
   Scheduler s;
   bool fired = false;
-  auto victim = s.schedule(20, [&] { fired = true; });
-  s.schedule(10, [&] { victim.cancel(); });
+  auto victim = s.schedule(TimePoint{20}, [&] { fired = true; });
+  s.schedule(TimePoint{10}, [&] { victim.cancel(); });
   s.runAll();
   EXPECT_FALSE(fired);
 }
@@ -147,7 +147,7 @@ TEST(Scheduler, CancelFromInsideAnEarlierEvent) {
 TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
   Scheduler s;
   EXPECT_FALSE(s.runOne());
-  auto h = s.schedule(10, [] {});
+  auto h = s.schedule(TimePoint{10}, [] {});
   h.cancel();
   EXPECT_FALSE(s.runOne());  // skips the dead event
 }
@@ -155,16 +155,16 @@ TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
 TEST(Scheduler, RunAllHonorsMaxEvents) {
   Scheduler s;
   int count = 0;
-  for (int i = 0; i < 10; ++i) s.schedule(i, [&] { ++count; });
+  for (int i = 0; i < 10; ++i) s.schedule(TimePoint{i}, [&] { ++count; });
   EXPECT_EQ(s.runAll(3), 3u);
   EXPECT_EQ(count, 3);
 }
 
 TEST(SchedulerDeath, RejectsSchedulingInThePast) {
   Scheduler s;
-  s.schedule(10, [] {});
+  s.schedule(TimePoint{10}, [] {});
   s.runAll();
-  EXPECT_DEATH(s.schedule(5, [] {}), "Precondition");
+  EXPECT_DEATH(s.schedule(TimePoint{5}, [] {}), "Precondition");
 }
 
 // --- slot recycling and generation counters (DESIGN.md §11) ---
@@ -173,10 +173,10 @@ TEST(Scheduler, StaleHandleOnRecycledSlotIsNoOp) {
   Scheduler s;
   int firstFired = 0;
   int secondFired = 0;
-  auto stale = s.schedule(10, [&] { ++firstFired; });
+  auto stale = s.schedule(TimePoint{10}, [&] { ++firstFired; });
   s.runAll();  // fires and releases the slot
   // The freed slot is recycled immediately for the next event.
-  auto fresh = s.schedule(20, [&] { ++secondFired; });
+  auto fresh = s.schedule(TimePoint{20}, [&] { ++secondFired; });
   EXPECT_FALSE(stale.pending());
   EXPECT_TRUE(fresh.pending());
   stale.cancel();  // generation mismatch: must not kill the new occupant
@@ -189,9 +189,9 @@ TEST(Scheduler, StaleHandleOnRecycledSlotIsNoOp) {
 TEST(Scheduler, StaleHandleAfterCancelOnRecycledSlotIsNoOp) {
   Scheduler s;
   bool fired = false;
-  auto stale = s.schedule(10, [] {});
+  auto stale = s.schedule(TimePoint{10}, [] {});
   stale.cancel();  // releases the slot
-  auto fresh = s.schedule(10, [&] { fired = true; });
+  auto fresh = s.schedule(TimePoint{10}, [&] { fired = true; });
   stale.cancel();  // stale: slot recycled, generation differs
   EXPECT_FALSE(stale.pending());
   EXPECT_TRUE(fresh.pending());
@@ -206,12 +206,12 @@ TEST(Scheduler, SlotReuseSurvivesHeavyChurn) {
   int fired = 0;
   std::vector<Scheduler::Handle> old;
   for (int round = 0; round < 1000; ++round) {
-    auto keep = s.scheduleAfter(1, [&] { ++fired; });
-    auto kill = s.scheduleAfter(2, [&] { ++fired; });
+    auto keep = s.scheduleAfter(Duration{1}, [&] { ++fired; });
+    auto kill = s.scheduleAfter(Duration{2}, [&] { ++fired; });
     kill.cancel();
     for (auto& h : old) h.cancel();  // all stale: no effect
     old.push_back(keep);
-    s.runUntil(s.now() + 3);
+    s.runUntil(s.now() + Duration{3});
   }
   EXPECT_EQ(fired, 1000);
   EXPECT_EQ(s.pendingCount(), 0u);
@@ -225,7 +225,7 @@ TEST(Scheduler, FifoTieOrderSurvivesInterleavedCancels) {
   std::vector<int> order;
   std::vector<Scheduler::Handle> handles;
   for (int i = 0; i < 16; ++i) {
-    handles.push_back(s.schedule(5, [&order, i] { order.push_back(i); }));
+    handles.push_back(s.schedule(TimePoint{5}, [&order, i] { order.push_back(i); }));
   }
   for (int i : {1, 2, 5, 7, 11, 13, 14}) {
     handles[static_cast<std::size_t>(i)].cancel();
@@ -237,13 +237,13 @@ TEST(Scheduler, FifoTieOrderSurvivesInterleavedCancels) {
 TEST(Scheduler, TieOrderSpansMixedTimestamps) {
   Scheduler s;
   std::vector<int> order;
-  s.schedule(20, [&] { order.push_back(20); });
-  s.schedule(10, [&] { order.push_back(101); });
-  s.schedule(10, [&] { order.push_back(102); });
-  auto h = s.schedule(10, [&] { order.push_back(103); });
-  s.schedule(10, [&] { order.push_back(104); });
+  s.schedule(TimePoint{20}, [&] { order.push_back(20); });
+  s.schedule(TimePoint{10}, [&] { order.push_back(101); });
+  s.schedule(TimePoint{10}, [&] { order.push_back(102); });
+  auto h = s.schedule(TimePoint{10}, [&] { order.push_back(103); });
+  s.schedule(TimePoint{10}, [&] { order.push_back(104); });
   h.cancel();
-  s.schedule(10, [&] { order.push_back(105); });
+  s.schedule(TimePoint{10}, [&] { order.push_back(105); });
   s.runAll();
   EXPECT_EQ(order, (std::vector<int>{101, 102, 104, 105, 20}));
 }
@@ -253,7 +253,7 @@ TEST(Scheduler, CallbackDestroyedPromptlyOnCancel) {
   // the MAC parks packets in timer captures and the arena wants them back.
   Scheduler s;
   auto token = std::make_shared<int>(7);
-  auto h = s.schedule(10, [token] { (void)*token; });
+  auto h = s.schedule(TimePoint{10}, [token] { (void)*token; });
   EXPECT_EQ(token.use_count(), 2);
   h.cancel();
   EXPECT_EQ(token.use_count(), 1);
@@ -262,7 +262,7 @@ TEST(Scheduler, CallbackDestroyedPromptlyOnCancel) {
 TEST(Scheduler, CallbackDestroyedAfterFire) {
   Scheduler s;
   auto token = std::make_shared<int>(7);
-  s.schedule(10, [token] { (void)*token; });
+  s.schedule(TimePoint{10}, [token] { (void)*token; });
   EXPECT_EQ(token.use_count(), 2);
   s.runAll();
   EXPECT_EQ(token.use_count(), 1);

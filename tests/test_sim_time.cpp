@@ -1,0 +1,201 @@
+// The strong TimePoint/Duration layer (DESIGN.md §13): conversion rounding,
+// round-trip bounds, the legal algebra, and — via a static_assert harness —
+// proof that the illegal operations do not compile.
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+namespace manet::sim {
+namespace {
+
+// ------------------------------------------------ fromSeconds rounding
+
+TEST(TimeConversion, FromSecondsRoundsToNearestPositive) {
+  EXPECT_EQ(fromSeconds(0.0), Duration{});
+  EXPECT_EQ(fromSeconds(1.0), kSecond);
+  EXPECT_EQ(fromSeconds(0.001), kMillisecond);
+  // 1.4 us rounds down, 1.6 us rounds up.
+  EXPECT_EQ(fromSeconds(1.4e-6), Duration{1});
+  EXPECT_EQ(fromSeconds(1.6e-6), Duration{2});
+}
+
+TEST(TimeConversion, FromSecondsRoundsToNearestNegative) {
+  EXPECT_EQ(fromSeconds(-1.0), -kSecond);
+  EXPECT_EQ(fromSeconds(-1.4e-6), Duration{-1});
+  EXPECT_EQ(fromSeconds(-1.6e-6), Duration{-2});
+}
+
+TEST(TimeConversion, FromSecondsHalfTickRoundsAwayFromZero) {
+  // Exactly half a microsecond: 0.5 rounds up in magnitude for both signs
+  // (the +/-0.5 offset before truncation).
+  EXPECT_EQ(fromSeconds(0.5e-6), Duration{1});
+  EXPECT_EQ(fromSeconds(-0.5e-6), Duration{-1});
+  EXPECT_EQ(fromSeconds(2.5e-6), Duration{3});
+  EXPECT_EQ(fromSeconds(-2.5e-6), Duration{-3});
+}
+
+TEST(TimeConversion, RoundTripIsExactOnTickBoundaries) {
+  // Any duration expressible in whole microseconds survives
+  // toSeconds -> fromSeconds unchanged while the double mantissa can hold
+  // the tick count exactly (53 bits ~ 104 simulated days).
+  for (const std::int64_t ticks :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{17},
+        std::int64_t{999'999}, std::int64_t{1'000'000},
+        std::int64_t{86'400'000'000}, std::int64_t{-86'400'000'000}}) {
+    const Duration d{ticks};
+    EXPECT_EQ(fromSeconds(toSeconds(d)), d) << "ticks=" << ticks;
+  }
+}
+
+TEST(TimeConversion, RoundTripErrorBoundedByHalfTick) {
+  // An arbitrary second count lands within half a microsecond of itself.
+  for (const double s : {0.123456789, 3.999999949, 1e-7, -0.777777777}) {
+    const double back = toSeconds(fromSeconds(s));
+    EXPECT_NEAR(back, s, 0.5e-6) << "s=" << s;
+  }
+}
+
+TEST(TimeConversion, TimePointToSecondsUsesSpanSinceStart) {
+  const TimePoint t = kTimeZero + 1500 * kMillisecond;
+  EXPECT_DOUBLE_EQ(toSeconds(t), 1.5);
+  EXPECT_EQ(t.sinceStart(), 1500 * kMillisecond);
+}
+
+// ------------------------------------------------------- scale helpers
+
+TEST(TimeConversion, ScaleTruncTruncatesTowardZero) {
+  EXPECT_EQ(scaleTrunc(Duration{10}, 0.99), Duration{9});
+  EXPECT_EQ(scaleTrunc(Duration{10}, -0.99), Duration{-9});
+  EXPECT_EQ(scaleTrunc(kSecond, 0.02), Duration{20'000});
+}
+
+TEST(TimeConversion, ScaleRoundRoundsHalfUp) {
+  EXPECT_EQ(scaleRound(Duration{10}, 0.95), Duration{10});
+  EXPECT_EQ(scaleRound(Duration{10}, 0.94), Duration{9});
+  EXPECT_EQ(scaleRound(Duration{2}, 0.25), Duration{1});  // 0.5 + 0.5 -> 1
+}
+
+// ------------------------------------------------------- legal algebra
+
+TEST(TimeAlgebra, PointAndDurationOperations) {
+  const TimePoint a = kTimeZero + 3 * kSecond;
+  const TimePoint b = kTimeZero + 5 * kSecond;
+  EXPECT_EQ(b - a, 2 * kSecond);
+  EXPECT_EQ(a + 2 * kSecond, b);
+  EXPECT_EQ(2 * kSecond + a, b);
+  EXPECT_EQ(b - 2 * kSecond, a);
+
+  TimePoint c = a;
+  c += kSecond;
+  c -= 2 * kSecond;
+  EXPECT_EQ(c, kTimeZero + 2 * kSecond);
+
+  EXPECT_LT(a, b);
+  EXPECT_GE(b, a);
+  EXPECT_LT(kNever, kTimeZero);  // the sentinel sorts before every instant
+}
+
+TEST(TimeAlgebra, DurationOperations) {
+  EXPECT_EQ(kSecond + kMillisecond, Duration{1'001'000});
+  EXPECT_EQ(kSecond - kMillisecond, Duration{999'000});
+  EXPECT_EQ(-kMillisecond, Duration{-1000});
+  EXPECT_EQ(kMillisecond * 3, 3 * kMillisecond);
+  EXPECT_EQ(kSecond / 4, 250 * kMillisecond);
+  EXPECT_EQ(kSecond / (20 * kMicrosecond), 50'000);  // slots per second
+  EXPECT_EQ(kSecond % (333 * kMillisecond), kMillisecond);
+
+  Duration d = kSecond;
+  d += kSecond;
+  d *= 2;
+  d -= kSecond;
+  EXPECT_EQ(d, 3 * kSecond);
+}
+
+TEST(TimeAlgebra, NamedUnitFactories) {
+  EXPECT_EQ(Duration::microseconds(1'000'000), kSecond);
+  EXPECT_EQ(Duration::milliseconds(1'000), kSecond);
+  EXPECT_EQ(Duration::seconds(2), 2 * kSecond);
+}
+
+// ---------------------------------------------- illegal-ops harness
+//
+// Each trait probes one operation the strong layer must reject. SFINAE on
+// the expression keeps this a compile-time proof: if a forbidden operator
+// or conversion ever appears, the static_assert below fails to compile.
+
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanSubtractFrom : std::false_type {};
+template <typename A, typename B>
+struct CanSubtractFrom<
+    A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanMultiply : std::false_type {};
+template <typename A, typename B>
+struct CanMultiply<A, B,
+                   std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+// TimePoint + TimePoint has no physical meaning.
+static_assert(!CanAdd<TimePoint, TimePoint>::value);
+// int + TimePoint / TimePoint + int: a bare integer is not a duration.
+static_assert(!CanAdd<TimePoint, int>::value);
+static_assert(!CanAdd<int, TimePoint>::value);
+static_assert(!CanAdd<Duration, int>::value);
+static_assert(!CanAdd<int, Duration>::value);
+// Duration - TimePoint is backwards (only point - point and point - dur).
+static_assert(!CanSubtractFrom<Duration, TimePoint>::value);
+static_assert(!CanSubtractFrom<int, Duration>::value);
+// Scaling a *point* by a scalar is meaningless (only durations scale).
+static_assert(!CanMultiply<TimePoint, std::int64_t>::value);
+static_assert(!CanMultiply<std::int64_t, TimePoint>::value);
+// Cross-type comparison must not compile.
+static_assert(!std::is_invocable_v<std::less<>, TimePoint, Duration>);
+
+// No implicit conversions in either direction.
+static_assert(!std::is_convertible_v<std::int64_t, Duration>);
+static_assert(!std::is_convertible_v<std::int64_t, TimePoint>);
+static_assert(!std::is_convertible_v<Duration, std::int64_t>);
+static_assert(!std::is_convertible_v<TimePoint, std::int64_t>);
+static_assert(!std::is_convertible_v<Duration, TimePoint>);
+static_assert(!std::is_convertible_v<TimePoint, Duration>);
+// Explicit construction from raw ticks stays available (the boundary form).
+static_assert(std::is_constructible_v<Duration, std::int64_t>);
+static_assert(std::is_constructible_v<TimePoint, std::int64_t>);
+
+// The legal algebra yields exactly the expected types.
+static_assert(std::is_same_v<decltype(std::declval<TimePoint>() -
+                                      std::declval<TimePoint>()),
+                             Duration>);
+static_assert(std::is_same_v<decltype(std::declval<TimePoint>() +
+                                      std::declval<Duration>()),
+                             TimePoint>);
+static_assert(std::is_same_v<decltype(std::declval<Duration>() /
+                                      std::declval<Duration>()),
+                             std::int64_t>);
+
+// Zero-cost claim: layout-identical to the raw int64_t tick count.
+static_assert(sizeof(Duration) == sizeof(std::int64_t));
+static_assert(sizeof(TimePoint) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<Duration>);
+static_assert(std::is_trivially_copyable_v<TimePoint>);
+
+TEST(TimeAlgebra, IllegalOperationHarnessCompiled) {
+  // The static_asserts above are the test; this records their presence in
+  // the runtime report.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace manet::sim

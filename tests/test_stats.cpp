@@ -66,15 +66,17 @@ TEST(Connectivity, AverageDegree) {
 
 // ---------------------------------------------------------------- metrics
 
-net::BroadcastId bid(net::NodeId origin, std::uint32_t seq = 0) {
-  return net::BroadcastId{origin, seq};
+constexpr net::HostId H(std::uint32_t id) { return net::HostId{id}; }
+
+net::BroadcastId bid(std::uint32_t origin, std::uint32_t seq = 0) {
+  return net::BroadcastId{H(origin), net::BroadcastSeq{seq}};
 }
 
 TEST(Metrics, ReachabilityDefinition) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 1000, /*reachable=*/4);
-  m.onDelivered(bid(0), 1, 2000);
-  m.onDelivered(bid(0), 2, 2500);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{1000}, /*reachable=*/4);
+  m.onDelivered(bid(0), H(1), sim::TimePoint{2000});
+  m.onDelivered(bid(0), H(2), sim::TimePoint{2500});
   const auto& pb = m.broadcasts().at(0);
   EXPECT_EQ(pb.received, 2);
   EXPECT_DOUBLE_EQ(pb.reachability(), 0.5);
@@ -82,66 +84,68 @@ TEST(Metrics, ReachabilityDefinition) {
 
 TEST(Metrics, DuplicateDeliveriesCountOnce) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 1000, 4);
-  m.onDelivered(bid(0), 1, 2000);
-  m.onDelivered(bid(0), 1, 3000);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{1000}, 4);
+  m.onDelivered(bid(0), H(1), sim::TimePoint{2000});
+  m.onDelivered(bid(0), H(1), sim::TimePoint{3000});
   EXPECT_EQ(m.broadcasts().at(0).received, 1);
 }
 
 TEST(Metrics, SourceDeliveryDoesNotCount) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(3), 3, 1000, 4);
-  m.onDelivered(bid(3), 3, 2000);  // echo back to the source
+  m.onBroadcastStart(bid(3), H(3), sim::TimePoint{1000}, 4);
+  m.onDelivered(bid(3), H(3), sim::TimePoint{2000});  // echo back to the source
   EXPECT_EQ(m.broadcasts().at(0).received, 0);
 }
 
 TEST(Metrics, SavedRebroadcastDefinition) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 1000, 9);
-  for (net::NodeId h = 1; h <= 4; ++h) m.onDelivered(bid(0), h, 2000);
-  m.onRebroadcast(bid(0), 1, 2500);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{1000}, 9);
+  for (std::uint32_t h = 1; h <= 4; ++h) {
+    m.onDelivered(bid(0), H(h), sim::TimePoint{2000});
+  }
+  m.onRebroadcast(bid(0), H(1), sim::TimePoint{2500});
   // r = 4, t = 1: SRB = 3/4.
   EXPECT_DOUBLE_EQ(m.broadcasts().at(0).savedRebroadcast(), 0.75);
 }
 
 TEST(Metrics, SrbZeroWhenNothingReceived) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 1000, 9);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{1000}, 9);
   EXPECT_DOUBLE_EQ(m.broadcasts().at(0).savedRebroadcast(), 0.0);
 }
 
 TEST(Metrics, LatencyIsLastFinalization) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 1'000'000, 9);
-  m.onDelivered(bid(0), 1, 1'100'000);
-  m.onFinalized(bid(0), 1, 1'500'000);   // host 1 inhibited at +0.5 s
-  m.onRebroadcast(bid(0), 2, 1'200'000);
-  m.onFinalized(bid(0), 2, 1'300'000);   // host 2 finished tx at +0.3 s
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{1'000'000}, 9);
+  m.onDelivered(bid(0), H(1), sim::TimePoint{1'100'000});
+  m.onFinalized(bid(0), H(1), sim::TimePoint{1'500'000});   // host 1 inhibited at +0.5 s
+  m.onRebroadcast(bid(0), H(2), sim::TimePoint{1'200'000});
+  m.onFinalized(bid(0), H(2), sim::TimePoint{1'300'000});   // host 2 finished tx at +0.3 s
   EXPECT_DOUBLE_EQ(m.broadcasts().at(0).latencySeconds(), 0.5);
 }
 
 TEST(Metrics, ReachabilityClampedToOne) {
   // Mobility can bring extra hosts into the flood after the snapshot.
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 0, /*reachable=*/1);
-  m.onDelivered(bid(0), 1, 1);
-  m.onDelivered(bid(0), 2, 2);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{0}, /*reachable=*/1);
+  m.onDelivered(bid(0), H(1), sim::TimePoint{1});
+  m.onDelivered(bid(0), H(2), sim::TimePoint{2});
   EXPECT_DOUBLE_EQ(m.broadcasts().at(0).reachability(), 1.0);
 }
 
 TEST(Metrics, IsolatedSourceCountsAsFullyReached) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0), 0, 0, /*reachable=*/0);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{0}, /*reachable=*/0);
   EXPECT_DOUBLE_EQ(m.broadcasts().at(0).reachability(), 1.0);
 }
 
 TEST(Metrics, SummaryAveragesAcrossBroadcasts) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0, 0), 0, 0, 2);
-  m.onDelivered(bid(0, 0), 1, 10);
-  m.onDelivered(bid(0, 0), 2, 20);   // RE 1.0
-  m.onBroadcastStart(bid(0, 1), 0, 100, 2);
-  m.onDelivered(bid(0, 1), 1, 110);  // RE 0.5
+  m.onBroadcastStart(bid(0, 0), H(0), sim::TimePoint{0}, 2);
+  m.onDelivered(bid(0, 0), H(1), sim::TimePoint{10});
+  m.onDelivered(bid(0, 0), H(2), sim::TimePoint{20});   // RE 1.0
+  m.onBroadcastStart(bid(0, 1), H(0), sim::TimePoint{100}, 2);
+  m.onDelivered(bid(0, 1), H(1), sim::TimePoint{110});  // RE 0.5
   const RunSummary s = m.summarize();
   EXPECT_EQ(s.broadcasts, 2u);
   EXPECT_DOUBLE_EQ(s.meanRe, 0.75);
@@ -149,32 +153,32 @@ TEST(Metrics, SummaryAveragesAcrossBroadcasts) {
 
 TEST(Metrics, IsolatedBroadcastExcludedFromReMean) {
   MetricsCollector m(10);
-  m.onBroadcastStart(bid(0, 0), 0, 0, 0);   // e = 0: excluded
-  m.onBroadcastStart(bid(0, 1), 0, 100, 2);
-  m.onDelivered(bid(0, 1), 1, 110);
+  m.onBroadcastStart(bid(0, 0), H(0), sim::TimePoint{0}, 0);   // e = 0: excluded
+  m.onBroadcastStart(bid(0, 1), H(0), sim::TimePoint{100}, 2);
+  m.onDelivered(bid(0, 1), H(1), sim::TimePoint{110});
   EXPECT_DOUBLE_EQ(m.summarize().meanRe, 0.5);
 }
 
 TEST(Metrics, HelloCounter) {
   MetricsCollector m(4);
-  m.onHelloSent(0);
-  m.onHelloSent(1);
-  m.onHelloSent(0);
+  m.onHelloSent(H(0));
+  m.onHelloSent(H(1));
+  m.onHelloSent(H(0));
   EXPECT_EQ(m.hellosSent(), 3u);
   EXPECT_EQ(m.summarize().hellosSent, 3u);
 }
 
 TEST(Metrics, DataFrameAccounting) {
   MetricsCollector m(4);
-  m.onBroadcastStart(bid(0), 0, 0, 3);
-  m.onDelivered(bid(0), 1, 10);
-  m.onRebroadcast(bid(0), 1, 20);
+  m.onBroadcastStart(bid(0), H(0), sim::TimePoint{0}, 3);
+  m.onDelivered(bid(0), H(1), sim::TimePoint{10});
+  m.onRebroadcast(bid(0), H(1), sim::TimePoint{20});
   EXPECT_EQ(m.summarize().dataFramesSent, 2u);  // source + 1 relay
 }
 
 TEST(MetricsDeath, UnknownBroadcastRejected) {
   MetricsCollector m(4);
-  EXPECT_DEATH(m.onDelivered(bid(9), 1, 0), "Precondition");
+  EXPECT_DEATH(m.onDelivered(bid(9), H(1), sim::TimePoint{0}), "Precondition");
 }
 
 // ---------------------------------------------------------------- summary

@@ -11,15 +11,19 @@
 namespace manet::trace {
 namespace {
 
-Event makeEvent(EventKind kind, sim::Time at, net::NodeId node,
+constexpr net::BroadcastId B(std::uint32_t origin, std::uint32_t seq) {
+  return net::BroadcastId{net::HostId{origin}, net::BroadcastSeq{seq}};
+}
+
+Event makeEvent(EventKind kind, std::int64_t at, std::uint32_t node,
                 net::BroadcastId bid = {},
-                net::NodeId from = net::kInvalidNode) {
+                std::uint32_t from = net::kInvalidHost.value()) {
   Event e;
   e.kind = kind;
-  e.at = at;
-  e.node = node;
+  e.at = sim::TimePoint{at};
+  e.node = net::HostId{node};
   e.bid = bid;
-  e.from = from;
+  e.from = net::HostId{from};
   return e;
 }
 
@@ -30,8 +34,8 @@ TEST(Recorder, StoresEventsInOrder) {
   r.onEvent(makeEvent(EventKind::kDelivered, 10, 1));
   r.onEvent(makeEvent(EventKind::kTxStarted, 20, 2));
   ASSERT_EQ(r.events().size(), 2u);
-  EXPECT_EQ(r.events()[0].at, 10);
-  EXPECT_EQ(r.events()[1].node, 2u);
+  EXPECT_EQ(r.events()[0].at, sim::TimePoint{10});
+  EXPECT_EQ(r.events()[1].node, net::HostId{2});
 }
 
 TEST(Recorder, CountsByKind) {
@@ -84,14 +88,14 @@ TEST(Recorder, StorageCapStopsStoringNotCounting) {
 
 TEST(Recorder, SelectFiltersKindAndBid) {
   Recorder r;
-  const net::BroadcastId a{1, 0};
-  const net::BroadcastId b{2, 0};
+  const net::BroadcastId a = B(1, 0);
+  const net::BroadcastId b = B(2, 0);
   r.onEvent(makeEvent(EventKind::kDelivered, 1, 5, a));
   r.onEvent(makeEvent(EventKind::kDelivered, 2, 6, b));
   r.onEvent(makeEvent(EventKind::kTxStarted, 3, 5, a));
   const auto sel = r.select(EventKind::kDelivered, a);
   ASSERT_EQ(sel.size(), 1u);
-  EXPECT_EQ(sel[0].node, 5u);
+  EXPECT_EQ(sel[0].node, net::HostId{5});
 }
 
 TEST(TeeSink, FansOut) {
@@ -108,7 +112,7 @@ TEST(TeeSink, FansOut) {
 // ------------------------------------------------------------- timeline
 
 TEST(Timeline, BuildsFromHandcraftedEvents) {
-  const net::BroadcastId bid{0, 0};
+  const net::BroadcastId bid = B(0, 0);
   std::vector<Event> events{
       makeEvent(EventKind::kBroadcastOriginated, 100, 0, bid),
       makeEvent(EventKind::kTxStarted, 150, 0, bid),
@@ -122,24 +126,24 @@ TEST(Timeline, BuildsFromHandcraftedEvents) {
   };
   const auto tl = buildTimeline(events, bid);
   ASSERT_TRUE(tl.has_value());
-  EXPECT_EQ(tl->source, 0u);
-  EXPECT_EQ(tl->originatedAt, 100);
+  EXPECT_EQ(tl->source, net::HostId{0});
+  EXPECT_EQ(tl->originatedAt, sim::TimePoint{100});
   EXPECT_EQ(tl->receivedCount(), 2);
   EXPECT_EQ(tl->rebroadcastCount(), 1);
   EXPECT_EQ(tl->inhibitedCount(), 1);
-  EXPECT_EQ(tl->completionTime, 6000 - 100);
+  EXPECT_EQ(tl->completionTime, sim::Duration{6000 - 100});
   // Outcomes sorted by delivery time.
-  EXPECT_EQ(tl->outcomes[0].node, 1u);
-  EXPECT_EQ(tl->outcomes[1].node, 2u);
+  EXPECT_EQ(tl->outcomes[0].node, net::HostId{1});
+  EXPECT_EQ(tl->outcomes[1].node, net::HostId{2});
   EXPECT_EQ(tl->outcomes[1].duplicatesHeard, 1);
 }
 
 TEST(Timeline, MissingBroadcastGivesNullopt) {
-  EXPECT_FALSE(buildTimeline({}, net::BroadcastId{9, 9}).has_value());
+  EXPECT_FALSE(buildTimeline({}, B(9, 9)).has_value());
 }
 
 TEST(Timeline, RenderMentionsCounts) {
-  const net::BroadcastId bid{3, 7};
+  const net::BroadcastId bid = B(3, 7);
   std::vector<Event> events{
       makeEvent(EventKind::kBroadcastOriginated, 0, 3, bid),
       makeEvent(EventKind::kDelivered, 10, 4, bid, 3),
@@ -153,21 +157,21 @@ TEST(Timeline, RenderMentionsCounts) {
 
 TEST(Timeline, BroadcastsInListsOrigins) {
   std::vector<Event> events{
-      makeEvent(EventKind::kBroadcastOriginated, 0, 1, {1, 0}),
-      makeEvent(EventKind::kDelivered, 5, 2, {1, 0}),
-      makeEvent(EventKind::kBroadcastOriginated, 10, 2, {2, 0}),
+      makeEvent(EventKind::kBroadcastOriginated, 0, 1, B(1, 0)),
+      makeEvent(EventKind::kDelivered, 5, 2, B(1, 0)),
+      makeEvent(EventKind::kBroadcastOriginated, 10, 2, B(2, 0)),
   };
   const auto bids = broadcastsIn(events);
   ASSERT_EQ(bids.size(), 2u);
-  EXPECT_EQ(bids[0], (net::BroadcastId{1, 0}));
-  EXPECT_EQ(bids[1], (net::BroadcastId{2, 0}));
+  EXPECT_EQ(bids[0], B(1, 0));
+  EXPECT_EQ(bids[1], B(2, 0));
 }
 
 // --------------------------------------------------------------- writer
 
 TEST(Writer, CsvHasHeaderAndRows) {
   std::vector<Event> events{
-      makeEvent(EventKind::kDelivered, 42, 1, {0, 3}, 0),
+      makeEvent(EventKind::kDelivered, 42, 1, B(0, 3), 0),
       makeEvent(EventKind::kHelloSent, 50, 2),
   };
   std::ostringstream os;
@@ -180,7 +184,7 @@ TEST(Writer, CsvHasHeaderAndRows) {
 }
 
 TEST(Writer, CsvDropRowsCarryReason) {
-  Event e = makeEvent(EventKind::kDrop, 10, 4, {2, 1}, 7);
+  Event e = makeEvent(EventKind::kDrop, 10, 4, B(2, 1), 7);
   e.drop = phy::DropReason::kFaultLoss;
   std::ostringstream os;
   writeCsv(os, {&e, 1});
@@ -190,7 +194,7 @@ TEST(Writer, CsvDropRowsCarryReason) {
 
 TEST(Writer, FormatEventIsReadable) {
   const std::string line =
-      formatEvent(makeEvent(EventKind::kTxStarted, 7, 3, {1, 2}, 9));
+      formatEvent(makeEvent(EventKind::kTxStarted, 7, 3, B(1, 2), 9));
   EXPECT_NE(line.find("tx_start"), std::string::npos);
   EXPECT_NE(line.find("node=3"), std::string::npos);
   EXPECT_NE(line.find("bid=(1,2)"), std::string::npos);

@@ -31,9 +31,10 @@ using sim::kSecond;
 constexpr std::uint64_t kWorkloadStream = 0xF00D;
 
 std::vector<Request> generate(const TrafficConfig& config, int count,
-                              std::uint64_t seed, sim::Time start = 0,
+                              std::uint64_t seed,
+                              sim::TimePoint start = sim::kTimeZero,
                               int numHosts = 100,
-                              sim::Time uniformMax = 2 * kSecond) {
+                              sim::Duration uniformMax = 2 * kSecond) {
   const Generator generator(config, numHosts, uniformMax);
   sim::Rng rng(seed);
   return generator.schedule(count, start, rng);
@@ -59,26 +60,26 @@ TEST(TrafficGenerator, DefaultMatchesLegacyInlineLoopDrawForDraw) {
   // source, from the workload stream. The default generator must reproduce
   // it exactly — this is what keeps every figure bench byte-identical.
   const int numHosts = 100;
-  const sim::Time interarrivalMax = 2 * kSecond;
-  const sim::Time warmup = 100 * kMillisecond;
+  const sim::Duration interarrivalMax = 2 * kSecond;
+  const sim::Duration warmup = 100 * kMillisecond;
   const int count = 50;
 
   sim::Rng legacyRng = sim::Rng(42).fork(kWorkloadStream);
   std::vector<Request> legacy;
-  sim::Time t = warmup;
+  sim::TimePoint t = sim::kTimeZero + warmup;
   for (int i = 0; i < count; ++i) {
-    t += legacyRng.uniformTime(0, interarrivalMax);
+    t += legacyRng.uniformDuration(sim::Duration{}, interarrivalMax);
     Request r;
     r.at = t;
-    r.source =
-        static_cast<net::NodeId>(legacyRng.uniformInt(0, numHosts - 1));
+    r.source = net::HostId{
+        static_cast<std::uint32_t>(legacyRng.uniformInt(0, numHosts - 1))};
     r.seq = static_cast<std::uint32_t>(i);
     legacy.push_back(r);
   }
 
   const Generator generator(TrafficConfig{}, numHosts, interarrivalMax);
   sim::Rng rng = sim::Rng(42).fork(kWorkloadStream);
-  EXPECT_TRUE(sameSchedule(legacy, generator.schedule(count, warmup, rng)));
+  EXPECT_TRUE(sameSchedule(legacy, generator.schedule(count, sim::kTimeZero + warmup, rng)));
 }
 
 TEST(TrafficWorld, WorldScheduleMatchesLegacyInlineLoop) {
@@ -94,15 +95,16 @@ TEST(TrafficWorld, WorldScheduleMatchesLegacyInlineLoop) {
   world.run();  // the schedule is built when the world starts
 
   sim::Rng legacyRng = sim::Rng(7).fork(kWorkloadStream);
-  sim::Time t = world.config().warmup;
+  sim::TimePoint t = sim::kTimeZero + world.config().warmup;
   const auto& schedule = world.workloadSchedule();
   ASSERT_EQ(schedule.size(), 12u);
   for (std::size_t i = 0; i < schedule.size(); ++i) {
-    t += legacyRng.uniformTime(0, world.config().interarrivalMax);
+    t += legacyRng.uniformDuration(sim::Duration{},
+                                   world.config().interarrivalMax);
     EXPECT_EQ(schedule[i].at, t);
     EXPECT_EQ(schedule[i].source,
-              static_cast<net::NodeId>(legacyRng.uniformInt(
-                  0, world.config().numHosts - 1)));
+              net::HostId{static_cast<std::uint32_t>(legacyRng.uniformInt(
+                  0, world.config().numHosts - 1))});
     EXPECT_EQ(schedule[i].seq, static_cast<std::uint32_t>(i));
   }
 }
@@ -148,8 +150,9 @@ TEST(TrafficGenerator, TimesAreNonDecreasingAndSeqIsStreamOrder) {
   TrafficConfig config;
   config.arrival = TrafficConfig::Arrival::kPoisson;
   config.poissonRatePerSecond = 8.0;
-  const auto schedule = generate(config, 100, 3, /*start=*/kSecond);
-  sim::Time last = kSecond;
+  const auto schedule =
+      generate(config, 100, 3, /*start=*/sim::kTimeZero + kSecond);
+  sim::TimePoint last = sim::kTimeZero + kSecond;
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     EXPECT_GE(schedule[i].at, last);
     EXPECT_EQ(schedule[i].seq, static_cast<std::uint32_t>(i));
@@ -163,10 +166,11 @@ TEST(TrafficArrival, PeriodicGapsAreExactlyThePeriod) {
   TrafficConfig config;
   config.arrival = TrafficConfig::Arrival::kPeriodic;
   config.period = 125 * kMillisecond;
-  const auto schedule = generate(config, 20, 5, /*start=*/0);
+  const auto schedule = generate(config, 20, 5, /*start=*/sim::kTimeZero);
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     EXPECT_EQ(schedule[i].at,
-              static_cast<sim::Time>(i + 1) * (125 * kMillisecond));
+              sim::kTimeZero +
+                  static_cast<std::int64_t>(i + 1) * (125 * kMillisecond));
   }
 }
 
@@ -180,7 +184,7 @@ TEST(TrafficArrival, PoissonMeanGapTracksRate) {
       sim::toSeconds(schedule.back().at) / static_cast<double>(count);
   EXPECT_NEAR(meanGapSeconds, 0.2, 0.02);
   // Exponential gaps vary — a degenerate constant stream would be a bug.
-  std::set<sim::Time> gaps;
+  std::set<sim::Duration> gaps;
   for (std::size_t i = 1; i < 50; ++i) {
     gaps.insert(schedule[i].at - schedule[i - 1].at);
   }
@@ -195,7 +199,7 @@ TEST(TrafficArrival, BurstAlternatesTightClustersAndIdleGaps) {
   config.burstIdleMean = 20 * kSecond;
   const auto schedule = generate(config, 25, 17);  // 5 full bursts
   for (std::size_t i = 1; i < schedule.size(); ++i) {
-    const sim::Time gap = schedule[i].at - schedule[i - 1].at;
+    const sim::Duration gap = schedule[i].at - schedule[i - 1].at;
     if (i % 5 == 0) {
       // Burst opener: exponential idle with a 20 s mean dwarfs the
       // intra-burst spacing; at this mean, a sub-10 ms idle draw would be a
@@ -229,13 +233,14 @@ TEST(TrafficSources, HotspotPicksOnlyFromTheHotspotSet) {
   config.sources = TrafficConfig::Sources::kHotspot;
   config.hotspotCount = 3;
   for (const Request& r : generate(config, 200, 23)) {
-    EXPECT_LT(r.source, 3u);
+    EXPECT_LT(r.source.value(), 3u);
   }
   // Explicit ids override the 0..k-1 default.
-  config.hotspotIds = {7, 42, 99};
-  std::set<net::NodeId> seen;
+  config.hotspotIds = {net::HostId{7}, net::HostId{42}, net::HostId{99}};
+  std::set<net::HostId> seen;
   for (const Request& r : generate(config, 200, 23)) {
-    EXPECT_TRUE(r.source == 7 || r.source == 42 || r.source == 99);
+    EXPECT_TRUE(r.source == net::HostId{7} || r.source == net::HostId{42} ||
+                r.source == net::HostId{99});
     seen.insert(r.source);
   }
   EXPECT_EQ(seen.size(), 3u);
@@ -244,8 +249,8 @@ TEST(TrafficSources, HotspotPicksOnlyFromTheHotspotSet) {
   clamped.sources = TrafficConfig::Sources::kHotspot;
   clamped.hotspotCount = 50;
   for (const Request& r :
-       generate(clamped, 100, 29, /*start=*/0, /*numHosts=*/10)) {
-    EXPECT_LT(r.source, 10u);
+       generate(clamped, 100, 29, /*start=*/sim::kTimeZero, /*numHosts=*/10)) {
+    EXPECT_LT(r.source.value(), 10u);
   }
 }
 
@@ -258,7 +263,7 @@ TEST(TrafficSources, ZoneRestrictsToRectangleAndFallsBackWhenEmpty) {
   const auto zone = makeSourceModel(config, 4, positions, 1000.0);
   sim::Rng rng(31);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(zone->pick(rng), 0u);
+    EXPECT_EQ(zone->pick(rng), net::HostId{0});
   }
   // A zone covering no host degrades to uniform-over-all instead of
   // stalling the workload.
@@ -267,7 +272,7 @@ TEST(TrafficSources, ZoneRestrictsToRectangleAndFallsBackWhenEmpty) {
   config.zoneX1 = 0.6;
   config.zoneY1 = 0.6;
   const auto empty = makeSourceModel(config, 4, positions, 1000.0);
-  std::set<net::NodeId> seen;
+  std::set<net::HostId> seen;
   for (int i = 0; i < 200; ++i) seen.insert(empty->pick(rng));
   EXPECT_EQ(seen.size(), 4u);
 }
@@ -278,21 +283,22 @@ TEST(TrafficReplay, ScriptIsSortedOffsetAndRenumbered) {
   TrafficConfig config;
   config.arrival = TrafficConfig::Arrival::kReplay;
   config.replay = {
-      {3 * kSecond, 2, 0},
-      {1 * kSecond, 9, 0},
-      {2 * kSecond, 5, 0},
+      {sim::kTimeZero + 3 * kSecond, net::HostId{2}, 0},
+      {sim::kTimeZero + 1 * kSecond, net::HostId{9}, 0},
+      {sim::kTimeZero + 2 * kSecond, net::HostId{5}, 0},
   };
   // count is ignored for replay; times are script-relative to `start`.
-  const auto schedule = generate(config, 99, 1, /*start=*/kSecond);
+  const auto schedule =
+      generate(config, 99, 1, /*start=*/sim::kTimeZero + kSecond);
   ASSERT_EQ(schedule.size(), 3u);
-  EXPECT_EQ(schedule[0].at, 2 * kSecond);
-  EXPECT_EQ(schedule[0].source, 9u);
+  EXPECT_EQ(schedule[0].at, sim::kTimeZero + 2 * kSecond);
+  EXPECT_EQ(schedule[0].source, net::HostId{9});
   EXPECT_EQ(schedule[0].seq, 0u);
-  EXPECT_EQ(schedule[1].at, 3 * kSecond);
-  EXPECT_EQ(schedule[1].source, 5u);
+  EXPECT_EQ(schedule[1].at, sim::kTimeZero + 3 * kSecond);
+  EXPECT_EQ(schedule[1].source, net::HostId{5});
   EXPECT_EQ(schedule[1].seq, 1u);
-  EXPECT_EQ(schedule[2].at, 4 * kSecond);
-  EXPECT_EQ(schedule[2].source, 2u);
+  EXPECT_EQ(schedule[2].at, sim::kTimeZero + 4 * kSecond);
+  EXPECT_EQ(schedule[2].source, net::HostId{2});
   EXPECT_EQ(schedule[2].seq, 2u);
 }
 
@@ -304,7 +310,8 @@ TEST(TrafficReplay, WorldForcesBroadcastCountToScriptSize) {
   config.numBroadcasts = 100;  // overridden by the script below
   config.seed = 3;
   config.traffic.arrival = TrafficConfig::Arrival::kReplay;
-  config.traffic.replay = {{0, 1, 0}, {kSecond, 0, 0}};
+  config.traffic.replay = {{sim::kTimeZero, net::HostId{1}, 0},
+                           {sim::kTimeZero + kSecond, net::HostId{0}, 0}};
 
   const auto result = experiment::runScenario(config);
   EXPECT_EQ(result.summary.broadcasts, 2u);
@@ -329,7 +336,7 @@ TEST(TrafficConfigEnv, OverridesApply) {
   ::unsetenv("MANET_TRAFFIC_HOTSPOT_K");
   EXPECT_EQ(out.arrival, TrafficConfig::Arrival::kBurst);
   EXPECT_EQ(out.burstLength, 12);
-  EXPECT_EQ(out.burstGapMax, static_cast<sim::Time>(0.02 * kSecond));
+  EXPECT_EQ(out.burstGapMax, sim::scaleTrunc(kSecond, 0.02));
   EXPECT_EQ(out.burstIdleMean, 6 * kSecond);
   EXPECT_EQ(out.sources, TrafficConfig::Sources::kHotspot);
   EXPECT_EQ(out.hotspotCount, 5);

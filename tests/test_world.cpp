@@ -23,7 +23,7 @@ TEST(World, FixedPositionsForceHostCount) {
   c.fixedPositions = {{0, 0}, {100, 0}, {200, 0}};
   World w(c);
   EXPECT_EQ(w.hostCount(), 3u);
-  EXPECT_EQ(w.channel().positionOf(2), (geom::Vec2{200, 0}));
+  EXPECT_EQ(w.channel().positionOf(net::HostId{2}), (geom::Vec2{200, 0}));
 }
 
 TEST(World, HostsStartInsideTheMap) {
@@ -45,17 +45,18 @@ TEST(World, OracleNeighborsMatchChannelRange) {
   ScenarioConfig c;
   c.fixedPositions = {{0, 0}, {400, 0}, {800, 0}};
   World w(c);
-  EXPECT_EQ(w.oracleNeighborCount(0), 1);
-  EXPECT_EQ(w.oracleNeighborCount(1), 2);
-  EXPECT_EQ(w.oracleNeighbors(1), (std::vector<net::NodeId>{0, 2}));
+  EXPECT_EQ(w.oracleNeighborCount(net::HostId{0}), 1);
+  EXPECT_EQ(w.oracleNeighborCount(net::HostId{1}), 2);
+  EXPECT_EQ(w.oracleNeighbors(net::HostId{1}),
+            (std::vector<net::HostId>{net::HostId{0}, net::HostId{2}}));
 }
 
 TEST(World, ReachableFromMatchesConnectivity) {
   ScenarioConfig c;
   c.fixedPositions = {{0, 0}, {400, 0}, {5000, 0}};
   World w(c);
-  EXPECT_EQ(w.reachableFrom(0), 1);
-  EXPECT_EQ(w.reachableFrom(2), 0);
+  EXPECT_EQ(w.reachableFrom(net::HostId{0}), 1);
+  EXPECT_EQ(w.reachableFrom(net::HostId{2}), 0);
 }
 
 TEST(World, RunIsSingleShot) {
@@ -84,7 +85,7 @@ TEST(World, WorkloadProducesExpectedBroadcastCount) {
   w.run();
   EXPECT_EQ(w.metrics().broadcasts().size(), 7u);
   // Requests are spaced by U(0, 2 s): all start times within the horizon.
-  sim::Time prev = 0;
+  sim::TimePoint prev = sim::kTimeZero;
   for (const auto& pb : w.metrics().broadcasts()) {
     EXPECT_GE(pb.start, prev);  // issued in order
     prev = pb.start;

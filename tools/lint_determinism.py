@@ -54,6 +54,7 @@ Exit status: 0 clean, 1 findings, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 from pathlib import Path
@@ -246,6 +247,11 @@ def main(argv: list[str]) -> int:
             rel = f.as_posix()
         for line, msg in lint_file(f, rel):
             print(f"{rel}:{line}: {msg}")
+            if os.environ.get("GITHUB_ACTIONS", "") == "true":
+                # Inline PR annotation; the plain line above stays for
+                # local runs and the job log.
+                print(f"::error file={rel},line={line}"
+                      f"::lint_determinism: {msg}")
             total += 1
 
     if total:

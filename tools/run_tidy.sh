@@ -23,12 +23,30 @@ for candidate in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
   fi
 done
 if [[ -z "${tidy}" ]]; then
+  if [[ "${CI:-}" == "true" ]]; then
+    # A CI leg that reaches this script expects enforcement; a missing
+    # binary there is a misconfigured job, not a source-only environment.
+    echo "run_tidy: ERROR: CI=true but no clang-tidy on PATH" >&2
+    exit 1
+  fi
   echo "run_tidy: SKIPPED (no clang-tidy on PATH)"
   exit 0
 fi
 
 if [[ ! -f "${build}/compile_commands.json" ]]; then
   cmake -B "${build}" -S "${repo}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+if [[ ! -f "${build}/compile_commands.json" ]]; then
+  # The on-demand configure ran but exported nothing (e.g. a stale build
+  # dir cached without the export flag). Locally that is a skippable
+  # nuisance; in CI it would silently disable the whole gate.
+  if [[ "${CI:-}" == "true" ]]; then
+    echo "run_tidy: ERROR: CI=true and ${build}/compile_commands.json is" \
+         "still missing after configure" >&2
+    exit 1
+  fi
+  echo "run_tidy: SKIPPED (no compile_commands.json in ${build})"
+  exit 0
 fi
 
 # Generated TUs (CMake compiler-id probes, GTest discovery stubs) are not
