@@ -1,0 +1,19 @@
+// Binary round-trip of a resolved experiment::ScenarioConfig — the CFG0
+// section of a checkpoint. A resumed world is rebuilt from exactly this
+// config (fault/traffic env overrides were already folded in when the
+// original world resolved it), then replayed to the anchor; serializing the
+// config rather than pointing at a config file makes a checkpoint
+// self-contained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+
+namespace manet::ckpt {
+
+std::vector<std::uint8_t> encodeConfig(const experiment::ScenarioConfig& c);
+experiment::ScenarioConfig decodeConfig(const std::vector<std::uint8_t>& b);
+
+}  // namespace manet::ckpt

@@ -1,0 +1,412 @@
+#include "ckpt/image.hpp"
+
+#include <string>
+
+namespace manet::ckpt {
+namespace {
+
+template <typename T, typename Fn>
+void encodeVec(Writer& w, const std::vector<T>& v, Fn&& each) {
+  w.u64(v.size());
+  for (const T& item : v) each(item);
+}
+
+std::uint64_t decodeCount(Reader& r, const char* what) {
+  const std::uint64_t n = r.u64();
+  // Every element is at least one byte; a count beyond the remaining bytes
+  // means a corrupt length field, caught here instead of via bad_alloc.
+  if (n > r.remaining()) {
+    throw Error(std::string("implausible ") + what + " count " +
+                std::to_string(n));
+  }
+  return n;
+}
+
+}  // namespace
+
+// --- Rng ---------------------------------------------------------------
+
+void encode(Writer& w, const RngImage& v) {
+  for (std::uint64_t word : v.s) w.u64(word);
+}
+
+RngImage decodeRng(Reader& r) {
+  RngImage v;
+  for (std::uint64_t& word : v.s) word = r.u64();
+  return v;
+}
+
+// --- scheduler ---------------------------------------------------------
+
+void encode(Writer& w, const SchedulerImage& v) {
+  w.time(v.now);
+  w.u64(v.nextSeq);
+  w.u64(v.liveCount);
+  w.u32(v.slotCount);
+  encodeVec(w, v.pending, [&](const PendingEventImage& e) {
+    w.time(e.at);
+    w.u64(e.seq);
+  });
+}
+
+SchedulerImage decodeScheduler(Reader& r) {
+  SchedulerImage v;
+  v.now = r.time();
+  v.nextSeq = r.u64();
+  v.liveCount = r.u64();
+  v.slotCount = r.u32();
+  v.pending.resize(decodeCount(r, "pending event"));
+  for (PendingEventImage& e : v.pending) {
+    e.at = r.time();
+    e.seq = r.u64();
+  }
+  return v;
+}
+
+// --- neighbor table ----------------------------------------------------
+
+void encode(Writer& w, const NeighborTableImage& v) {
+  encodeVec(w, v.entries, [&](const NeighborEntryImage& e) {
+    w.u32(e.id);
+    w.time(e.lastHeard);
+    w.duration(e.interval);
+    encodeVec(w, e.neighbors, [&](std::uint32_t id) { w.u32(id); });
+  });
+  encodeVec(w, v.changes, [&](sim::TimePoint t) { w.time(t); });
+}
+
+NeighborTableImage decodeNeighborTable(Reader& r) {
+  NeighborTableImage v;
+  v.entries.resize(decodeCount(r, "neighbor entry"));
+  for (NeighborEntryImage& e : v.entries) {
+    e.id = r.u32();
+    e.lastHeard = r.time();
+    e.interval = r.duration();
+    e.neighbors.resize(decodeCount(r, "neighbor id"));
+    for (std::uint32_t& id : e.neighbors) id = r.u32();
+  }
+  v.changes.resize(decodeCount(r, "nv change"));
+  for (sim::TimePoint& t : v.changes) t = r.time();
+  return v;
+}
+
+// --- host --------------------------------------------------------------
+
+void encode(Writer& w, const HostImage& v) {
+  w.u32(v.id);
+  w.boolean(v.up);
+  w.u32(v.nextSeq);
+  encode(w, v.schemeRng);
+  encode(w, v.jitterRng);
+  w.u64(v.macDigest);
+  w.u64(v.helloDigest);
+  w.u64(v.mobilityDigest);
+  encode(w, v.table);
+  encodeVec(w, v.broadcasts, [&](const BroadcastStateImage& b) {
+    w.u32(b.origin);
+    w.u32(b.seq);
+    w.u8(b.phase);
+    w.boolean(b.jitterPending);
+    w.u64(b.txId);
+    w.boolean(b.hasDecider);
+    w.u64(b.deciderDigest);
+    w.boolean(b.hasPacket);
+    w.u64(b.packetDigest);
+  });
+}
+
+HostImage decodeHost(Reader& r) {
+  HostImage v;
+  v.id = r.u32();
+  v.up = r.boolean();
+  v.nextSeq = r.u32();
+  v.schemeRng = decodeRng(r);
+  v.jitterRng = decodeRng(r);
+  v.macDigest = r.u64();
+  v.helloDigest = r.u64();
+  v.mobilityDigest = r.u64();
+  v.table = decodeNeighborTable(r);
+  v.broadcasts.resize(decodeCount(r, "broadcast state"));
+  for (BroadcastStateImage& b : v.broadcasts) {
+    b.origin = r.u32();
+    b.seq = r.u32();
+    b.phase = r.u8();
+    b.jitterPending = r.boolean();
+    b.txId = r.u64();
+    b.hasDecider = r.boolean();
+    b.deciderDigest = r.u64();
+    b.hasPacket = r.boolean();
+    b.packetDigest = r.u64();
+  }
+  return v;
+}
+
+// --- channel -----------------------------------------------------------
+
+void encode(Writer& w, const ChannelImage& v) {
+  w.u64(v.framesTransmitted);
+  w.u64(v.framesDelivered);
+  w.u64(v.framesCorrupted);
+  w.u64(v.framesLostToFault);
+  w.u64(v.framesDroppedHostDown);
+  encodeVec(w, v.nodes, [&](const ChannelNodeImage& n) {
+    w.boolean(n.attached);
+    w.boolean(n.up);
+    w.boolean(n.transmitting);
+    w.i64(n.busyCount);
+    w.u64(n.epoch);
+    w.u32(n.activeRxCount);
+    w.u64(n.activeRxDigest);
+  });
+}
+
+ChannelImage decodeChannel(Reader& r) {
+  ChannelImage v;
+  v.framesTransmitted = r.u64();
+  v.framesDelivered = r.u64();
+  v.framesCorrupted = r.u64();
+  v.framesLostToFault = r.u64();
+  v.framesDroppedHostDown = r.u64();
+  v.nodes.resize(decodeCount(r, "channel node"));
+  for (ChannelNodeImage& n : v.nodes) {
+    n.attached = r.boolean();
+    n.up = r.boolean();
+    n.transmitting = r.boolean();
+    n.busyCount = static_cast<std::int32_t>(r.i64());
+    n.epoch = r.u64();
+    n.activeRxCount = r.u32();
+    n.activeRxDigest = r.u64();
+  }
+  return v;
+}
+
+// --- fault -------------------------------------------------------------
+
+void encode(Writer& w, const FaultImage& v) {
+  w.u8(v.lossKind);
+  encode(w, v.lossRng);
+  encodeVec(w, v.links, [&](const GeLinkImage& l) {
+    w.u64(l.key);
+    w.boolean(l.bad);
+    encode(w, l.rng);
+  });
+}
+
+FaultImage decodeFault(Reader& r) {
+  FaultImage v;
+  v.lossKind = r.u8();
+  v.lossRng = decodeRng(r);
+  v.links.resize(decodeCount(r, "GE link"));
+  for (GeLinkImage& l : v.links) {
+    l.key = r.u64();
+    l.bad = r.boolean();
+    l.rng = decodeRng(r);
+  }
+  return v;
+}
+
+// --- traffic -----------------------------------------------------------
+
+void encode(Writer& w, const TrafficImage& v) {
+  encode(w, v.workloadRng);
+  encodeVec(w, v.schedule, [&](const RequestImage& q) {
+    w.time(q.at);
+    w.u32(q.source);
+    w.u32(q.seq);
+  });
+  encodeVec(w, v.churn, [&](const ChurnEventImage& c) {
+    w.u32(c.node);
+    w.time(c.at);
+    w.boolean(c.up);
+  });
+  encodeVec(w, v.downSince, [&](sim::TimePoint t) { w.time(t); });
+  encodeVec(w, v.downAccum, [&](sim::Duration d) { w.duration(d); });
+}
+
+TrafficImage decodeTraffic(Reader& r) {
+  TrafficImage v;
+  v.workloadRng = decodeRng(r);
+  v.schedule.resize(decodeCount(r, "request"));
+  for (RequestImage& q : v.schedule) {
+    q.at = r.time();
+    q.source = r.u32();
+    q.seq = r.u32();
+  }
+  v.churn.resize(decodeCount(r, "churn event"));
+  for (ChurnEventImage& c : v.churn) {
+    c.node = r.u32();
+    c.at = r.time();
+    c.up = r.boolean();
+  }
+  v.downSince.resize(decodeCount(r, "downSince"));
+  for (sim::TimePoint& t : v.downSince) t = r.time();
+  v.downAccum.resize(decodeCount(r, "downAccum"));
+  for (sim::Duration& d : v.downAccum) d = r.duration();
+  return v;
+}
+
+// --- metrics -----------------------------------------------------------
+
+void encode(Writer& w, const MetricsImage& v) {
+  w.u64(v.statsDigest);
+  w.u64(v.hellosSent);
+  w.u64(v.dataFramesSent);
+  w.u64(v.broadcastsStarted);
+  w.boolean(v.hasRegistry);
+  encodeVec(w, v.counters, [&](std::uint64_t c) { w.u64(c); });
+  encodeVec(w, v.gauges, [&](std::uint64_t g) { w.u64(g); });
+  w.u64(v.histDigest);
+}
+
+MetricsImage decodeMetrics(Reader& r) {
+  MetricsImage v;
+  v.statsDigest = r.u64();
+  v.hellosSent = r.u64();
+  v.dataFramesSent = r.u64();
+  v.broadcastsStarted = r.u64();
+  v.hasRegistry = r.boolean();
+  v.counters.resize(decodeCount(r, "counter"));
+  for (std::uint64_t& c : v.counters) c = r.u64();
+  v.gauges.resize(decodeCount(r, "gauge"));
+  for (std::uint64_t& g : v.gauges) g = r.u64();
+  v.histDigest = r.u64();
+  return v;
+}
+
+// --- container ---------------------------------------------------------
+
+namespace {
+
+template <typename Fn>
+Section makeSection(const char* tag, Fn&& fill) {
+  Writer w;
+  fill(w);
+  return Section{tag, w.take()};
+}
+
+const Section& find(const std::vector<Section>& sections, const char* tag) {
+  for (const Section& s : sections) {
+    if (s.tag == tag) return s;
+  }
+  throw Error(std::string("checkpoint is missing section ") + tag);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeWorldImage(const WorldImage& image) {
+  std::vector<Section> sections;
+  sections.push_back(Section{"CFG0", image.configBlob});
+  sections.push_back(makeSection("META", [&](Writer& w) {
+    w.time(image.anchor);
+    w.time(image.horizon);
+  }));
+  sections.push_back(
+      makeSection("SCHD", [&](Writer& w) { encode(w, image.scheduler); }));
+  sections.push_back(
+      makeSection("CHAN", [&](Writer& w) { encode(w, image.channel); }));
+  sections.push_back(
+      makeSection("TRAF", [&](Writer& w) { encode(w, image.traffic); }));
+  sections.push_back(
+      makeSection("FALT", [&](Writer& w) { encode(w, image.fault); }));
+  sections.push_back(
+      makeSection("STAT", [&](Writer& w) { encode(w, image.metrics); }));
+  sections.push_back(makeSection("HOST", [&](Writer& w) {
+    w.u64(image.hosts.size());
+    for (const HostImage& h : image.hosts) encode(w, h);
+  }));
+  return frameContainer(sections);
+}
+
+WorldImage decodeWorldImage(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<Section> sections = parseContainer(bytes);
+  WorldImage image;
+  image.configBlob = find(sections, "CFG0").payload;
+  {
+    Reader r(find(sections, "META").payload);
+    image.anchor = r.time();
+    image.horizon = r.time();
+  }
+  {
+    Reader r(find(sections, "SCHD").payload);
+    image.scheduler = decodeScheduler(r);
+  }
+  {
+    Reader r(find(sections, "CHAN").payload);
+    image.channel = decodeChannel(r);
+  }
+  {
+    Reader r(find(sections, "TRAF").payload);
+    image.traffic = decodeTraffic(r);
+  }
+  {
+    Reader r(find(sections, "FALT").payload);
+    image.fault = decodeFault(r);
+  }
+  {
+    Reader r(find(sections, "STAT").payload);
+    image.metrics = decodeMetrics(r);
+  }
+  {
+    Reader r(find(sections, "HOST").payload);
+    image.hosts.resize(decodeCount(r, "host"));
+    for (HostImage& h : image.hosts) h = decodeHost(r);
+  }
+  return image;
+}
+
+// --- diff --------------------------------------------------------------
+
+std::vector<std::string> diffWorldImages(const WorldImage& a,
+                                         const WorldImage& b) {
+  std::vector<std::string> out;
+  if (a.configBlob != b.configBlob) out.push_back("configBlob differs");
+  if (a.anchor != b.anchor) {
+    out.push_back("anchor: " + std::to_string(a.anchor.ticks()) + " vs " +
+                  std::to_string(b.anchor.ticks()) + " us");
+  }
+  if (a.horizon != b.horizon) out.push_back("horizon differs");
+  if (!(a.scheduler == b.scheduler)) {
+    std::string detail = "scheduler state differs";
+    if (a.scheduler.nextSeq != b.scheduler.nextSeq) {
+      detail += " (nextSeq " + std::to_string(a.scheduler.nextSeq) + " vs " +
+                std::to_string(b.scheduler.nextSeq) + ")";
+    } else if (a.scheduler.pending != b.scheduler.pending) {
+      detail += " (pending events " +
+                std::to_string(a.scheduler.pending.size()) + " vs " +
+                std::to_string(b.scheduler.pending.size()) + ")";
+    }
+    out.push_back(detail);
+  }
+  if (!(a.channel == b.channel)) out.push_back("channel state differs");
+  if (!(a.traffic == b.traffic)) out.push_back("traffic state differs");
+  if (!(a.fault == b.fault)) out.push_back("fault state differs");
+  if (!(a.metrics == b.metrics)) out.push_back("metrics state differs");
+  if (a.hosts.size() != b.hosts.size()) {
+    out.push_back("host count: " + std::to_string(a.hosts.size()) + " vs " +
+                  std::to_string(b.hosts.size()));
+  } else {
+    for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+      const HostImage& ha = a.hosts[i];
+      const HostImage& hb = b.hosts[i];
+      if (ha == hb) continue;
+      std::string what = "host " + std::to_string(i) + ":";
+      if (!(ha.schemeRng == hb.schemeRng)) what += " schemeRng";
+      if (!(ha.jitterRng == hb.jitterRng)) what += " jitterRng";
+      if (ha.macDigest != hb.macDigest) what += " mac";
+      if (ha.helloDigest != hb.helloDigest) what += " hello";
+      if (ha.mobilityDigest != hb.mobilityDigest) what += " mobility";
+      if (!(ha.table == hb.table)) what += " neighborTable";
+      if (!(ha.broadcasts == hb.broadcasts)) what += " broadcastStates";
+      if (ha.up != hb.up) what += " up";
+      if (ha.nextSeq != hb.nextSeq) what += " nextSeq";
+      out.push_back(what + " differ(s)");
+      if (out.size() >= 32) {
+        out.push_back("... further host diffs suppressed");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace manet::ckpt

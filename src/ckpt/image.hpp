@@ -1,0 +1,228 @@
+// Field-exact state images of every World subsystem (DESIGN.md §14).
+//
+// An image is a plain value snapshot of one subsystem's complete state at a
+// checkpoint anchor: RNG words, scheduler (at, seq) keys, neighbor entries,
+// per-broadcast protocol phases, channel node flags, fault chains, traffic
+// cursor, metrics. Images have defaulted equality, serialize through the
+// ckpt::Writer/Reader primitives, and back the resume-verification oracle:
+// the resumed world re-captures at the anchor and the two WorldImages must
+// compare equal field-for-field before the tail is allowed to run.
+//
+// State the engine cannot re-register from data alone (InlineFn closures,
+// shared_ptr identity of in-flight frames, decider internals) is captured as
+// an FNV-1a digest instead of raw fields — still exact for equality
+// checking, just not independently restorable. Resume therefore rebuilds by
+// deterministic replay to the anchor and uses the image as the oracle, per
+// the quiescent-boundary rule of DESIGN.md §14.
+//
+// Unordered containers are captured collect-then-sort by stable keys, so an
+// image never depends on hash iteration order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/io.hpp"
+#include "sim/time.hpp"
+
+namespace manet::ckpt {
+
+/// xoshiro256++ stream position: the four raw state words.
+struct RngImage {
+  std::array<std::uint64_t, 4> s{};
+  friend bool operator==(const RngImage&, const RngImage&) = default;
+};
+
+/// One queued scheduler event. The callback itself is an InlineFn closure —
+/// not serializable — so the image carries the total-order key the heap
+/// sorts by; replay re-registers the closures.
+struct PendingEventImage {
+  sim::TimePoint at{};
+  std::uint64_t seq = 0;
+  friend bool operator==(const PendingEventImage&,
+                         const PendingEventImage&) = default;
+};
+
+struct SchedulerImage {
+  sim::TimePoint now{};
+  std::uint64_t nextSeq = 0;
+  std::uint64_t liveCount = 0;
+  std::uint32_t slotCount = 0;  // slots ever carved (pool high-water)
+  std::vector<PendingEventImage> pending;  // sorted by (at, seq)
+  friend bool operator==(const SchedulerImage&,
+                         const SchedulerImage&) = default;
+};
+
+struct NeighborEntryImage {
+  std::uint32_t id = 0;
+  sim::TimePoint lastHeard{};
+  sim::Duration interval{};
+  std::vector<std::uint32_t> neighbors;  // advertised set, wire order
+  friend bool operator==(const NeighborEntryImage&,
+                         const NeighborEntryImage&) = default;
+};
+
+struct NeighborTableImage {
+  std::vector<NeighborEntryImage> entries;  // sorted by id
+  std::vector<sim::TimePoint> changes;      // nv window, ascending
+  friend bool operator==(const NeighborTableImage&,
+                         const NeighborTableImage&) = default;
+};
+
+/// One (host, broadcast) duplicate-suppression state machine.
+struct BroadcastStateImage {
+  std::uint32_t origin = 0;
+  std::uint32_t seq = 0;
+  std::uint8_t phase = 0;  // Host::PacketPhase
+  bool jitterPending = false;
+  std::uint64_t txId = 0;
+  bool hasDecider = false;
+  std::uint64_t deciderDigest = 0;  // PacketDecider::stateDigest()
+  bool hasPacket = false;
+  std::uint64_t packetDigest = 0;
+  friend bool operator==(const BroadcastStateImage&,
+                         const BroadcastStateImage&) = default;
+};
+
+struct HostImage {
+  std::uint32_t id = 0;
+  bool up = true;
+  std::uint32_t nextSeq = 0;
+  RngImage schemeRng;
+  RngImage jitterRng;
+  std::uint64_t macDigest = 0;       // full DCF machine, queue, counters
+  std::uint64_t helloDigest = 0;     // interval, timer, counters, rng
+  std::uint64_t mobilityDigest = 0;  // model integrator state + rng
+  NeighborTableImage table;
+  std::vector<BroadcastStateImage> broadcasts;  // sorted by (origin, seq)
+  friend bool operator==(const HostImage&, const HostImage&) = default;
+};
+
+struct ChannelNodeImage {
+  bool attached = false;
+  bool up = true;
+  bool transmitting = false;
+  std::int32_t busyCount = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t activeRxCount = 0;
+  std::uint64_t activeRxDigest = 0;  // in-flight frames incl. drop verdicts
+  friend bool operator==(const ChannelNodeImage&,
+                         const ChannelNodeImage&) = default;
+};
+
+struct ChannelImage {
+  std::uint64_t framesTransmitted = 0;
+  std::uint64_t framesDelivered = 0;
+  std::uint64_t framesCorrupted = 0;
+  std::uint64_t framesLostToFault = 0;
+  std::uint64_t framesDroppedHostDown = 0;
+  std::vector<ChannelNodeImage> nodes;  // indexed by node id
+  friend bool operator==(const ChannelImage&, const ChannelImage&) = default;
+};
+
+/// One Gilbert–Elliott per-link Markov chain.
+struct GeLinkImage {
+  std::uint64_t key = 0;  // (src << 32) | dst
+  bool bad = false;
+  RngImage rng;
+  friend bool operator==(const GeLinkImage&, const GeLinkImage&) = default;
+};
+
+struct FaultImage {
+  std::uint8_t lossKind = 0;  // 0 = none, 1 = iid, 2 = gilbert-elliott
+  RngImage lossRng;           // model stream (parent stream for GE)
+  std::vector<GeLinkImage> links;  // sorted by key
+  friend bool operator==(const FaultImage&, const FaultImage&) = default;
+};
+
+struct ChurnEventImage {
+  std::uint32_t node = 0;
+  sim::TimePoint at{};
+  bool up = false;
+  friend bool operator==(const ChurnEventImage&,
+                         const ChurnEventImage&) = default;
+};
+
+struct RequestImage {
+  sim::TimePoint at{};
+  std::uint32_t source = 0;
+  std::uint32_t seq = 0;
+  friend bool operator==(const RequestImage&, const RequestImage&) = default;
+};
+
+/// Traffic generator cursor plus the world's churn/downtime ledgers.
+struct TrafficImage {
+  RngImage workloadRng;
+  std::vector<RequestImage> schedule;   // full resolved request schedule
+  std::vector<ChurnEventImage> churn;   // resolved churn timeline
+  std::vector<sim::TimePoint> downSince;
+  std::vector<sim::Duration> downAccum;
+  friend bool operator==(const TrafficImage&, const TrafficImage&) = default;
+};
+
+struct MetricsImage {
+  std::uint64_t statsDigest = 0;  // stats::MetricsCollector, full state
+  std::uint64_t hellosSent = 0;
+  std::uint64_t dataFramesSent = 0;
+  std::uint64_t broadcastsStarted = 0;
+  bool hasRegistry = false;  // obs registry installed at capture time
+  std::vector<std::uint64_t> counters;  // obs::Counter, enum order
+  std::vector<std::uint64_t> gauges;    // obs::Gauge, enum order
+  std::uint64_t histDigest = 0;         // all obs histograms, enum order
+  friend bool operator==(const MetricsImage&, const MetricsImage&) = default;
+};
+
+/// The complete checkpoint payload.
+struct WorldImage {
+  std::vector<std::uint8_t> configBlob;  // serialized resolved ScenarioConfig
+  sim::TimePoint anchor{};               // scheduler now() at capture
+  sim::TimePoint horizon{};
+  SchedulerImage scheduler;
+  ChannelImage channel;
+  TrafficImage traffic;
+  FaultImage fault;
+  MetricsImage metrics;
+  std::vector<HostImage> hosts;
+  friend bool operator==(const WorldImage&, const WorldImage&) = default;
+};
+
+// --- per-subsystem serialization (exercised directly by tests/test_ckpt) ---
+
+void encode(Writer& w, const RngImage& v);
+RngImage decodeRng(Reader& r);
+
+void encode(Writer& w, const SchedulerImage& v);
+SchedulerImage decodeScheduler(Reader& r);
+
+void encode(Writer& w, const NeighborTableImage& v);
+NeighborTableImage decodeNeighborTable(Reader& r);
+
+void encode(Writer& w, const HostImage& v);
+HostImage decodeHost(Reader& r);
+
+void encode(Writer& w, const ChannelImage& v);
+ChannelImage decodeChannel(Reader& r);
+
+void encode(Writer& w, const FaultImage& v);
+FaultImage decodeFault(Reader& r);
+
+void encode(Writer& w, const TrafficImage& v);
+TrafficImage decodeTraffic(Reader& r);
+
+void encode(Writer& w, const MetricsImage& v);
+MetricsImage decodeMetrics(Reader& r);
+
+/// Full container: magic + version + CFG0/META/SCHD/CHAN/TRAF/FALT/STAT/HOST
+/// sections with per-section digests.
+std::vector<std::uint8_t> encodeWorldImage(const WorldImage& image);
+WorldImage decodeWorldImage(const std::vector<std::uint8_t>& bytes);
+
+/// Human-readable descriptions of every top-level mismatch between two
+/// images (empty == equal). This is what the resume oracle prints when
+/// replay diverges from the checkpoint.
+std::vector<std::string> diffWorldImages(const WorldImage& a,
+                                         const WorldImage& b);
+
+}  // namespace manet::ckpt

@@ -1,0 +1,86 @@
+// The checkpoint subsystem's single privileged window into engine state.
+//
+// Every engine class that carries run state friends this one struct (and
+// nothing else), so all private-member reads used for serialization are
+// grepable in one translation unit. Capture methods read raw fields ONLY —
+// they never call lazily-mutating public queries (MobilityModel::positionAt
+// advances integrators and draws RNG at turn boundaries, NeighborTable
+// queries purge, Channel queries rebuild the grid). A capture therefore
+// perturbs nothing: the captured world's future is byte-identical to a world
+// that was never captured, which is what the resume-equivalence CI gate
+// checks end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/image.hpp"
+
+namespace manet::core {
+class CounterThreshold;
+class AreaThreshold;
+}  // namespace manet::core
+namespace manet::experiment {
+class Host;
+class World;
+}  // namespace manet::experiment
+namespace manet::fault {
+class LossModel;
+}
+namespace manet::mac {
+class DcfMac;
+}
+namespace manet::mobility {
+class MobilityModel;
+class RandomRoam;
+}  // namespace manet::mobility
+namespace manet::net {
+class HelloAgent;
+class NeighborTable;
+}  // namespace manet::net
+namespace manet::obs {
+class Registry;
+}
+namespace manet::phy {
+class Channel;
+}
+namespace manet::sim {
+class Rng;
+class Scheduler;
+}  // namespace manet::sim
+namespace manet::stats {
+class MetricsCollector;
+}
+
+namespace manet::ckpt {
+
+struct StateAccess {
+  // --- capture (side-effect-free raw reads) ---
+  static RngImage rng(const sim::Rng& rng);
+  static SchedulerImage scheduler(const sim::Scheduler& scheduler);
+  static NeighborTableImage neighborTable(const net::NeighborTable& table);
+  static std::uint64_t macDigest(const mac::DcfMac& mac);
+  static std::uint64_t helloDigest(const net::HelloAgent& hello);
+  static std::uint64_t mobilityDigest(const mobility::MobilityModel& model);
+  /// Roam-integrator fold shared by RandomRoam and the group model's center
+  /// and deviation chains.
+  static std::uint64_t roamDigest(const mobility::RandomRoam& roam);
+  static ChannelImage channel(const phy::Channel& channel);
+  static FaultImage fault(const fault::LossModel* model);
+  static MetricsImage metrics(const stats::MetricsCollector& collector,
+                              const obs::Registry* registry);
+  static HostImage host(const experiment::Host& host);
+  /// Snapshot of the whole world at its current scheduler time.
+  static WorldImage captureWorld(const experiment::World& world);
+
+  // --- threshold raw access (config serialization; ctors are private) ---
+  static const std::vector<int>& counterValues(
+      const core::CounterThreshold& fn);
+  static core::CounterThreshold makeCounterThreshold(std::vector<int> values);
+  static void areaFields(const core::AreaThreshold& fn, double& low,
+                         double& high, int& n1, int& n2);
+  static core::AreaThreshold makeAreaThreshold(double low, double high, int n1,
+                                               int n2);
+};
+
+}  // namespace manet::ckpt

@@ -1,5 +1,6 @@
 #include "cluster/policy.hpp"
 
+#include "ckpt/digest.hpp"
 #include "util/assert.hpp"
 
 namespace manet::cluster {
@@ -20,6 +21,13 @@ class ClusterDecider final : public core::PacketDecider {
   bool onDuplicate(core::HostView&, const core::Reception&) override {
     ++counter_;
     return counter_ < innerCounter_;
+  }
+
+  std::uint64_t stateDigest() const override {
+    ckpt::Digest d;
+    d.add(static_cast<std::int64_t>(counter_));
+    d.add(static_cast<std::uint64_t>(role_));
+    return d.value();
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ckpt/digest.hpp"
 #include "geom/coverage.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
@@ -48,6 +49,11 @@ class CounterDecider final : public PacketDecider {
     ++counter_;
     return counter_ < threshold_;
   }
+  std::uint64_t stateDigest() const override {
+    ckpt::Digest d;
+    d.add(static_cast<std::int64_t>(counter_));
+    return d.value();
+  }
 
  private:
   int threshold_;
@@ -67,6 +73,11 @@ class AdaptiveCounterDecider final : public PacketDecider {
     // n is re-read on every evaluation: the threshold tracks the host's
     // current neighborhood, which is the whole point of the scheme.
     return counter_ < fn_(host.neighborCount());
+  }
+  std::uint64_t stateDigest() const override {
+    ckpt::Digest d;
+    d.add(static_cast<std::int64_t>(counter_));
+    return d.value();
   }
 
  private:
@@ -91,6 +102,13 @@ class DistanceDecider final : public PacketDecider {
                             geom::distance(host.position(), dup.fromPos));
     return minDistance_ >= threshold_;
   }
+  std::uint64_t stateDigest() const override {
+    ckpt::Digest d;
+    d.add(minDistance_);
+    d.add(firstPos_.x);
+    d.add(firstPos_.y);
+    return d.value();
+  }
 
  private:
   double threshold_;
@@ -108,6 +126,17 @@ class CoverageTracker {
   explicit CoverageTracker(CoverageSampling sampling) : sampling_(sampling) {}
 
   void addSender(geom::Vec2 pos) { senders_.push_back(pos); }
+
+  /// Accumulated heard-sender positions, in arrival order.
+  std::uint64_t digest() const {
+    ckpt::Digest d;
+    d.add(static_cast<std::uint64_t>(senders_.size()));
+    for (geom::Vec2 p : senders_) {
+      d.add(p.x);
+      d.add(p.y);
+    }
+    return d.value();
+  }
 
   /// ac: fraction of the host's disk not covered by any heard sender.
   double additionalCoverage(HostView& host) const {
@@ -134,6 +163,7 @@ class LocationDecider final : public PacketDecider {
     tracker_.addSender(dup.fromPos);
     return tracker_.additionalCoverage(host) >= threshold_;
   }
+  std::uint64_t stateDigest() const override { return tracker_.digest(); }
 
  private:
   double threshold_;
@@ -158,6 +188,7 @@ class AdaptiveLocationDecider final : public PacketDecider {
     if (threshold <= 0.0) return true;
     return tracker_.additionalCoverage(host) >= threshold;
   }
+  std::uint64_t stateDigest() const override { return tracker_.digest(); }
 
  private:
   const AreaThreshold& fn_;
@@ -181,6 +212,16 @@ class NeighborCoverageDecider final : public PacketDecider {
     // T = T - N_{x,h'} - {h'}
     subtractCoveredBy(host, dup.from);
     return !pending_.empty();
+  }
+
+  std::uint64_t stateDigest() const override {
+    // NOLINT-determinism(collected into a vector and sorted before folding)
+    std::vector<net::HostId> pending(pending_.begin(), pending_.end());
+    std::sort(pending.begin(), pending.end());
+    ckpt::Digest d;
+    d.add(static_cast<std::uint64_t>(pending.size()));
+    for (net::HostId id : pending) d.add(id.value());
+    return d.value();
   }
 
  private:

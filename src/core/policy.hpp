@@ -20,6 +20,7 @@
 // HostView.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,6 +87,11 @@ class PacketDecider {
   /// S4: a duplicate arrived while waiting. True = resume waiting; false =
   /// cancel (S5).
   virtual bool onDuplicate(HostView& host, const Reception& dup) = 0;
+
+  /// FNV-1a fold of the decider's mutable scheme state (counter values,
+  /// minimum distances, heard-sender sets, ...), for checkpoint equality
+  /// oracles (DESIGN.md §14). Stateless deciders keep the default 0.
+  virtual std::uint64_t stateDigest() const { return 0; }
 };
 
 /// Scheme factory: one immutable policy object is shared by all hosts; each

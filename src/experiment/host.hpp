@@ -16,6 +16,10 @@
 #include "sim/random.hpp"
 #include "trace/event.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::experiment {
 
 class World;
@@ -119,6 +123,7 @@ class Host final : public mac::DcfMac::Upper, public core::HostView {
   sim::TimePoint now() const override;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   struct BroadcastState {
     PacketPhase phase = PacketPhase::kUnseen;
     std::unique_ptr<core::PacketDecider> decider;

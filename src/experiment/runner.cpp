@@ -1,7 +1,6 @@
 #include "experiment/runner.hpp"
 
 #include <chrono>
-#include <optional>
 #include <utility>
 
 #include "experiment/parallel.hpp"
@@ -12,6 +11,17 @@
 
 namespace manet::experiment {
 
+namespace {
+WorldRunFn& runOverrideSlot() {
+  static WorldRunFn fn;
+  return fn;
+}
+}  // namespace
+
+void setWorldRunOverride(WorldRunFn fn) { runOverrideSlot() = std::move(fn); }
+
+const WorldRunFn& worldRunOverride() { return runOverrideSlot(); }
+
 RunResult runScenario(const ScenarioConfig& config) {
   const auto wallStart = std::chrono::steady_clock::now();
   // Each repetition owns a private registry, installed on the running
@@ -21,14 +31,22 @@ RunResult runScenario(const ScenarioConfig& config) {
   if (obs::collectionEnabled()) metrics = std::make_shared<obs::Registry>();
   obs::ScopedRegistry scoped(metrics.get());
 
-  std::optional<World> world;
+  // The override path (checkpoint cycles) builds and finishes the world
+  // itself inside the run scope; the scope *structure* stays identical to
+  // the direct path so profile-scope trees match across modes.
+  const WorldRunFn& runOverride = worldRunOverride();
+  std::unique_ptr<World> world;
   {
     obs::ProfileScope profileBuild("scenario.build");
-    world.emplace(config);
+    if (runOverride == nullptr) world = std::make_unique<World>(config);
   }
   {
     obs::ProfileScope profileRun("scenario.run");
-    world->run();
+    if (runOverride != nullptr) {
+      world = runOverride(config);
+    } else {
+      world->run();
+    }
   }
 
   obs::ProfileScope profileCollect("scenario.collect");

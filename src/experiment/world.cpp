@@ -245,13 +245,31 @@ void World::scheduleChurn() {
   }
 }
 
-void World::run() {
+void World::beginRun() {
   MANET_EXPECTS(!ran_);
   ran_ = true;
   startAgents();
   scheduleWorkload();
   scheduleChurn();
-  scheduler_.runUntil(horizon_);
+}
+
+void World::continueUntil(sim::TimePoint until) {
+  scheduler_.runUntil(until);
+}
+
+void World::runToEnd() { scheduler_.runUntil(horizon_); }
+
+void World::run() {
+  beginRun();
+  runToEnd();
+}
+
+void World::overrideScheme(const SchemeSpec& spec) {
+  // In-flight broadcasts hold decider references into the old policy's
+  // threshold objects; retire it rather than destroy it.
+  retiredPolicies_.push_back(std::move(policy_));
+  config_.scheme = spec;
+  policy_ = spec.build();
 }
 
 }  // namespace manet::experiment

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "audit/audit.hpp"
@@ -18,6 +19,10 @@
 #include "trace/event.hpp"
 #include "traffic/config.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::experiment {
 
 class World {
@@ -33,6 +38,42 @@ class World {
   /// spacing from uniformly chosen sources — the paper's workload), then the
   /// drain period. May be called once.
   void run();
+
+  // --- split-run control (checkpoint/replay, DESIGN.md §14) ---
+  /// The schedule-everything prefix of run(): starts agents, schedules the
+  /// workload and churn timeline, and fixes the horizon — without advancing
+  /// time. May be called once; afterwards drive the clock with
+  /// continueUntil()/runToEnd(). run() is exactly beginRun() + runToEnd().
+  void beginRun();
+
+  /// Advances the scheduler to `until` (an event boundary: events at
+  /// exactly `until` fire). continueUntil(t); continueUntil(h) is
+  /// byte-identical to continueUntil(h).
+  void continueUntil(sim::TimePoint until);
+
+  /// Advances to the run horizon (last workload request + drain).
+  void runToEnd();
+
+  /// The run horizon; meaningful after beginRun()/run().
+  sim::TimePoint horizonTime() const { return horizon_; }
+
+  /// Swaps the rebroadcast policy mid-run (checkpoint-resume studies: run
+  /// the tail of a checkpointed run under a different scheme). Broadcasts
+  /// already in flight keep their old deciders — the retired policy stays
+  /// alive for the world's lifetime because live deciders hold references
+  /// into it — while every broadcast originated after the swap uses the new
+  /// scheme.
+  void overrideScheme(const SchemeSpec& spec);
+
+  /// Serializes the complete world state at the current simulated time to
+  /// `path` (defined in src/ckpt). Throws ckpt::Error on I/O failure.
+  void checkpoint(const std::string& path) const;
+
+  /// Rebuilds a world from a checkpoint written by checkpoint(): replays
+  /// deterministically to the anchor and verifies the replayed state matches
+  /// the stored image field-for-field (throws ckpt::Error otherwise). The
+  /// returned world is mid-run: continue it with continueUntil()/runToEnd().
+  static std::unique_ptr<World> resume(const std::string& path);
 
   /// Starts the periodic agents (HELLO) without scheduling any workload;
   /// lets tests drive broadcasts manually through host(id).
@@ -94,6 +135,8 @@ class World {
   net::PacketPool& packetPool() { return packetPool_; }
 
  private:
+  friend struct manet::ckpt::StateAccess;
+
   void scheduleWorkload();
   void scheduleChurn();
   std::vector<std::unique_ptr<mobility::MobilityModel>> buildMobility(
@@ -133,6 +176,9 @@ class World {
   phy::Channel channel_;
   stats::MetricsCollector metrics_;
   std::unique_ptr<core::RebroadcastPolicy> policy_;
+  /// Policies displaced by overrideScheme(); kept alive because deciders of
+  /// in-flight broadcasts hold references into them.
+  std::vector<std::unique_ptr<core::RebroadcastPolicy>> retiredPolicies_;
   std::vector<std::unique_ptr<Host>> hosts_;
   sim::Rng workloadRng_;
   sim::TimePoint horizon_{};

@@ -18,6 +18,10 @@
 #include "net/ids.hpp"
 #include "sim/random.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::fault {
 
 class LossModel {
@@ -37,6 +41,7 @@ class IidLoss final : public LossModel {
   const char* name() const override { return "iid"; }
 
  private:
+  friend struct manet::ckpt::StateAccess;
   double per_;
   sim::Rng rng_;
 };
@@ -56,6 +61,7 @@ class GilbertElliottLoss final : public LossModel {
   bool linkBad(net::HostId src, net::HostId dst) const;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   struct LinkState {
     bool bad = false;
     sim::Rng rng;

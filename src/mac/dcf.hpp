@@ -47,6 +47,10 @@
 #include "audit/invariants.hpp"
 #endif
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::mac {
 
 struct MacParams {
@@ -151,6 +155,7 @@ class DcfMac final : public phy::Channel::Listener {
   void onTxComplete() override;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   /// What this station itself currently has on the air.
   enum class OnAir { kNone, kBroadcast, kData, kRts, kCts, kAck };
   /// Outstanding exchange step we are waiting on as the initiator.

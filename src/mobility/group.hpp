@@ -14,6 +14,10 @@
 #include "mobility/random_roam.hpp"
 #include "sim/random.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::mobility {
 
 struct GroupParams {
@@ -40,6 +44,7 @@ class GroupCenter {
   const GroupParams& params() const { return params_; }
 
  private:
+  friend struct manet::ckpt::StateAccess;
   MapSpec map_;
   GroupParams params_;
   RandomRoam roam_;
@@ -55,6 +60,7 @@ class GroupMember final : public MobilityModel {
   geom::Vec2 positionAt(sim::TimePoint t) override;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   std::shared_ptr<GroupCenter> center_;
   geom::Vec2 offset_;
   RandomRoam deviation_;  // roams a small local box centered at the offset

@@ -5,6 +5,10 @@
 #include "geom/vec2.hpp"
 #include "sim/time.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::mobility {
 
 class MobilityModel {
@@ -23,6 +27,7 @@ class Stationary final : public MobilityModel {
   geom::Vec2 positionAt(sim::TimePoint) override { return position_; }
 
  private:
+  friend struct manet::ckpt::StateAccess;
   geom::Vec2 position_;
 };
 

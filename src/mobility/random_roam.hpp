@@ -13,6 +13,10 @@
 #include "mobility/model.hpp"
 #include "sim/random.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::mobility {
 
 struct RoamParams {
@@ -31,6 +35,7 @@ class RandomRoam final : public MobilityModel {
   geom::Vec2 currentVelocity() const { return velocity_; }
 
  private:
+  friend struct manet::ckpt::StateAccess;
   void beginTurn();
   /// Advances `position_` along `velocity_` for `dt`, reflecting at edges.
   void advance(sim::Duration dt);

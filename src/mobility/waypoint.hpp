@@ -8,6 +8,10 @@
 #include "mobility/model.hpp"
 #include "sim/random.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::mobility {
 
 struct WaypointParams {
@@ -24,6 +28,7 @@ class RandomWaypoint final : public MobilityModel {
   geom::Vec2 positionAt(sim::TimePoint t) override;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   void pickLeg();
 
   MapSpec map_;

@@ -16,6 +16,10 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::net {
 
 struct HelloConfig {
@@ -68,6 +72,7 @@ class HelloAgent {
   static sim::Duration dynamicInterval(const HelloConfig& config, double nv);
 
  private:
+  friend struct manet::ckpt::StateAccess;
   void sendHello();
 
   sim::Scheduler& scheduler_;

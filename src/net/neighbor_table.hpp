@@ -23,6 +23,10 @@
 #include "audit/invariants.hpp"
 #endif
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::net {
 
 class NeighborTable {
@@ -77,6 +81,7 @@ class NeighborTable {
   }
 
  private:
+  friend struct manet::ckpt::StateAccess;
   sim::TimePoint expiryOf(const Entry& e) const;
   void recordChange(sim::TimePoint now);
   void dropOldChanges(sim::TimePoint now);

@@ -41,6 +41,10 @@
 #include "audit/invariants.hpp"
 #endif
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::phy {
 
 /// A frame on the air.
@@ -165,6 +169,7 @@ class Channel {
   bool gridEnabled() const { return gridEnabled_; }
 
  private:
+  friend struct manet::ckpt::StateAccess;
   struct ActiveRx {
     Frame frame;
     DropReason reason = DropReason::kNone;  // first corruption cause wins

@@ -13,6 +13,10 @@
 
 #include "sim/time.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::sim {
 
 /// splitmix64 step; used for seeding and stream derivation.
@@ -47,6 +51,7 @@ class Rng {
   Rng fork(std::uint64_t stream) const;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   std::uint64_t s_[4];
 };
 

@@ -28,6 +28,10 @@
 #include "audit/invariants.hpp"
 #endif
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::sim {
 
 /// Slot index into the scheduler's pooled event slabs. Tagged (DESIGN.md
@@ -97,6 +101,7 @@ class Scheduler {
   std::size_t runAll(std::size_t maxEvents = SIZE_MAX);
 
  private:
+  friend struct manet::ckpt::StateAccess;
   static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
   static constexpr EventSlot kNullSlot{kNullIndex};
   /// Nodes per slab. One slab covers a small scenario entirely; big runs

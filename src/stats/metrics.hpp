@@ -17,6 +17,10 @@
 #include "sim/time.hpp"
 #include "stats/summary.hpp"
 
+namespace manet::ckpt {
+struct StateAccess;
+}
+
 namespace manet::stats {
 
 struct PerBroadcast {
@@ -86,6 +90,7 @@ class MetricsCollector {
   RunSummary summarize() const;
 
  private:
+  friend struct manet::ckpt::StateAccess;
   struct Record {
     std::size_t index;                // into order_
     std::vector<bool> deliveredTo;    // per host

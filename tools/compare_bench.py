@@ -23,9 +23,21 @@ Failure policy — two severities, deliberately asymmetric:
   trajectory is the point; gating merges on it would only teach people to
   ignore CI.
 
+A third mode backs the checkpoint/resume CI gate (DESIGN.md §14):
+
+  --require-identical: every value in the two reports must be EXACTLY equal
+  — results, metrics, environment — except the fields that measure host
+  wall-clock rather than simulation output (per-row wallSeconds and
+  framesPerWallSecond, the metrics `profile` scope timings) and the
+  environment echo of the MANET_* variables that differ between the two
+  legs by construction. Any other difference, float or int, is a HARD FAIL:
+  the two reports come from the same binary on the same machine in the same
+  job, so "close" is not a thing — a one-bit drift means resume diverged.
+
 Usage:
   compare_bench.py --baselines bench/baselines --candidates out/
   compare_bench.py baseline.json candidate.json
+  compare_bench.py --require-identical straight.json resumed.json
 
 Exit status: 0 comparable (possibly with warnings), 1 shape mismatch,
 2 usage error.
@@ -220,6 +232,78 @@ def aggregate_throughput(rows: dict[str, dict]) -> float:
     return frames / wall if wall > 0 else 0.0
 
 
+# --require-identical exclusions: the only report content allowed to differ
+# between a straight run and a checkpoint/resume run of the same scenario on
+# the same machine. Everything here measures the host, not the simulation.
+WALL_ROW_KEYS = ("wallSeconds", "framesPerWallSecond")
+WALL_METRIC_KEYS = ("profile",)
+
+
+def strip_wall_clock(doc: dict) -> dict:
+    """Deep-copies `doc` minus wall-clock fields and the environment echo."""
+    out = json.loads(json.dumps(doc))
+    env = out.get("environment")
+    if isinstance(env, dict):
+        # The env echo legitimately differs: the resume leg carries
+        # MANET_CKPT_* that the straight leg does not.
+        env.pop("env", None)
+    results = out.get("results")
+    if isinstance(results, list):
+        for row in results:
+            if not isinstance(row, dict):
+                continue
+            for key in WALL_ROW_KEYS:
+                row.pop(key, None)
+            metrics = row.get("metrics")
+            if isinstance(metrics, dict):
+                for key in WALL_METRIC_KEYS:
+                    metrics.pop(key, None)
+    return out
+
+
+def deep_diff(base, cand, path: str, out: list[str], limit: int = 40) -> None:
+    """Collects human-readable paths of every difference (exact equality —
+    floats included: both documents come from the same binary and platform,
+    so resume-equivalence means bit-equality, not closeness)."""
+    if len(out) >= limit:
+        return
+    if isinstance(base, dict) and isinstance(cand, dict):
+        for key in sorted(set(base) | set(cand)):
+            where = f"{path}.{key}" if path else str(key)
+            if key not in base:
+                out.append(f"{where}: only in candidate")
+            elif key not in cand:
+                out.append(f"{where}: only in baseline")
+            else:
+                deep_diff(base[key], cand[key], where, out, limit)
+    elif isinstance(base, list) and isinstance(cand, list):
+        if len(base) != len(cand):
+            out.append(f"{path}: length {len(base)} vs {len(cand)}")
+            return
+        for i, (b, c) in enumerate(zip(base, cand)):
+            deep_diff(b, c, f"{path}[{i}]", out, limit)
+    elif base != cand or type(base) is not type(cand):
+        out.append(f"{path}: {base!r} != {cand!r}")
+
+
+def compare_identical(base_path: Path, cand_path: Path) -> Comparison:
+    """The zero-drift gate: reports must match exactly outside wall-clock."""
+    cmp = Comparison(f"{base_path.name} == {cand_path.name}")
+    base = load(base_path, cmp)
+    cand = load(cand_path, cmp)
+    if base is None or cand is None:
+        return cmp
+    if not check_schema(base, "baseline", cmp):
+        return cmp
+    if not check_schema(cand, "candidate", cmp):
+        return cmp
+    diffs: list[str] = []
+    deep_diff(strip_wall_clock(base), strip_wall_clock(cand), "", diffs)
+    for d in diffs:
+        cmp.error(f"resume drift: {d}")
+    return cmp
+
+
 def compare_reports(base_path: Path, cand_path: Path,
                     tolerance: float) -> Comparison:
     cmp = Comparison(cand_path.name)
@@ -301,6 +385,9 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--throughput-tolerance", type=float, default=0.20,
                     help="warn when framesPerWallSecond drops by more than "
                          "this fraction (default 0.20)")
+    ap.add_argument("--require-identical", action="store_true",
+                    help="hard-fail on ANY difference outside wall-clock "
+                         "fields (the checkpoint resume-equivalence gate)")
     args = ap.parse_args(argv)
 
     pairs: list[tuple[Path, Path]] = []
@@ -324,16 +411,24 @@ def main(argv: list[str]) -> int:
     failed = 0
     warned = 0
     for base, cand in pairs:
-        cmp = compare_reports(base, cand, args.throughput_tolerance)
+        if args.require_identical:
+            cmp = compare_identical(base, cand)
+        else:
+            cmp = compare_reports(base, cand, args.throughput_tolerance)
         cmp.emit()
         failed += len(cmp.errors)
         warned += len(cmp.warnings)
 
     n = len(pairs)
     if failed:
-        print(f"compare_bench: {failed} shape error(s) across {n} report(s)")
+        what = "drift" if args.require_identical else "shape error"
+        print(f"compare_bench: {failed} {what}(s) across {n} report(s)")
         return 1
-    print(f"compare_bench: {n} report(s) comparable, {warned} warning(s)")
+    if args.require_identical:
+        print(f"compare_bench: {n} report pair(s) identical outside "
+              f"wall-clock fields")
+    else:
+        print(f"compare_bench: {n} report(s) comparable, {warned} warning(s)")
     return 0
 
 
