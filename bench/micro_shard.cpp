@@ -1,0 +1,93 @@
+// Microbench (not a paper figure): intra-run sharded execution (DESIGN.md
+// §15). One dense scenario — a grid an order of magnitude more populated
+// than the paper's 100-host setup, where the channel-grid position pass and
+// the per-broadcast reachability BFS dominate wall time — run at 1/2/4/8
+// spatial region shards. The simulation output must be byte-identical at
+// every shard count (the table's RE / frames columns repeat to show it);
+// only wall-clock moves. The "speedup" column is the headline number the
+// committed baseline records.
+//
+// Wall seconds and speedup are host measurements and vary run to run; the
+// JSON report strips them from the resume-equivalence comparison, and this
+// bench's stdout is not diffed in CI.
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiment/runner.hpp"
+#include "obs/metrics.hpp"
+#include "sim/shard/topology.hpp"
+#include "util/table.hpp"
+
+using namespace manet;
+
+namespace {
+
+experiment::ScenarioConfig baseConfig(const experiment::BenchScale& scale) {
+  experiment::ScenarioConfig config;
+  // 11x11 units: strip width stays >= one radio radius up to 11 shards, so
+  // none of the swept shard counts get clamped. Counter-based suppression
+  // keeps the dense storm from saturating the channel, which would swamp
+  // the parallelizable phases with serial MAC contention.
+  config.mapUnits = 11;
+  config.scheme = experiment::SchemeSpec::counter(3);
+  experiment::applyScale(config, scale);
+  return config;
+}
+
+std::uint64_t shardCounter(const experiment::RunResult& result,
+                           obs::Counter counter) {
+  return result.metrics ? result.metrics->counter(counter) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "micro_shard");
+  // Counters feed the printed table even without --json.
+  obs::forceCollection(true);
+  const auto scale = experiment::benchScale(/*defaultBroadcasts=*/40,
+                                            /*defaultReps=*/1,
+                                            /*defaultHosts=*/2000);
+  bench::banner(
+      "Micro - sharded execution speedup",
+      "conservative-lookahead region shards; identical output, less wall",
+      scale);
+  const experiment::ScenarioConfig base = baseConfig(scale);
+  std::cout << "host cores: " << std::thread::hardware_concurrency()
+            << "  (pool lanes = min(shards, cores); MANET_SHARD_LANES "
+               "overrides — speedup needs real cores)\n\n";
+
+  util::Table table({"shards", "resolved", "wall(s)", "speedup", "RE",
+                     "frames", "windows", "barrier_ev", "cross_msgs"});
+  double serialWall = 0.0;
+  for (int requested : {1, 2, 4, 8}) {
+    experiment::ScenarioConfig config = base;
+    config.shards = requested;
+    const sim::shard::Topology topology(requested, config.mapMeters(),
+                                        config.phy.radiusMeters);
+    const experiment::RunResult result = experiment::runScenario(config);
+    if (requested == 1) serialWall = result.wallSeconds;
+    const double speedup =
+        result.wallSeconds > 0.0 ? serialWall / result.wallSeconds : 0.0;
+    table.addRow({
+        std::to_string(requested),
+        std::to_string(topology.shardCount()),
+        util::fmt(result.wallSeconds, 3),
+        util::fmt(speedup, 2),
+        util::fmt(result.re(), 3),
+        std::to_string(result.framesTransmitted),
+        std::to_string(shardCounter(result, obs::Counter::kShardWindows)),
+        std::to_string(
+            shardCounter(result, obs::Counter::kShardBarrierEvents)),
+        std::to_string(shardCounter(result, obs::Counter::kShardCrossMsgs)),
+    });
+    report.add("shards=" + std::to_string(requested), result);
+  }
+  table.print(std::cout);
+  std::cout << "\n(simulation columns must not vary with the shard count; "
+               "wall/speedup are host measurements)\n";
+  return 0;
+}

@@ -66,6 +66,15 @@ enum class Counter : std::size_t {
   kEngineAllocCallbackHeap,    // engine.alloc.callback.heap
   kEngineAllocPacketFresh,     // engine.alloc.packet.fresh
   kEngineAllocPacketReused,    // engine.alloc.packet.reused
+  // Sharded-execution accounting (DESIGN.md §15): cadence of the
+  // conservative-lookahead window loop. windows = barriers run;
+  // barrier_events = (transmission, destination shard) mailbox messages
+  // exchanged at barriers; cross_msgs = cross-shard receiver copies those
+  // messages covered. All zero in serial runs (MANET_SHARDS <= 1), which is
+  // why compare_bench.py treats the family as drift-warn-only.
+  kShardWindows,               // engine.shard.windows
+  kShardBarrierEvents,         // engine.shard.barrier_events
+  kShardCrossMsgs,             // engine.shard.cross_msgs
   // Traffic workload accounting (DESIGN.md §12): offered vs completed load.
   // offered = requests the generator scheduled; injected = requests whose
   // source was alive at fire time; blocked = requests lost to a crashed

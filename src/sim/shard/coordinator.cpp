@@ -1,0 +1,161 @@
+#include "sim/shard/coordinator.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace manet::sim::shard {
+
+namespace {
+
+/// Pool lanes for `shardCount` shards: one per shard, but never more than
+/// the host has cores (oversubscribed lanes time-slice one core and turn
+/// every fork/join into pure overhead). MANET_SHARD_LANES forces the count
+/// — tests use it to drive the parallel phases on single-core runners.
+int resolveLanes(int shardCount) {
+  const int forced = util::envInt("MANET_SHARD_LANES", 0);
+  if (forced > 0) return std::min(shardCount, forced);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::min(shardCount, std::max(1, static_cast<int>(hardware)));
+}
+
+/// Yields this many times waiting for a new dispatch before parking on the
+/// condition variable. Grid rebuilds arrive every few simulated events in
+/// dense scenarios (tens of microseconds of real work apart), so the common
+/// case must stay wakeup-free.
+constexpr int kSpinIters = 4096;
+
+/// Contiguous chunk of [0, count) owned by `lane` out of `lanes`.
+constexpr std::size_t chunkBegin(std::size_t count, int lane, int lanes) {
+  return count * static_cast<std::size_t>(lane) /
+         static_cast<std::size_t>(lanes);
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const Topology& topology, Duration lookahead,
+                         Rng master)
+    : topology_(topology),
+      lookahead_(lookahead),
+      laneCount_(resolveLanes(topology.shardCount())) {
+  MANET_EXPECTS(lookahead_ > Duration{});
+  const int n = topology_.shardCount();
+  shardRngs_.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    shardRngs_.push_back(master.fork(0x5A00 + static_cast<std::uint64_t>(s)));
+  }
+  workers_.reserve(static_cast<std::size_t>(laneCount_ - 1));
+  for (int lane = 1; lane < laneCount_; ++lane) {
+    workers_.emplace_back([this, lane] { workerLoop(lane); });
+  }
+}
+
+Coordinator::~Coordinator() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+TimePoint Coordinator::beginWindow(TimePoint cursor, TimePoint horizon) {
+  MANET_EXPECTS(!windowOpen_);
+  MANET_EXPECTS(cursor < horizon);
+  windowStart_ = cursor;
+  windowEnd_ = cursor + lookahead_;
+  if (horizon < windowEnd_) windowEnd_ = horizon;
+  windowOpen_ = true;
+  return windowEnd_;
+}
+
+void Coordinator::endWindow() {
+  MANET_EXPECTS(windowOpen_);
+  windowOpen_ = false;
+  exchange_.clear();
+  const std::size_t drained = mailbox_.pendingCount();
+  mailbox_.drain(exchange_);
+  std::uint64_t copies = 0;
+  for (const CrossMsg& msg : exchange_) {
+    // A frame committed in this window completes no earlier than its start;
+    // an earlier `at` would mean the classification hook ran outside the
+    // window protocol.
+    MANET_ASSERT(msg.at >= windowStart_);
+    copies += msg.copies;
+  }
+  stats_.windows += 1;
+  stats_.barrierEvents += drained;
+  stats_.crossCopies += copies;
+  obs::add(obs::Counter::kShardWindows);
+  if (drained > 0) {
+    obs::add(obs::Counter::kShardBarrierEvents, drained);
+    obs::add(obs::Counter::kShardCrossMsgs, copies);
+  }
+}
+
+void Coordinator::postCross(TimePoint at, ShardId from, ShardId to,
+                            std::uint32_t copies) {
+  MANET_EXPECTS(windowOpen_);
+  MANET_EXPECTS(from != to && topology_.adjacent(from, to));
+  mailbox_.post(at, from, to, copies);
+}
+
+void Coordinator::run(std::size_t count, const RangeFn& fn) const {
+  const int n = lanes();
+  if (count == 0) return;
+  if (n <= 1 || workers_.empty()) {
+    fn(0, 0, count);
+    return;
+  }
+  // Publish the job, then release it via the epoch bump: workers acquire
+  // the epoch before touching job_, and the previous dispatch's remaining_
+  // handshake guarantees no worker still reads the old job.
+  job_.count = count;
+  job_.fn = &fn;
+  remaining_.store(n - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_all();
+  fn(0, chunkBegin(count, 0, n), chunkBegin(count, 1, n));
+  while (remaining_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void Coordinator::workerLoop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t current = epoch_.load(std::memory_order_acquire);
+    if (current == seen && !stop_.load(std::memory_order_relaxed)) {
+      for (int spin = 0; spin < kSpinIters; ++spin) {
+        current = epoch_.load(std::memory_order_acquire);
+        if (current != seen || stop_.load(std::memory_order_relaxed)) break;
+        std::this_thread::yield();
+      }
+      if (current == seen && !stop_.load(std::memory_order_relaxed)) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_relaxed) != seen ||
+                 stop_.load(std::memory_order_relaxed);
+        });
+        current = epoch_.load(std::memory_order_acquire);
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (current == seen) continue;
+    seen = current;
+    const std::size_t count = job_.count;
+    const RangeFn& fn = *job_.fn;
+    const int n = lanes();
+    const std::size_t begin = chunkBegin(count, lane, n);
+    const std::size_t end = chunkBegin(count, lane + 1, n);
+    if (begin < end) fn(lane, begin, end);
+    remaining_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace manet::sim::shard

@@ -1,0 +1,121 @@
+// Shard coordinator: conservative-lookahead windows, barrier mailboxes, and
+// the shard worker pool (DESIGN.md §15).
+//
+// One Coordinator serves one World running in sharded mode. It owns
+//   * the strip Topology and the lookahead bound L (minimum cross-shard
+//     interaction delay: zero propagation in the unit-disk model plus the
+//     shortest frame airtime, phy::PhyParams::minInteractionDelay),
+//   * the window protocol — the run advances in slices [B, min(B+L, H))
+//     closed by a barrier that drains the cross-shard mailbox in
+//     (at, seq, from) order and feeds the engine.shard.* counters,
+//   * one forked Rng stream per shard (reserved for the parallel-commit
+//     stage; nothing draws from them yet, but forking them up front pins
+//     the stream layout so enabling parallel commit later cannot shift any
+//     existing stream),
+//   * a spin-then-park fork/join pool exposed through the RangeExecutor
+//     interface, which is where the wall-clock win comes from today: the
+//     channel's grid-rebuild position pass and the connectivity BFS fan out
+//     across the shard lanes (DESIGN.md §15 explains why the event commit
+//     itself stays canonical-serial and byte-identical by construction).
+//
+// Threading discipline: lanes are explicit function arguments, never thread
+// identity; pool workers only ever run RangeFn chunks over lane-owned slots.
+// The pool spins briefly before parking because rebuild dispatches arrive
+// microseconds apart in dense scenarios — parking between them would cost
+// more than the work.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/shard/mailbox.hpp"
+#include "sim/shard/range_executor.hpp"
+#include "sim/shard/topology.hpp"
+#include "sim/time.hpp"
+
+namespace manet::sim::shard {
+
+/// Monotone totals over the run; mirrored into obs as engine.shard.*.
+struct WindowStats {
+  std::uint64_t windows = 0;        // windows closed (barriers run)
+  std::uint64_t barrierEvents = 0;  // mailbox messages exchanged at barriers
+  std::uint64_t crossCopies = 0;    // cross-shard (frame, receiver) copies
+};
+
+class Coordinator final : public RangeExecutor {
+ public:
+  /// `master` should be a stream forked off the scenario seed; the
+  /// coordinator forks one child per shard from it.
+  Coordinator(const Topology& topology, Duration lookahead, Rng master);
+  ~Coordinator() override;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  const Topology& topology() const { return topology_; }
+  Duration lookahead() const { return lookahead_; }
+
+  // --- window protocol (driven by World::runToEnd) ---
+  /// Opens the window starting at `cursor`; returns its end,
+  /// min(cursor + lookahead, horizon).
+  TimePoint beginWindow(TimePoint cursor, TimePoint horizon);
+  /// Barrier: drains the mailbox in (at, seq, from) order into the window
+  /// exchange buffer, accumulates stats, and bumps the obs counters.
+  void endWindow();
+
+  /// Posts a cross-shard notice (called by the channel's TX classification
+  /// during the window, in commit order).
+  void postCross(TimePoint at, ShardId from, ShardId to,
+                 std::uint32_t copies);
+
+  const WindowStats& stats() const { return stats_; }
+  /// Messages exchanged at the most recent barrier, in drain order.
+  const std::vector<CrossMsg>& lastExchange() const { return exchange_; }
+
+  /// Shard s's reserved Rng stream (see header comment).
+  Rng& shardRng(ShardId s) { return shardRngs_[s.value()]; }
+
+  // --- RangeExecutor ---
+  /// Worker lanes: min(shardCount, hardware concurrency), overridable with
+  /// MANET_SHARD_LANES. Decoupled from the shard count because lanes are an
+  /// execution resource, not simulation semantics: every parallel phase is
+  /// lane-count-invariant by construction (disjoint slot writes, exact
+  /// folds, atomic set-claims), so a 1-core host runs the same windows and
+  /// barriers with zero pool overhead and bit-identical output.
+  int lanes() const override { return laneCount_; }
+  void run(std::size_t count, const RangeFn& fn) const override;
+
+ private:
+  void workerLoop(int lane);
+
+  Topology topology_;
+  Duration lookahead_{};
+  int laneCount_ = 1;
+  TimePoint windowStart_{};
+  TimePoint windowEnd_{};
+  bool windowOpen_ = false;
+  Mailbox mailbox_;
+  std::vector<CrossMsg> exchange_;
+  WindowStats stats_;
+  std::vector<Rng> shardRngs_;
+
+  // --- fork/join pool (mutable: run() is logically const) ---
+  struct Job {
+    std::size_t count = 0;
+    const RangeFn* fn = nullptr;
+  };
+  mutable std::mutex mutex_;
+  mutable std::condition_variable wake_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<int> remaining_{0};
+  mutable Job job_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace manet::sim::shard

@@ -1,0 +1,69 @@
+// Cross-shard barrier mailbox (DESIGN.md §15).
+//
+// During a window, every transmission whose frame reaches receivers homed in
+// another shard posts one message per (transmission, destination shard)
+// pair, carrying the number of receiver copies it covers. Messages are
+// exchanged at the window barrier, merged in (at, seq, from) order — `at` is
+// the frame's completion time, `seq` the commit-order post index within the
+// window — so the drained sequence is a total order that every shard count
+// reproduces identically. The commit loop stays canonical-serial in this
+// design (DESIGN.md §15 explains why), so the mailbox is the coordination
+// spine plus accounting, not an event transport yet.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/shard/topology.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace manet::sim::shard {
+
+/// One cross-shard interaction notice: a transmission committed in `from`
+/// completing at `at` with `copies` receiver copies homed in `to`.
+struct CrossMsg {
+  TimePoint at{};
+  std::uint64_t seq = 0;  // post index within the window (commit order)
+  ShardId from{};
+  ShardId to{};
+  std::uint32_t copies = 0;
+};
+
+/// (at, seq, from)-ordered merge rule. seq is unique within a window, so
+/// this is a strict total order; `from` is kept in the key to make the
+/// contract explicit for a future multi-queue merge.
+inline bool crossMsgBefore(const CrossMsg& a, const CrossMsg& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.from < b.from;
+}
+
+class Mailbox {
+ public:
+  /// Posts a notice for the current window. Post order is the (serial)
+  /// commit order, which seeds `seq`.
+  void post(TimePoint at, ShardId from, ShardId to, std::uint32_t copies) {
+    MANET_EXPECTS(copies > 0);
+    pending_.push_back(CrossMsg{at, nextSeq_++, from, to, copies});
+  }
+
+  std::size_t pendingCount() const { return pending_.size(); }
+
+  /// Barrier exchange: moves every pending message into `out` (appending),
+  /// sorted by crossMsgBefore. The mailbox is empty afterwards; seq restarts
+  /// per window.
+  void drain(std::vector<CrossMsg>& out) {
+    std::sort(pending_.begin(), pending_.end(), crossMsgBefore);
+    out.insert(out.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+    nextSeq_ = 0;
+  }
+
+ private:
+  std::vector<CrossMsg> pending_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace manet::sim::shard

@@ -1,0 +1,38 @@
+// Deterministic data-parallel range execution (DESIGN.md §15).
+//
+// A RangeExecutor splits an index range [0, count) into lanes() contiguous
+// chunks and runs them concurrently. The partition is a pure function of
+// (count, lanes()), so for a fixed executor every dispatch over the same
+// range assigns each index to the same lane — callers that give each lane
+// disjoint output slots (and touch per-index state only from its owning
+// lane) produce results byte-identical to a serial loop.
+//
+// The interface is deliberately tiny and header-only so leaf subsystems
+// (phy's grid rebuild, stats' connectivity BFS) can accept an executor
+// without depending on the coordinator's threading machinery.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace manet::sim::shard {
+
+class RangeExecutor {
+ public:
+  /// fn(lane, begin, end): process indices [begin, end) on behalf of `lane`.
+  /// Lanes run concurrently; fn must confine writes to lane-owned slots.
+  using RangeFn =
+      std::function<void(int lane, std::size_t begin, std::size_t end)>;
+
+  virtual ~RangeExecutor() = default;
+
+  /// Number of concurrent lanes (>= 1). Fixed for the executor's lifetime.
+  virtual int lanes() const = 0;
+
+  /// Runs fn over [0, count) partitioned into lanes() contiguous chunks
+  /// (chunk l = [count*l/lanes, count*(l+1)/lanes)). Blocks until every
+  /// chunk completed.
+  virtual void run(std::size_t count, const RangeFn& fn) const = 0;
+};
+
+}  // namespace manet::sim::shard

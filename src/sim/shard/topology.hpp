@@ -1,0 +1,69 @@
+// Spatial shard topology (DESIGN.md §15).
+//
+// The map is partitioned into vertical strips along x, reusing the channel
+// grid's geometry rule: a strip is never narrower than the radio radius
+// (= the grid cell size), so a transmission committed inside strip s can
+// reach receivers in strips s-1..s+1 only — cross-shard interaction is
+// confined to adjacent strips, which is what makes the conservative window
+// bound in the coordinator a per-neighbor property rather than a global one.
+//
+// A shard-count request wider than the map supports is clamped (a 1x1 map is
+// one radius across and always collapses to a single shard); callers read
+// shardCount() back rather than assuming their request was honored.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/tagged_id.hpp"
+
+namespace manet::sim::shard {
+
+/// Dense shard index, 0..shardCount()-1 in left-to-right strip order.
+using ShardId = util::TaggedId<struct ShardIdTag, std::uint32_t>;
+
+class Topology {
+ public:
+  /// `requestedShards` strips over a map `mapWidthMeters` across, with the
+  /// radio radius as the minimum strip width. Requests are clamped to
+  /// [1, floor(width / radius)] (at least one strip).
+  Topology(int requestedShards, double mapWidthMeters, double radiusMeters)
+      : widthMeters_(mapWidthMeters) {
+    MANET_EXPECTS(requestedShards >= 1);
+    MANET_EXPECTS(mapWidthMeters > 0.0);
+    MANET_EXPECTS(radiusMeters > 0.0);
+    const int maxStrips =
+        std::max(1, static_cast<int>(mapWidthMeters / radiusMeters));
+    count_ = std::clamp(requestedShards, 1, maxStrips);
+    stripWidth_ = mapWidthMeters / count_;
+  }
+
+  int shardCount() const { return count_; }
+  double stripWidthMeters() const { return stripWidth_; }
+  double mapWidthMeters() const { return widthMeters_; }
+
+  /// Strip containing x. Positions off the map edge (mobility clamps to the
+  /// map, but float noise can land exactly on the boundary) clamp to the
+  /// nearest strip, so every position classifies.
+  ShardId shardOf(double xMeters) const {
+    const int s = static_cast<int>(xMeters / stripWidth_);
+    return ShardId{
+        static_cast<std::uint32_t>(std::clamp(s, 0, count_ - 1))};
+  }
+
+  /// True when shards a and b share a strip boundary (or are the same) —
+  /// the only pairs a single transmission can couple.
+  bool adjacent(ShardId a, ShardId b) const {
+    const auto av = static_cast<std::int64_t>(a.value());
+    const auto bv = static_cast<std::int64_t>(b.value());
+    return av - bv <= 1 && bv - av <= 1;
+  }
+
+ private:
+  double widthMeters_ = 0.0;
+  double stripWidth_ = 0.0;
+  int count_ = 1;
+};
+
+}  // namespace manet::sim::shard

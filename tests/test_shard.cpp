@@ -1,0 +1,393 @@
+// Sharded execution (DESIGN.md §15): strip topology, the conservative
+// lookahead bound, mailbox ordering, the coordinator's window protocol and
+// worker pool, and the headline guarantee — byte-identical simulation state
+// for every shard count, straight or checkpoint-split.
+#include "sim/shard/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/state_access.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/world.hpp"
+#include "obs/metrics.hpp"
+#include "phy/params.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/shard/mailbox.hpp"
+#include "sim/shard/topology.hpp"
+
+namespace manet::sim::shard {
+namespace {
+
+using experiment::ScenarioConfig;
+using experiment::SchemeSpec;
+using experiment::World;
+
+/// Scoped environment override (POSIX setenv/unsetenv).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+Rng testRng() { return Rng(7).fork(0x5A4D); }
+
+// ------------------------------------------------------------- topology
+
+TEST(ShardTopology, PartitionsTheMapIntoEqualStrips) {
+  const Topology topo(4, 2000.0, 500.0);
+  EXPECT_EQ(topo.shardCount(), 4);
+  EXPECT_DOUBLE_EQ(topo.stripWidthMeters(), 500.0);
+  EXPECT_EQ(topo.shardOf(0.0), ShardId{0});
+  EXPECT_EQ(topo.shardOf(499.9), ShardId{0});
+  EXPECT_EQ(topo.shardOf(500.0), ShardId{1});  // boundary goes right
+  EXPECT_EQ(topo.shardOf(1999.0), ShardId{3});
+  EXPECT_EQ(topo.shardOf(2000.0), ShardId{3});  // map edge clamps
+  EXPECT_EQ(topo.shardOf(-0.0), ShardId{0});
+}
+
+TEST(ShardTopology, ClampsRequestsToTheRadioRadius) {
+  // A strip narrower than the radius would let a transmission skip over a
+  // whole shard; requests clamp to floor(width / radius).
+  EXPECT_EQ(Topology(8, 2500.0, 500.0).shardCount(), 5);
+  EXPECT_EQ(Topology(3, 1000.0, 500.0).shardCount(), 2);
+  EXPECT_EQ(Topology(4, 400.0, 500.0).shardCount(), 1);  // 1x1-ish map
+  EXPECT_EQ(Topology(1, 5500.0, 500.0).shardCount(), 1);
+}
+
+TEST(ShardTopology, AdjacencyIsStripDistanceAtMostOne) {
+  const Topology topo(4, 2000.0, 500.0);
+  EXPECT_TRUE(topo.adjacent(ShardId{1}, ShardId{2}));
+  EXPECT_TRUE(topo.adjacent(ShardId{2}, ShardId{1}));
+  EXPECT_TRUE(topo.adjacent(ShardId{3}, ShardId{3}));
+  EXPECT_FALSE(topo.adjacent(ShardId{0}, ShardId{2}));
+}
+
+// ------------------------------------------------------------ lookahead
+
+TEST(ShardLookahead, IsZeroPropagationPlusShortestAirtime) {
+  const phy::PhyParams params;
+  EXPECT_EQ(params.minInteractionDelay(),
+            params.plcpPreamble + params.plcpHeader);
+  EXPECT_EQ(params.minInteractionDelay(), params.frameAirtime(0));
+  // The bound must dominate the carrier-sense crossing (DESIGN.md §15
+  // explains why the commit loop stays serial because of it).
+  EXPECT_GT(params.minInteractionDelay(), params.carrierSenseDelay);
+}
+
+// -------------------------------------------------------------- mailbox
+
+TEST(ShardMailbox, DrainsInAtSeqFromOrderAndResets) {
+  Mailbox box;
+  const TimePoint t0 = kTimeZero;
+  box.post(t0 + Duration{50}, ShardId{2}, ShardId{1}, 4);  // seq 0
+  box.post(t0 + Duration{10}, ShardId{0}, ShardId{1}, 1);  // seq 1
+  box.post(t0 + Duration{10}, ShardId{1}, ShardId{0}, 2);  // seq 2
+  EXPECT_EQ(box.pendingCount(), 3u);
+
+  std::vector<CrossMsg> out;
+  box.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  // Same `at` resolves by commit-order seq; earlier `at` wins outright.
+  EXPECT_EQ(out[0].at, t0 + Duration{10});
+  EXPECT_EQ(out[0].from, ShardId{0});
+  EXPECT_EQ(out[1].at, t0 + Duration{10});
+  EXPECT_EQ(out[1].from, ShardId{1});
+  EXPECT_EQ(out[2].at, t0 + Duration{50});
+  EXPECT_EQ(out[2].copies, 4u);
+  EXPECT_EQ(box.pendingCount(), 0u);
+
+  // seq restarts per window, so the next window's order is self-contained.
+  box.post(t0 + Duration{99}, ShardId{0}, ShardId{1}, 1);
+  std::vector<CrossMsg> next;
+  box.drain(next);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].seq, 0u);
+}
+
+// ---------------------------------------------------------- coordinator
+
+TEST(ShardCoordinator, WindowEndsAtLookaheadOrHorizon) {
+  const Topology topo(2, 1000.0, 500.0);
+  Coordinator coord(topo, Duration{192}, testRng());
+  const TimePoint horizon = kTimeZero + Duration{1000};
+
+  EXPECT_EQ(coord.beginWindow(kTimeZero, horizon), kTimeZero + Duration{192});
+  coord.endWindow();
+  // The last slice is cut short by the horizon.
+  EXPECT_EQ(coord.beginWindow(kTimeZero + Duration{960}, horizon), horizon);
+  coord.endWindow();
+  EXPECT_EQ(coord.stats().windows, 2u);
+}
+
+TEST(ShardCoordinator, BarrierAccountsExchangedMessages) {
+  const Topology topo(2, 1000.0, 500.0);
+  Coordinator coord(topo, Duration{192}, testRng());
+  coord.beginWindow(kTimeZero, kTimeZero + Duration{192});
+  coord.postCross(kTimeZero + Duration{100}, ShardId{0}, ShardId{1}, 3);
+  coord.postCross(kTimeZero + Duration{20}, ShardId{1}, ShardId{0}, 1);
+  coord.endWindow();
+
+  EXPECT_EQ(coord.stats().windows, 1u);
+  EXPECT_EQ(coord.stats().barrierEvents, 2u);
+  EXPECT_EQ(coord.stats().crossCopies, 4u);
+  ASSERT_EQ(coord.lastExchange().size(), 2u);
+  EXPECT_EQ(coord.lastExchange()[0].at, kTimeZero + Duration{20});
+}
+
+TEST(ShardCoordinator, ShardRngStreamsAreDistinct) {
+  const Topology topo(4, 2000.0, 500.0);
+  Coordinator coord(topo, Duration{192}, testRng());
+  const double a = coord.shardRng(ShardId{0}).uniform();
+  const double b = coord.shardRng(ShardId{1}).uniform();
+  EXPECT_NE(a, b);
+}
+
+TEST(ShardCoordinator, RangeExecutorPartitionIsContiguousAndComplete) {
+  // Force a real worker pool even on a single-core host.
+  ScopedEnv lanes("MANET_SHARD_LANES", "3");
+  const Topology topo(4, 2000.0, 500.0);
+  Coordinator coord(topo, Duration{192}, testRng());
+  EXPECT_EQ(coord.lanes(), 3);
+
+  std::mutex mutex;
+  std::vector<std::tuple<int, std::size_t, std::size_t>> chunks;
+  coord.run(10, [&](int lane, std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(lane, begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 3u);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t covered = 0;
+  for (int lane = 0; lane < 3; ++lane) {
+    EXPECT_EQ(std::get<0>(chunks[lane]), lane);
+    EXPECT_EQ(std::get<1>(chunks[lane]), covered);  // contiguous, in order
+    covered = std::get<2>(chunks[lane]);
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+// ------------------------------------------------- window-boundary clock
+
+/// An event landing exactly on a window barrier must fire in the window it
+/// closes (runUntil is inclusive), and the windowed clock must replay the
+/// exact event sequence of a straight run.
+TEST(ShardWindows, EventsOnTheBarrierMatchAStraightRun) {
+  const Duration lookahead{192};
+  const TimePoint horizon = kTimeZero + Duration{1000};
+  const std::vector<Duration> offsets = {
+      Duration{0},   Duration{191}, Duration{192},  // exactly on barrier 1
+      Duration{193}, Duration{384},                 // exactly on barrier 2
+      Duration{575}, Duration{1000},                // exactly on the horizon
+  };
+
+  auto record = [&](Scheduler& s, std::vector<TimePoint>& log) {
+    for (const Duration& offset : offsets) {
+      s.schedule(kTimeZero + offset, [&log, &s] { log.push_back(s.now()); });
+    }
+  };
+
+  Scheduler straight;
+  std::vector<TimePoint> straightLog;
+  record(straight, straightLog);
+  straight.runUntil(horizon);
+
+  Scheduler windowed;
+  std::vector<TimePoint> windowedLog;
+  record(windowed, windowedLog);
+  const Topology topo(2, 1000.0, 500.0);
+  Coordinator coord(topo, lookahead, testRng());
+  TimePoint cursor = kTimeZero;
+  while (cursor < horizon) {
+    const TimePoint windowEnd = coord.beginWindow(cursor, horizon);
+    windowed.runUntil(windowEnd);
+    coord.endWindow();
+    cursor = windowEnd;
+  }
+
+  EXPECT_EQ(windowedLog, straightLog);
+  EXPECT_EQ(windowed.now(), straight.now());
+  EXPECT_EQ(coord.stats().windows, 6u);  // ceil(1000 / 192)
+}
+
+// ------------------------------------------- cross-shard TX equivalence
+
+TEST(ShardWorld, CrossShardTransmissionsAreCountedAndDeliveredIdentically) {
+  ScenarioConfig config;
+  config.mapUnits = 2;  // 1000 m across: two 500 m strips
+  config.fixedPositions = {{450.0, 500.0}, {550.0, 500.0}};
+  config.scheme = SchemeSpec::flooding();
+  config.numBroadcasts = 2;
+  config.seed = 11;
+
+  obs::forceCollection(true);
+  config.shards = 1;
+  const experiment::RunResult serial = experiment::runScenario(config);
+  config.shards = 2;
+  const experiment::RunResult sharded = experiment::runScenario(config);
+  obs::forceCollection(false);
+
+  // The hosts sit 100 m apart straddling the strip boundary, so every
+  // transmission is a cross-shard delivery for the sharded run...
+  ASSERT_NE(sharded.metrics, nullptr);
+  EXPECT_GT(sharded.metrics->counter(obs::Counter::kShardCrossMsgs), 0u);
+  EXPECT_GT(sharded.metrics->counter(obs::Counter::kShardWindows), 0u);
+  ASSERT_NE(serial.metrics, nullptr);
+  EXPECT_EQ(serial.metrics->counter(obs::Counter::kShardCrossMsgs), 0u);
+
+  // ...and the simulation outcome is bit-identical anyway.
+  EXPECT_EQ(sharded.re(), serial.re());
+  EXPECT_EQ(sharded.framesTransmitted, serial.framesTransmitted);
+  EXPECT_EQ(sharded.framesDelivered, serial.framesDelivered);
+  EXPECT_EQ(sharded.framesCorrupted, serial.framesCorrupted);
+  EXPECT_EQ(sharded.summary.broadcasts, serial.summary.broadcasts);
+}
+
+// -------------------------------------------------- byte-identity sweep
+
+/// Fully-featured scenario, large enough (>= 256 hosts) to drive the
+/// parallel grid-rebuild and BFS phases once MANET_SHARD_LANES forces a
+/// pool on a single-core runner.
+ScenarioConfig denseConfig() {
+  ScenarioConfig config;
+  config.mapUnits = 4;
+  config.numHosts = 300;
+  config.numBroadcasts = 3;
+  config.scheme = SchemeSpec::adaptiveCounter();
+  config.fault.loss = fault::FaultConfig::Loss::kGilbertElliott;
+  config.fault.churn = true;
+  config.fault.churnFraction = 0.2;
+  config.seed = 42;
+  return config;
+}
+
+TEST(ShardWorld, WorldStateIsByteIdenticalForEveryShardCount) {
+  ScopedEnv lanes("MANET_SHARD_LANES", "4");
+  ScenarioConfig config = denseConfig();
+
+  config.shards = 1;
+  World serial(config);
+  serial.run();
+  EXPECT_EQ(serial.shardCoordinator(), nullptr);
+  const ckpt::WorldImage reference = ckpt::StateAccess::captureWorld(serial);
+
+  for (int shards : {2, 4}) {
+    config.shards = shards;
+    World sharded(config);
+    ASSERT_NE(sharded.shardCoordinator(), nullptr);
+    EXPECT_EQ(sharded.shardCoordinator()->topology().shardCount(), shards);
+    sharded.run();
+    const auto diffs = ckpt::diffWorldImages(
+        ckpt::StateAccess::captureWorld(sharded), reference);
+    EXPECT_TRUE(diffs.empty())
+        << "shards=" << shards << ": " << diffs.size()
+        << " subsystem(s) diverged, e.g. " << diffs.front();
+  }
+}
+
+TEST(ShardWorld, EnvironmentDefaultSelectsShardCount) {
+  ScopedEnv env("MANET_SHARDS", "2");
+  ScenarioConfig config = denseConfig();
+  config.numHosts = 20;  // construction-only check, keep it cheap
+  config.numBroadcasts = 0;
+  ASSERT_EQ(config.shards, 0);  // auto: defer to the environment
+  World world(config);
+  ASSERT_NE(world.shardCoordinator(), nullptr);
+  EXPECT_EQ(world.shardCoordinator()->topology().shardCount(), 2);
+}
+
+TEST(ShardWorld, OversizedRequestClampsToTheMap) {
+  ScenarioConfig config = denseConfig();
+  config.numHosts = 20;
+  config.numBroadcasts = 0;
+  config.shards = 64;  // 4x4 map supports at most 4 strips
+  World world(config);
+  ASSERT_NE(world.shardCoordinator(), nullptr);
+  EXPECT_EQ(world.shardCoordinator()->topology().shardCount(), 4);
+}
+
+// --------------------------------------------------- checkpoint interop
+
+TEST(ShardCkpt, SplitAndResumedShardedRunsMatchStraight) {
+  ScenarioConfig config = denseConfig();
+  config.numHosts = 60;  // windows x checkpoint interplay, not bulk
+  config.numBroadcasts = 8;
+  config.shards = 2;
+
+  World straight(config);
+  straight.run();
+  const ckpt::WorldImage reference =
+      ckpt::StateAccess::captureWorld(straight);
+
+  // Split run: the checkpoint anchor lands mid-window, so the window loop
+  // re-phases at the anchor — simulation state must not notice.
+  World split(config);
+  split.beginRun();
+  const TimePoint anchor =
+      kTimeZero + scaleTrunc(split.horizonTime() - kTimeZero, 0.5);
+  split.continueUntil(anchor);
+  const auto blob = ckpt::capture(split);
+  split.runToEnd();
+  EXPECT_TRUE(
+      ckpt::diffWorldImages(ckpt::StateAccess::captureWorld(split), reference)
+          .empty());
+
+  // Resume from the blob (replays to the anchor and verifies) and run the
+  // tail under the same shard mode.
+  ckpt::Resumed resumed = ckpt::resume(blob);
+  ASSERT_NE(resumed.world, nullptr);
+  resumed.world->runToEnd();
+  EXPECT_TRUE(ckpt::diffWorldImages(
+                  ckpt::StateAccess::captureWorld(*resumed.world), reference)
+                  .empty());
+}
+
+TEST(ShardCkpt, CapturedImagesAreShardModeAgnosticWithMetricsOn) {
+  // engine.shard.* counters are execution-phasing accounting; captures must
+  // zero them so images compare equal across execution modes even with a
+  // live obs registry (DESIGN.md §15).
+  ScenarioConfig config = denseConfig();
+  config.numHosts = 60;
+  config.numBroadcasts = 8;
+
+  config.shards = 1;
+  std::vector<std::uint8_t> serialBlob;
+  {
+    obs::Registry registry;
+    obs::ScopedRegistry scoped(&registry);
+    World world(config);
+    world.run();
+    serialBlob = ckpt::capture(world);
+    EXPECT_EQ(registry.counter(obs::Counter::kShardWindows), 0u);
+  }
+  config.shards = 2;
+  std::vector<std::uint8_t> shardedBlob;
+  {
+    obs::Registry registry;
+    obs::ScopedRegistry scoped(&registry);
+    World world(config);
+    world.run();
+    shardedBlob = ckpt::capture(world);
+    // The sharded run really did count windows — the capture zeroes them.
+    EXPECT_GT(registry.counter(obs::Counter::kShardWindows), 0u);
+  }
+  EXPECT_EQ(serialBlob, shardedBlob);
+}
+
+}  // namespace
+}  // namespace manet::sim::shard

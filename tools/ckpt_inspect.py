@@ -24,9 +24,11 @@ FNV_OFFSET = 14695981039346656037
 FNV_PRIME = 1099511628211
 FNV_MASK = (1 << 64) - 1
 
-# Known section tags, in encoder order (src/ckpt/image.cpp). Unknown tags are
-# listed but flagged: future versions may append sections, this version's
-# encoder writes exactly these.
+# Known section tags, in encoder order (src/ckpt/image.cpp). An unknown tag
+# is listed as `unknown(tag, len)` but is NOT a problem: the container is
+# designed for forward-compatible appends (a newer encoder may add sections
+# this tool predates), and its digest is still verified. Only a *missing*
+# known section or a digest mismatch fails the exit status.
 KNOWN_TAGS = {
     "CFG0": "resolved ScenarioConfig",
     "META": "anchor/horizon timestamps",
@@ -101,8 +103,7 @@ def inspect(path: str) -> int:
             problems += 1
         note = KNOWN_TAGS.get(tag)
         if note is None:
-            note = "UNKNOWN TAG"
-            problems += 1
+            note = f"unknown({tag}, {length})"
         print(f"  {tag}  {length:>8} bytes  {status}  -- {note}")
         sections[tag] = payload
 

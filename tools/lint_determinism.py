@@ -48,7 +48,13 @@ on the same or the preceding line. A bare NOLINT-determinism without a
 reason is itself an error — the reason is the review artifact.
 
 Usage: lint_determinism.py [--root DIR] [PATHS...]   (default: <repo>/src)
+       lint_determinism.py --self-test
 Exit status: 0 clean, 1 findings, 2 usage error.
+
+--self-test lints a synthetic fixture tree instead of the repo: one file
+per hazard class that must fire, plus one file per sanctioned home and
+suppression form that must stay clean. CI runs it before the real lint so
+a regex regression can't silently turn the lint into a no-op.
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ import argparse
 import os
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 # Files allowed to touch ambient entropy (H1): the RNG seam itself.
@@ -77,8 +84,12 @@ WALLCLOCK_ALLOWED = (
     "src/experiment/parallel",
     "src/obs/profile",
 )
-# Files allowed thread-identity logic (H4): the parallel sweep partitioner.
-THREAD_ALLOWED = ("src/experiment/parallel",)
+# Files allowed thread-identity logic (H4): the parallel sweep partitioner
+# and the shard coordinator's worker pool (DESIGN.md §15). Both follow the
+# same discipline — lanes are explicit function arguments and results must
+# not depend on which OS thread ran a chunk — but they are the two homes
+# where pool plumbing may legitimately need identity-adjacent calls.
+THREAD_ALLOWED = ("src/experiment/parallel", "src/sim/shard/")
 # Homes allowed to iterate unordered containers (H2): checkpoint capture
 # (DESIGN.md §14) reads every container once, collect-then-sort by a stable
 # key, so serialized images never depend on hash iteration order. The
@@ -226,11 +237,103 @@ def lint_file(path: Path, rel: str) -> list[tuple[int, str]]:
     return findings
 
 
+# --self-test fixtures: (relative path, source, expected message fragments).
+# An empty expectation list means the file must lint clean — those cases pin
+# the sanctioned homes (ENTROPY/WALLCLOCK/THREAD/H2 allowed lists) and the
+# reasoned-NOLINT escape hatch. Non-empty lists are hazards that must fire;
+# every fragment must appear in some finding (extra findings are fine — the
+# inline-engine shuffle legitimately trips H3 and H6 at once).
+SELF_TEST_CASES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+    ("src/net/h1_entropy.cpp", "int x = rand();\n",
+     ("H1 ambient entropy",)),
+    ("src/net/h1_wallclock.cpp",
+     "auto t = std::chrono::steady_clock::now();\n",
+     ("H1 wall-clock read",)),
+    ("src/net/h2_iteration.cpp",
+     "std::unordered_map<int, int> table;\n"
+     "void f() { for (auto& kv : table) { (void)kv; } }\n",
+     ("H2 iteration over unordered container",)),
+    ("src/net/h3_shuffle.cpp",
+     "void f() { std::random_shuffle(v.begin(), v.end()); }\n",
+     ("H3 std::random_shuffle",)),
+    ("src/net/h3_engine.cpp",
+     "void f() { std::shuffle(v.begin(), v.end(), std::mt19937(7)); }\n",
+     ("H3 shuffle with inline-constructed engine",)),
+    ("src/net/h4_thread_id.cpp",
+     "auto id = std::this_thread::get_id();\n",
+     ("H4 thread-identity",)),
+    ("src/net/h5_ptr_key.cpp", "std::map<Node*, int> byAddress;\n",
+     ("H5 pointer-keyed map/set",)),
+    ("src/net/h6_distribution.cpp",
+     "std::uniform_int_distribution<int> d(0, 9);\n",
+     ("H6 <random> engine/distribution",)),
+    ("src/net/bare_nolint.cpp",
+     "int x = rand();  // NOLINT-determinism()\n",
+     ("NOLINT-determinism without a reason",)),
+    # Clean: the reasoned escape hatch and every sanctioned home.
+    ("src/net/reasoned_nolint.cpp",
+     "int x = rand();  // NOLINT-determinism(fixture seeds a test vector)\n",
+     ()),
+    ("src/sim/random.cpp",
+     "std::mt19937 engine(seed);\nint x = rand();\n", ()),
+    ("src/experiment/parallel.cpp",
+     "auto id = std::this_thread::get_id();\n", ()),
+    ("src/sim/shard/coordinator.cpp",
+     "auto id = std::this_thread::get_id();\n", ()),
+    ("src/ckpt/capture.cpp",
+     "std::unordered_map<int, int> table;\n"
+     "void f() { for (auto& kv : table) { (void)kv; } }\n",
+     ()),
+    ("src/obs/profile.cpp",
+     "auto t = std::chrono::steady_clock::now();\n", ()),
+)
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+        root = Path(tmp)
+        for rel, source, expected in SELF_TEST_CASES:
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            findings = lint_file(path, rel)
+            messages = [msg for _, msg in findings]
+            problems: list[str] = []
+            if expected:
+                for fragment in expected:
+                    if not any(fragment in m for m in messages):
+                        problems.append(f"expected {fragment!r}, "
+                                        f"got {messages!r}")
+            elif messages:
+                problems.append(f"expected clean, got {messages!r}")
+            if problems:
+                failures += 1
+                for p in problems:
+                    print(f"self-test FAIL {rel}: {p}")
+            else:
+                print(f"self-test ok   {rel}")
+    if failures:
+        print(f"lint_determinism --self-test: {failures} case(s) failed")
+        return 1
+    print(f"lint_determinism --self-test: "
+          f"{len(SELF_TEST_CASES)} case(s) passed")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=None, help="repo root (default: auto)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint synthetic fixtures proving every hazard "
+                         "class fires and every sanctioned home is honored")
     ap.add_argument("paths", nargs="*", help="files/dirs to lint")
     args = ap.parse_args(argv)
+
+    if args.self_test:
+        if args.paths or args.root:
+            ap.error("--self-test takes no paths")
+        return self_test()
 
     root = Path(args.root) if args.root else Path(__file__).resolve().parents[1]
     targets = [Path(p) for p in args.paths] or [root / "src"]
